@@ -1,0 +1,348 @@
+// Package act implements approximate geospatial joins with precision
+// guarantees, after Kipf et al., "Approximate Geospatial Joins with
+// Precision Guarantees" (ICDE 2018).
+//
+// The library joins streaming points against a static set of polygons. At
+// build time every polygon is approximated by hierarchical-grid cells:
+// interior cells (entirely inside, yielding true hits) and boundary cells,
+// which are refined until their diagonal is at most a user-chosen precision
+// bound ε. The merged cell set is stored in an Adaptive Cell Trie (ACT), a
+// radix tree over cell-id bits whose lookups cost at most ⌈60/8⌉ = 8 node
+// accesses and use only integer arithmetic.
+//
+// The resulting join semantics:
+//
+//   - no false negatives: every point inside a polygon is reported;
+//   - every reported pair is either certainly inside (a true hit) or within
+//     ε meters of the polygon (a candidate hit);
+//   - optionally, candidates can be refined with exact geometry
+//     (LookupExact), turning the index into a classical filter-and-refine
+//     join whose filter is so selective that refinement is rare.
+//
+// # Quick start
+//
+//	idx, err := act.BuildIndex(polygons, act.Options{PrecisionMeters: 4})
+//	if err != nil { ... }
+//	var res act.Result
+//	if idx.Lookup(act.LatLng{Lat: 40.7580, Lng: -73.9855}, &res) {
+//		// res.True: polygon ids certainly containing the point.
+//		// res.Candidates: ids within ε of the point.
+//	}
+package act
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/core"
+	"github.com/actindex/act/internal/cover"
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/grid"
+	"github.com/actindex/act/internal/supercover"
+)
+
+// LatLng is a geographic coordinate in degrees.
+type LatLng = geo.LatLng
+
+// Polygon is a geographic polygon: an outer ring and optional holes, with
+// vertices in degrees. Rings are implicitly closed.
+type Polygon = geo.Polygon
+
+// Result receives the polygon ids matched by a lookup. Polygon ids are the
+// indices into the slice passed to BuildIndex. Reuse one Result across
+// lookups to avoid allocation.
+type Result = core.Result
+
+// GridKind selects the hierarchical grid underlying the index.
+type GridKind int
+
+const (
+	// PlanarGrid is an equirectangular world grid (the default): one root
+	// cell, cells are exact lat/lng rectangles.
+	PlanarGrid GridKind = iota
+	// CubeFaceGrid is an S2-style cube grid with the quadratic projection:
+	// near-uniform cell areas worldwide, but each polygon must fit within
+	// a single cube face (city- and region-scale data always does).
+	CubeFaceGrid
+)
+
+// String implements fmt.Stringer.
+func (k GridKind) String() string {
+	switch k {
+	case PlanarGrid:
+		return "planar"
+	case CubeFaceGrid:
+		return "cubeface"
+	default:
+		return fmt.Sprintf("GridKind(%d)", int(k))
+	}
+}
+
+// Options configures BuildIndex.
+type Options struct {
+	// PrecisionMeters is the precision bound ε: the maximum distance
+	// between the partners of a false-positive join pair. Required.
+	PrecisionMeters float64
+	// Grid selects the hierarchical grid (default PlanarGrid).
+	Grid GridKind
+	// Fanout is the trie fanout: 4, 16, 64, or 256 (default 256, the
+	// paper's choice).
+	Fanout int
+	// MaxCellsPerPolygon, when positive, bounds each polygon's covering
+	// size. Refinement then happens best-first and the index may deliver
+	// only Stats().AchievedPrecisionMeters instead of ε (memory-
+	// constrained mode).
+	MaxCellsPerPolygon int
+	// QuerySamplePoints optionally supplies a sample of observed query
+	// points. Combined with MaxCellsPerPolygon it enables adaptive
+	// refinement (the paper's §I sketch): the cell budget concentrates
+	// where queries actually land, so hot boundary regions reach the
+	// precision bound while unqueried regions stay coarse. Ignored
+	// without a cell budget.
+	QuerySamplePoints []LatLng
+	// BuildWorkers bounds the goroutines used to compute per-polygon
+	// coverings (default GOMAXPROCS). The covering computation is
+	// parallelized over polygons; the super-covering merge is serial,
+	// matching the paper's build pipeline.
+	BuildWorkers int
+}
+
+// BuildStats reports the cost and shape of a built index — the quantities
+// of the paper's Table I.
+type BuildStats struct {
+	NumPolygons  int
+	IndexedCells int   // cells in the merged super covering
+	TrieBytes    int64 // node arena footprint
+	TableBytes   int64 // lookup table footprint
+	TrieNodes    int
+	// AchievedPrecisionMeters is the worst-case false-positive distance
+	// actually delivered; ≤ PrecisionMeters unless a cell budget was set.
+	AchievedPrecisionMeters float64
+	// CoverDuration is the time to build all individual coverings
+	// (parallel); MergeDuration the serial super-covering merge;
+	// InsertDuration the trie construction.
+	CoverDuration  time.Duration
+	MergeDuration  time.Duration
+	InsertDuration time.Duration
+}
+
+// TotalBytes returns the index memory footprint.
+func (s BuildStats) TotalBytes() int64 { return s.TrieBytes + s.TableBytes }
+
+// Index is an immutable point-in-polygon-set index. It is safe for
+// concurrent lookups.
+type Index struct {
+	grid      grid.Grid
+	trie      *core.Trie
+	precision float64
+	stats     BuildStats
+	// projected holds the grid-space polygons for exact refinement,
+	// indexed by polygon id.
+	projected []*geom.Polygon
+}
+
+// ErrNoPolygons is returned when BuildIndex is called with no polygons.
+var ErrNoPolygons = errors.New("act: no polygons")
+
+// BuildIndex computes polygon coverings with the requested precision,
+// merges them, and loads them into an Adaptive Cell Trie. Polygon ids in
+// lookup results are indices into polygons.
+func BuildIndex(polygons []*Polygon, opts Options) (*Index, error) {
+	if len(polygons) == 0 {
+		return nil, ErrNoPolygons
+	}
+	if len(polygons) > supercover.MaxPolygonID+1 {
+		return nil, fmt.Errorf("act: %d polygons exceed the 2^30 id space", len(polygons))
+	}
+	var g grid.Grid
+	switch opts.Grid {
+	case PlanarGrid:
+		g = grid.NewPlanar()
+	case CubeFaceGrid:
+		g = grid.NewCubeFace()
+	default:
+		return nil, fmt.Errorf("act: unknown grid kind %v", opts.Grid)
+	}
+	fanout := opts.Fanout
+	if fanout == 0 {
+		fanout = 256
+	}
+	adaptive := opts.MaxCellsPerPolygon > 0 && len(opts.QuerySamplePoints) > 0
+	var coverOpts []cover.Option
+	if opts.MaxCellsPerPolygon > 0 && !adaptive {
+		coverOpts = append(coverOpts, cover.WithMaxCells(opts.MaxCellsPerPolygon))
+	}
+	coverer, err := cover.NewCoverer(g, opts.PrecisionMeters, coverOpts...)
+	if err != nil {
+		return nil, err
+	}
+	var sample *cover.QuerySample
+	if adaptive {
+		sample = cover.NewQuerySample(g, opts.QuerySamplePoints)
+	}
+
+	// Phase 1: individual coverings, parallelized over polygons.
+	workers := opts.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	covs := make([]*cover.Covering, len(polygons))
+	errs := make([]error, len(polygons))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i := range polygons {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if adaptive {
+				covs[i], errs[i] = coverer.CoverAdaptive(polygons[i], sample, opts.MaxCellsPerPolygon)
+			} else {
+				covs[i], errs[i] = coverer.Cover(polygons[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	var achieved float64
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("act: covering polygon %d: %w", i, err)
+		}
+		if covs[i].AchievedPrecisionMeters > achieved {
+			achieved = covs[i].AchievedPrecisionMeters
+		}
+	}
+	coverDur := time.Since(start)
+
+	// Phase 2: serial super-covering merge.
+	start = time.Now()
+	var scb supercover.Builder
+	for i, cov := range covs {
+		if err := scb.Add(uint32(i), cov); err != nil {
+			return nil, fmt.Errorf("act: merging polygon %d: %w", i, err)
+		}
+	}
+	sc := scb.Build()
+	mergeDur := time.Since(start)
+
+	// Phase 3: trie construction.
+	start = time.Now()
+	trie, err := core.Build(sc, core.Config{Fanout: fanout})
+	if err != nil {
+		return nil, err
+	}
+	insertDur := time.Since(start)
+
+	// Projected polygons for exact refinement.
+	projected := make([]*geom.Polygon, len(polygons))
+	for i, p := range polygons {
+		_, pp, err := grid.ProjectPolygon(g, p)
+		if err != nil {
+			return nil, fmt.Errorf("act: projecting polygon %d: %w", i, err)
+		}
+		projected[i] = pp
+	}
+
+	ts := trie.ComputeStats()
+	return &Index{
+		grid:      g,
+		trie:      trie,
+		precision: opts.PrecisionMeters,
+		projected: projected,
+		stats: BuildStats{
+			NumPolygons:             len(polygons),
+			IndexedCells:            sc.NumCells(),
+			TrieBytes:               ts.TrieBytes,
+			TableBytes:              ts.TableBytes,
+			TrieNodes:               ts.NumNodes,
+			AchievedPrecisionMeters: achieved,
+			CoverDuration:           coverDur,
+			MergeDuration:           mergeDur,
+			InsertDuration:          insertDur,
+		},
+	}, nil
+}
+
+// Lookup performs the approximate join for one point: res.True receives the
+// ids of polygons certainly containing the point, res.Candidates the ids of
+// polygons whose distance to the point is at most the precision bound. It
+// reports whether anything matched. res is reset first.
+func (ix *Index) Lookup(ll LatLng, res *Result) bool {
+	res.Reset()
+	return ix.trie.Lookup(grid.LeafCell(ix.grid, ll), res)
+}
+
+// LookupExact behaves like Lookup but refines every candidate with an exact
+// point-in-polygon test, moving confirmed candidates into res.True and
+// dropping the rest. After LookupExact, res.Candidates is always empty and
+// res.True holds exactly the polygons containing the point.
+func (ix *Index) LookupExact(ll LatLng, res *Result) bool {
+	if !ix.Lookup(ll, res) {
+		return false
+	}
+	_, pt := ix.grid.Project(ll)
+	for _, id := range res.Candidates {
+		if ix.projected[id].ContainsPoint(pt) {
+			res.True = append(res.True, id)
+		}
+	}
+	res.Candidates = res.Candidates[:0]
+	return len(res.True) > 0
+}
+
+// Find returns the ids of all polygons matching the point approximately
+// (true hits and candidates). It allocates; use Lookup with a reused Result
+// in hot paths.
+func (ix *Index) Find(ll LatLng) []uint32 {
+	var res Result
+	if !ix.Lookup(ll, &res) {
+		return nil
+	}
+	out := make([]uint32, 0, res.Total())
+	out = append(out, res.True...)
+	out = append(out, res.Candidates...)
+	return out
+}
+
+// Contains reports whether the point is (exactly) inside the polygon with
+// the given id.
+func (ix *Index) Contains(ll LatLng, polygonID uint32) bool {
+	if int(polygonID) >= len(ix.projected) {
+		return false
+	}
+	_, pt := ix.grid.Project(ll)
+	return ix.projected[polygonID].ContainsPoint(pt)
+}
+
+// PrecisionMeters returns the configured precision bound ε.
+func (ix *Index) PrecisionMeters() float64 { return ix.precision }
+
+// NumPolygons returns the number of indexed polygons.
+func (ix *Index) NumPolygons() int { return len(ix.projected) }
+
+// Stats returns build statistics (Table I quantities).
+func (ix *Index) Stats() BuildStats { return ix.stats }
+
+// GridName returns the name of the underlying grid.
+func (ix *Index) GridName() string { return ix.grid.Name() }
+
+// CellLevelForPrecision returns the shallowest grid level whose cells near
+// the given latitude have a diagonal of at most meters — useful to estimate
+// index depth before building.
+func (ix *Index) CellLevelForPrecision(meters float64, atLat float64) int {
+	ll := LatLng{Lat: atLat, Lng: 0}
+	for level := 0; level <= cellid.MaxLevel; level++ {
+		c := grid.PointToCell(ix.grid, ll, level)
+		if grid.CellDiagonalMeters(ix.grid, c) <= meters {
+			return level
+		}
+	}
+	return cellid.MaxLevel
+}

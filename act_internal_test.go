@@ -1,0 +1,504 @@
+package act
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+)
+
+// distMeters approximates the distance in meters from a point to the
+// nearest boundary of the polygon using a local equirectangular frame —
+// accurate well below 1% at the sub-100 m distances the precision bound
+// constrains.
+func distMeters(ll geo.LatLng, p *geo.Polygon) float64 {
+	cosLat := math.Cos(ll.Lat * math.Pi / 180)
+	best := math.Inf(1)
+	measure := func(ring []geo.LatLng) {
+		n := len(ring)
+		for i := 0; i < n; i++ {
+			a, b := ring[i], ring[(i+1)%n]
+			d := distPointSegMeters(ll, a, b, cosLat)
+			if d < best {
+				best = d
+			}
+		}
+	}
+	measure(p.Outer)
+	for _, h := range p.Holes {
+		measure(h)
+	}
+	return best
+}
+
+func distPointSegMeters(p, a, b geo.LatLng, cosLat float64) float64 {
+	px := (p.Lng) * cosLat
+	py := p.Lat
+	ax, ay := a.Lng*cosLat, a.Lat
+	bx, by := b.Lng*cosLat, b.Lat
+	dx, dy := bx-ax, by-ay
+	den := dx*dx + dy*dy
+	t := 0.0
+	if den > 0 {
+		t = ((px-ax)*dx + (py-ay)*dy) / den
+		if t < 0 {
+			t = 0
+		} else if t > 1 {
+			t = 1
+		}
+	}
+	ex, ey := ax+t*dx-px, ay+t*dy-py
+	return math.Hypot(ex, ey) * geo.MetersPerDegree
+}
+
+// TestPrecisionGuarantee is the end-to-end property of the paper's title:
+// with precision ε, (a) every point inside a polygon is reported (no false
+// negatives), (b) every reported pair not truly inside is within ε meters
+// of the polygon, and (c) true-hit results are truly inside.
+func TestPrecisionGuarantee(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "precision", NumRegions: 40, Lattice: 128, Seed: 21,
+		BoundaryJitter: 0.7, WaterFraction: 0.15, HoleFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gk := range []GridKind{PlanarGrid, CubeFaceGrid} {
+		for _, eps := range []float64{60, 15, 4} {
+			idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: eps, Grid: gk})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", gk, eps, err)
+			}
+			if got := idx.Stats().AchievedPrecisionMeters; got > eps {
+				t.Errorf("%v/%v: achieved precision %.3f > ε", gk, eps, got)
+			}
+			// Adversarial points concentrate near boundaries, where the
+			// guarantee is actually exercised.
+			pts, err := data.GeneratePoints(data.PointConfig{
+				N: 6000, Seed: 22, Distribution: data.Adversarial,
+				Polygons: set, JitterMeters: eps * 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var res Result
+			falsePositives := 0
+			for _, ll := range pts {
+				// Ground truth via the index's own exact geometry (the
+				// grid projection defines containment semantics).
+				truthSet := map[uint32]bool{}
+				for id := range set.Polygons {
+					if idx.Contains(ll, uint32(id)) {
+						truthSet[uint32(id)] = true
+					}
+				}
+				idx.Lookup(ll, &res)
+				got := map[uint32]bool{}
+				for _, id := range res.True {
+					got[id] = true
+					// (c) true hits are truly inside.
+					if !truthSet[id] {
+						t.Fatalf("%v/%v: true hit %d not inside at %v", gk, eps, id, ll)
+					}
+				}
+				for _, id := range res.Candidates {
+					got[id] = true
+				}
+				// (a) no false negatives.
+				for id := range truthSet {
+					if !got[id] {
+						t.Fatalf("%v/%v: missed polygon %d containing %v", gk, eps, id, ll)
+					}
+				}
+				// (b) false positives within ε.
+				for _, id := range res.Candidates {
+					if truthSet[id] {
+						continue
+					}
+					falsePositives++
+					if d := distMeters(ll, set.Polygons[id]); d > eps*1.05 {
+						t.Fatalf("%v/%v: false positive %d at %.2f m > ε=%v (point %v)",
+							gk, eps, id, d, eps, ll)
+					}
+				}
+			}
+			if falsePositives == 0 {
+				t.Errorf("%v/%v: adversarial points produced no false positives; test not exercising the bound", gk, eps)
+			}
+		}
+	}
+}
+
+func TestLookupExactMatchesGroundTruth(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "exact", NumRegions: 25, Lattice: 96, Seed: 31,
+		BoundaryJitter: 0.5, HoleFraction: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(32))
+	b := set.Bound
+	var res Result
+	for n := 0; n < 8000; n++ {
+		ll := geo.LatLng{
+			Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+			Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+		}
+		idx.LookupExact(ll, &res)
+		if len(res.Candidates) != 0 {
+			t.Fatal("LookupExact left candidates")
+		}
+		got := map[uint32]bool{}
+		for _, id := range res.True {
+			got[id] = true
+		}
+		for id := range set.Polygons {
+			want := idx.Contains(ll, uint32(id))
+			if got[uint32(id)] != want {
+				t.Fatalf("point %v polygon %d: exact=%v truth=%v", ll, id, got[uint32(id)], want)
+			}
+		}
+	}
+}
+
+func TestCubeFaceAndPlanarAgree(t *testing.T) {
+	// The two grids implement the same join semantics up to boundary-sliver
+	// differences; exact lookups must agree except within ~1e-7 degrees of
+	// an edge. Compare exact joins and allow no disagreement on points
+	// far from boundaries.
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "grids", NumRegions: 15, Lattice: 64, Seed: 41, BoundaryJitter: 0.4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 15, Grid: PlanarGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 15, Grid: CubeFaceGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	b := set.Bound
+	var rp, rc Result
+	disagree := 0
+	for n := 0; n < 4000; n++ {
+		ll := geo.LatLng{
+			Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+			Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+		}
+		p.LookupExact(ll, &rp)
+		c.LookupExact(ll, &rc)
+		if len(rp.True) != len(rc.True) {
+			disagree++
+			continue
+		}
+		mp := map[uint32]bool{}
+		for _, id := range rp.True {
+			mp[id] = true
+		}
+		for _, id := range rc.True {
+			if !mp[id] {
+				disagree++
+				break
+			}
+		}
+	}
+	// Projection differences only matter within float rounding of an
+	// edge; on 4000 random points expect none.
+	if disagree > 4 {
+		t.Errorf("grids disagree on %d/4000 points", disagree)
+	}
+}
+
+func TestBuildStatsShape(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "stats", NumRegions: 20, Lattice: 64, Seed: 51, BoundaryJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prevCells int
+	for _, eps := range []float64{120, 30, 8} {
+		idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: eps})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := idx.Stats()
+		if st.NumPolygons != len(set.Polygons) {
+			t.Errorf("NumPolygons = %d", st.NumPolygons)
+		}
+		if st.IndexedCells <= prevCells {
+			t.Errorf("ε=%v: indexed cells %d not more than coarser %d", eps, st.IndexedCells, prevCells)
+		}
+		prevCells = st.IndexedCells
+		if st.TrieBytes <= 0 || st.TrieNodes <= 0 {
+			t.Errorf("ε=%v: empty trie stats %+v", eps, st)
+		}
+		if st.TotalBytes() != st.TrieBytes+st.TableBytes {
+			t.Error("TotalBytes mismatch")
+		}
+		if st.AchievedPrecisionMeters > eps || st.AchievedPrecisionMeters <= 0 {
+			t.Errorf("ε=%v: achieved %.3f", eps, st.AchievedPrecisionMeters)
+		}
+	}
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "v", NumRegions: 5, Lattice: 32, Seed: 61,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildIndex(nil, Options{PrecisionMeters: 10}); err == nil {
+		t.Error("no polygons should error")
+	}
+	if _, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 0}); err == nil {
+		t.Error("zero precision should error")
+	}
+	if _, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 10, Fanout: 7}); err == nil {
+		t.Error("bad fanout should error")
+	}
+	if _, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 10, Grid: GridKind(9)}); err == nil {
+		t.Error("bad grid should error")
+	}
+	bad := &Polygon{Outer: []geo.LatLng{{Lat: 0, Lng: 0}, {Lat: 1, Lng: 1}}}
+	if _, err := BuildIndex([]*Polygon{bad}, Options{PrecisionMeters: 10}); err == nil {
+		t.Error("invalid polygon should error")
+	}
+}
+
+func TestMemoryBudgetMode(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "budget", NumRegions: 10, Lattice: 64, Seed: 71, BoundaryJitter: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 4, MaxCellsPerPolygon: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.Stats().IndexedCells >= full.Stats().IndexedCells {
+		t.Error("budgeted index should be smaller")
+	}
+	if tight.Stats().AchievedPrecisionMeters <= 4 {
+		t.Error("budgeted index should report degraded precision")
+	}
+	// Exact lookups remain correct under the budget.
+	rng := rand.New(rand.NewSource(72))
+	b := set.Bound
+	var rf, rt Result
+	for n := 0; n < 2000; n++ {
+		ll := geo.LatLng{
+			Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+			Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+		}
+		full.LookupExact(ll, &rf)
+		tight.LookupExact(ll, &rt)
+		if len(rf.True) != len(rt.True) {
+			t.Fatalf("budgeted exact lookup diverges at %v: %v vs %v", ll, rf.True, rt.True)
+		}
+	}
+}
+
+func TestFindAndContains(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "find", NumRegions: 8, Lattice: 48, Seed: 81,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The centroid-ish point of each polygon's bound that is inside it
+	// must be found.
+	found := 0
+	for id, p := range set.Polygons {
+		c := p.Bound().Center()
+		if !idx.Contains(c, uint32(id)) {
+			continue // center may fall outside an irregular polygon
+		}
+		found++
+		ids := idx.Find(c)
+		ok := false
+		for _, got := range ids {
+			if got == uint32(id) {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Errorf("Find(%v) = %v missing polygon %d", c, ids, id)
+		}
+	}
+	if found == 0 {
+		t.Error("no polygon contained its bound center; degenerate dataset")
+	}
+	if idx.Contains(geo.LatLng{Lat: 40.7, Lng: -74}, 9999) {
+		t.Error("out-of-range polygon id should be false")
+	}
+	if idx.NumPolygons() != len(set.Polygons) {
+		t.Error("NumPolygons mismatch")
+	}
+	if idx.GridName() != "planar" {
+		t.Errorf("GridName = %q", idx.GridName())
+	}
+	if idx.PrecisionMeters() != 20 {
+		t.Errorf("PrecisionMeters = %v", idx.PrecisionMeters())
+	}
+}
+
+func TestCellLevelForPrecision(t *testing.T) {
+	set, _ := data.GeneratePolygons(data.PolygonConfig{
+		Name: "lvl", NumRegions: 4, Lattice: 32, Seed: 91,
+	})
+	idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0
+	for _, m := range []float64{1000, 100, 10, 1} {
+		lvl := idx.CellLevelForPrecision(m, 40.7)
+		if lvl < prev {
+			t.Errorf("level for %.0f m = %d, shallower than coarser bound", m, lvl)
+		}
+		prev = lvl
+	}
+	// The paper reports level 24 bounding the error below 1 m on S2; the
+	// planar grid packs the whole world into one face (vs six), so its
+	// cells at a given level are larger and 1 m needs level 26.
+	if lvl := idx.CellLevelForPrecision(1, 40.7); lvl != 26 {
+		t.Errorf("planar 1 m precision needs level %d; expected 26", lvl)
+	}
+	cf, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 50, Grid: CubeFaceGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lvl := cf.CellLevelForPrecision(1, 40.7); lvl > 25 {
+		t.Errorf("cube-face 1 m precision needs level %d; expected ≈24", lvl)
+	}
+}
+
+func TestJoinModes(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "joinmodes", NumRegions: 12, Lattice: 64, Seed: 95, BoundaryJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := data.GeneratePoints(data.PointConfig{N: 30000, Seed: 96})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca, sa := idx.Join(pts, Approximate, 1)
+	ce, se := idx.Join(pts, Exact, 2)
+	if len(ca) != idx.NumPolygons() || len(ce) != idx.NumPolygons() {
+		t.Fatal("count vector sized wrong")
+	}
+	for i := range ca {
+		if ca[i] < ce[i] {
+			t.Fatalf("polygon %d: approx %d < exact %d", i, ca[i], ce[i])
+		}
+	}
+	if sa.Pairs() < se.Pairs() {
+		t.Error("approximate pairs fewer than exact")
+	}
+	// Ground truth for a sample.
+	var res Result
+	for n := 0; n < 200; n++ {
+		ll := pts[n*113%len(pts)]
+		idx.LookupExact(ll, &res)
+	}
+}
+
+// TestAdaptiveIndex exercises the query-driven adaptive build: with a tight
+// budget, sampled query regions see fewer approximate-vs-exact disagreements
+// than unqueried regions, and correctness is unaffected.
+func TestAdaptiveIndex(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "adaptive", NumRegions: 20, Lattice: 96, Seed: 101, BoundaryJitter: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hot queries cluster near the boundaries of the first few polygons.
+	hot, err := data.GeneratePoints(data.PointConfig{
+		N: 4000, Seed: 102, Distribution: data.Adversarial,
+		Polygons: &data.PolygonSet{Polygons: set.Polygons[:3], Bound: set.Bound},
+		JitterMeters: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 400
+	adaptive, err := BuildIndex(set.Polygons, Options{
+		PrecisionMeters: 4, MaxCellsPerPolygon: budget, QuerySamplePoints: hot,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	oblivious, err := BuildIndex(set.Polygons, Options{
+		PrecisionMeters: 4, MaxCellsPerPolygon: budget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// On the hot workload the adaptive index should misclassify fewer
+	// candidates (its hot cells are finer).
+	countFalse := func(ix *Index) int {
+		var res Result
+		fp := 0
+		for _, ll := range hot {
+			if !ix.Lookup(ll, &res) {
+				continue
+			}
+			for _, id := range res.Candidates {
+				if !ix.Contains(ll, id) {
+					fp++
+				}
+			}
+		}
+		return fp
+	}
+	fa, fo := countFalse(adaptive), countFalse(oblivious)
+	if fa >= fo {
+		t.Errorf("adaptive index produced %d false positives on the hot workload, oblivious %d", fa, fo)
+	}
+
+	// Exact lookups agree everywhere.
+	rng := rand.New(rand.NewSource(103))
+	b := set.Bound
+	var ra, ro Result
+	for n := 0; n < 1500; n++ {
+		ll := geo.LatLng{
+			Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+			Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+		}
+		adaptive.LookupExact(ll, &ra)
+		oblivious.LookupExact(ll, &ro)
+		if len(ra.True) != len(ro.True) {
+			t.Fatalf("exact results diverge at %v: %v vs %v", ll, ra.True, ro.True)
+		}
+	}
+}

@@ -1,0 +1,339 @@
+// Benchmarks regenerating the paper's evaluation (one per table/figure):
+//
+//	BenchmarkTableIBuild*   – Table I build pipeline (coverings, merge, trie)
+//	BenchmarkFig3*          – Fig. 3 single-threaded join throughput,
+//	                          ACT at 60/15/4 m vs the R-tree baseline
+//	BenchmarkFig4Threads*   – Fig. 4 multi-threaded scalability (ACT-4m)
+//	BenchmarkAblation*      – fanout / inlining / interior-cell / grid
+//	                          design-choice ablations
+//
+// The CLI harness (cmd/actbench) runs the same experiments at full scale
+// and prints paper-style tables; these testing.B variants integrate with
+// standard Go tooling (-bench, -benchmem, benchstat). Dataset sizes here
+// are trimmed so `go test -bench=.` finishes in minutes on a laptop.
+package act_test
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/bench"
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/join"
+)
+
+const (
+	benchSeed      = 42
+	benchCensusN   = 800     // census polygons for benches (paper: 39184)
+	benchPoints    = 500_000 // points cycled through join benches
+	benchPrecision = 4       // ε for Fig. 4 and ablations
+)
+
+// benchState lazily builds and caches datasets, indexes, and baselines so
+// sub-benchmarks don't pay repeated multi-second builds.
+type benchState struct {
+	mu        sync.Mutex
+	sets      map[string]*data.PolygonSet
+	points    map[string][]geo.LatLng
+	indexes   map[string]*act.Index // key: dataset/precision
+	baselines map[string]*bench.Baseline
+}
+
+var state = &benchState{
+	sets:      map[string]*data.PolygonSet{},
+	points:    map[string][]geo.LatLng{},
+	indexes:   map[string]*act.Index{},
+	baselines: map[string]*bench.Baseline{},
+}
+
+func (s *benchState) dataset(tb testing.TB, name string) (*data.PolygonSet, []geo.LatLng) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if set, ok := s.sets[name]; ok {
+		return set, s.points[name]
+	}
+	var (
+		set *data.PolygonSet
+		err error
+	)
+	switch name {
+	case "boroughs":
+		set, err = data.Boroughs(benchSeed)
+	case "neighborhoods":
+		set, err = data.Neighborhoods(benchSeed)
+	case "census":
+		set, err = data.CensusBlocks(benchSeed, benchCensusN)
+	default:
+		tb.Fatalf("unknown dataset %q", name)
+	}
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pts, err := data.GeneratePoints(data.PointConfig{N: benchPoints, Seed: benchSeed + 1})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.sets[name] = set
+	s.points[name] = pts
+	return set, pts
+}
+
+func (s *benchState) index(tb testing.TB, dsName string, eps float64) *act.Index {
+	set, _ := s.dataset(tb, dsName)
+	key := dsName + "/" + formatEps(eps)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if idx, ok := s.indexes[key]; ok {
+		return idx
+	}
+	idx, err := act.BuildIndex(set.Polygons, act.Options{PrecisionMeters: eps})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.indexes[key] = idx
+	return idx
+}
+
+func (s *benchState) baseline(tb testing.TB, dsName string) *bench.Baseline {
+	set, _ := s.dataset(tb, dsName)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if bl, ok := s.baselines[dsName]; ok {
+		return bl
+	}
+	bl, err := bench.BuildBaseline(set)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	s.baselines[dsName] = bl
+	return bl
+}
+
+func formatEps(eps float64) string {
+	switch eps {
+	case 60:
+		return "60m"
+	case 15:
+		return "15m"
+	case 4:
+		return "4m"
+	default:
+		return "custom"
+	}
+}
+
+var benchDatasets = []string{"boroughs", "neighborhoods", "census"}
+
+// --- Table I -------------------------------------------------------------
+
+// benchmarkBuild measures one full index build (coverings + merge + trie)
+// and reports the Table I metrics of the result.
+func benchmarkBuild(b *testing.B, dsName string, eps float64) {
+	set, _ := state.dataset(b, dsName)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var st act.BuildStats
+	for i := 0; i < b.N; i++ {
+		idx, err := act.BuildIndex(set.Polygons, act.Options{PrecisionMeters: eps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st = idx.Stats()
+	}
+	b.ReportMetric(float64(st.IndexedCells)/1e6, "Mcells")
+	b.ReportMetric(float64(st.TrieBytes)/1e6, "ACT-MB")
+	b.ReportMetric(float64(st.TableBytes)/1e6, "table-MB")
+	b.ReportMetric(st.CoverDuration.Seconds(), "cover-s")
+	b.ReportMetric(st.MergeDuration.Seconds(), "merge-s")
+}
+
+func BenchmarkTableIBuild(b *testing.B) {
+	for _, ds := range benchDatasets {
+		for _, eps := range bench.Precisions {
+			b.Run(ds+"/"+formatEps(eps), func(b *testing.B) {
+				benchmarkBuild(b, ds, eps)
+			})
+		}
+	}
+}
+
+// --- Figure 3 ------------------------------------------------------------
+
+// benchmarkJoin measures single-threaded join throughput by cycling chunks
+// of the point stream.
+func benchmarkJoin(b *testing.B, j join.Joiner, pts []geo.LatLng, numPolygons int) {
+	counts := make([]uint64, numPolygons)
+	s := &join.Scratch{}
+	const chunk = 8192
+	b.ReportAllocs()
+	b.ResetTimer()
+	done := 0
+	for done < b.N {
+		lo := done % (len(pts) - chunk)
+		n := chunk
+		if b.N-done < n {
+			n = b.N - done
+		}
+		j.JoinChunk(pts[lo:lo+n], counts, s)
+		done += n
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+}
+
+func BenchmarkFig3ACT(b *testing.B) {
+	for _, ds := range benchDatasets {
+		for _, eps := range bench.Precisions {
+			b.Run(ds+"/"+formatEps(eps), func(b *testing.B) {
+				idx := state.index(b, ds, eps)
+				_, pts := state.dataset(b, ds)
+				benchmarkIndexJoin(b, idx, pts, 1)
+			})
+		}
+	}
+}
+
+// benchmarkIndexJoin measures joins through the public API; one b.N
+// iteration is one full pass over the point stream.
+func benchmarkIndexJoin(b *testing.B, idx *act.Index, pts []geo.LatLng, threads int) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	var best float64
+	for i := 0; i < b.N; i++ {
+		_, st := idx.Join(pts, act.Approximate, threads)
+		if st.ThroughputMPts > best {
+			best = st.ThroughputMPts
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(best, "Mpts/s")
+	b.ReportMetric(float64(len(pts)), "pts/op")
+}
+
+func BenchmarkFig3RTreeBaseline(b *testing.B) {
+	for _, ds := range benchDatasets {
+		b.Run(ds, func(b *testing.B) {
+			set, pts := state.dataset(b, ds)
+			bl := state.baseline(b, ds)
+			benchmarkJoin(b, &join.RTree{Grid: bl.Grid, Tree: bl.Tree}, pts, len(set.Polygons))
+		})
+	}
+}
+
+// --- Figure 4 ------------------------------------------------------------
+
+func BenchmarkFig4Threads(b *testing.B) {
+	for _, ds := range benchDatasets {
+		for _, threads := range []int{1, 2, 4, 8} {
+			b.Run(ds+"/"+threadsLabel(threads), func(b *testing.B) {
+				idx := state.index(b, ds, benchPrecision)
+				_, pts := state.dataset(b, ds)
+				benchmarkIndexJoin(b, idx, pts, threads)
+			})
+		}
+	}
+}
+
+func threadsLabel(n int) string {
+	return map[int]string{1: "1T", 2: "2T", 4: "4T", 8: "8T"}[n]
+}
+
+// --- Ablations -----------------------------------------------------------
+
+func BenchmarkAblationFanout(b *testing.B) {
+	set, pts := state.dataset(b, "neighborhoods")
+	for _, fanout := range []int{4, 16, 64, 256} {
+		b.Run(map[int]string{4: "f4", 16: "f16", 64: "f64", 256: "f256"}[fanout], func(b *testing.B) {
+			p, err := bench.RawBuild(set, bench.RawOptions{Precision: benchPrecision, Fanout: fanout})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := p.Trie.ComputeStats()
+			benchmarkJoin(b, &join.ACT{Grid: p.Grid, Trie: p.Trie}, pts, len(set.Polygons))
+			b.ReportMetric(float64(st.TrieBytes)/1e6, "ACT-MB")
+			b.ReportMetric(float64(st.MaxDepth), "depth")
+		})
+	}
+}
+
+func BenchmarkAblationInlining(b *testing.B) {
+	set, pts := state.dataset(b, "neighborhoods")
+	for _, disable := range []bool{false, true} {
+		name := "inline-on"
+		if disable {
+			name = "inline-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := bench.RawBuild(set, bench.RawOptions{Precision: benchPrecision, DisableInlining: disable})
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := p.Trie.ComputeStats()
+			benchmarkJoin(b, &join.ACT{Grid: p.Grid, Trie: p.Trie}, pts, len(set.Polygons))
+			b.ReportMetric(float64(st.TableBytes)/1e6, "table-MB")
+		})
+	}
+}
+
+func BenchmarkAblationInterior(b *testing.B) {
+	// True-hit filtering matters for the exact (refining) join: interior
+	// cells let most points skip the point-in-polygon test.
+	set, pts := state.dataset(b, "neighborhoods")
+	for _, strip := range []bool{false, true} {
+		name := "interior-on"
+		if strip {
+			name = "interior-off"
+		}
+		b.Run(name, func(b *testing.B) {
+			p, err := bench.RawBuild(set, bench.RawOptions{Precision: benchPrecision, StripInterior: strip})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchmarkJoin(b, &join.ACTExact{Grid: p.Grid, Trie: p.Trie, Polygons: p.Projected},
+				pts, len(set.Polygons))
+		})
+	}
+}
+
+func BenchmarkAblationGrid(b *testing.B) {
+	set, pts := state.dataset(b, "neighborhoods")
+	for _, gk := range []act.GridKind{act.PlanarGrid, act.CubeFaceGrid} {
+		b.Run(gk.String(), func(b *testing.B) {
+			idx, err := act.BuildIndex(set.Polygons, act.Options{
+				PrecisionMeters: benchPrecision, Grid: gk,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			benchmarkIndexJoin(b, idx, pts, 1)
+			b.ReportMetric(float64(idx.Stats().TrieBytes)/1e6, "ACT-MB")
+		})
+	}
+}
+
+// BenchmarkLookup measures the latency of a single point lookup, the
+// paper's core cost model quantity (≤ ⌈60/8⌉ node accesses).
+func BenchmarkLookup(b *testing.B) {
+	idx := state.index(b, "neighborhoods", benchPrecision)
+	_, pts := state.dataset(b, "neighborhoods")
+	var res act.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Lookup(pts[i%len(pts)], &res)
+	}
+}
+
+// BenchmarkLookupExact measures the refining lookup for comparison.
+func BenchmarkLookupExact(b *testing.B) {
+	idx := state.index(b, "neighborhoods", benchPrecision)
+	_, pts := state.dataset(b, "neighborhoods")
+	var res act.Result
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.LookupExact(pts[i%len(pts)], &res)
+	}
+}

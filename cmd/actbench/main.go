@@ -1,0 +1,107 @@
+// Command actbench regenerates the tables and figures of the paper's
+// evaluation on synthetic NYC-like data:
+//
+//	actbench -experiment table1           # Table I: index metrics
+//	actbench -experiment fig3             # Fig. 3: single-threaded throughput
+//	actbench -experiment fig4             # Fig. 4: thread scalability
+//	actbench -experiment ablation         # design-choice ablations
+//	actbench -experiment all              # everything
+//
+// Scale knobs:
+//
+//	-census N    census-blocks polygon count (default 4000; paper: 39184)
+//	-points N    join points per measurement (default 2000000; paper: 1e9)
+//	-threads a,b thread counts for fig4 (default 1,2,4,8,16,32)
+//	-dist d      point distribution: uniform|clustered|adversarial
+//	-seed S      dataset seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/actindex/act/internal/bench"
+	"github.com/actindex/act/internal/data"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | ablation | all")
+	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
+	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
+	seed := flag.Int64("seed", 42, "dataset generation seed")
+	threadsFlag := flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts for fig4")
+	distFlag := flag.String("dist", "uniform", "point distribution: uniform | clustered | adversarial")
+	flag.Parse()
+
+	var dist data.Distribution
+	switch *distFlag {
+	case "uniform":
+		dist = data.Uniform
+	case "clustered":
+		dist = data.Clustered
+	case "adversarial":
+		dist = data.Adversarial
+	default:
+		fmt.Fprintf(os.Stderr, "actbench: unknown distribution %q\n", *distFlag)
+		os.Exit(2)
+	}
+
+	threads, err := parseThreads(*threadsFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actbench: %v\n", err)
+		os.Exit(2)
+	}
+
+	cfg := bench.Config{
+		CensusRegions: *census,
+		Points:        *points,
+		Seed:          *seed,
+		Distribution:  dist,
+	}
+	w := os.Stdout
+	fmt.Fprintf(w, "actbench: census=%d points=%d dist=%s seed=%d\n",
+		*census, *points, dist, *seed)
+
+	run := func(name string, f func() error) {
+		if *experiment != "all" && *experiment != name {
+			return
+		}
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "actbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+	run("table1", func() error { return bench.RunTableI(w, cfg) })
+	run("fig3", func() error { return bench.RunFig3(w, cfg) })
+	run("fig4", func() error { return bench.RunFig4(w, cfg, threads) })
+	run("ablation", func() error { return bench.RunAblations(w, cfg) })
+
+	switch *experiment {
+	case "table1", "fig3", "fig4", "ablation", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
+		os.Exit(2)
+	}
+}
+
+func parseThreads(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad thread count %q", part)
+		}
+		out = append(out, n)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no thread counts in %q", s)
+	}
+	return out, nil
+}

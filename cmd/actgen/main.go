@@ -1,0 +1,86 @@
+// Command actgen generates the synthetic NYC-like datasets used by the
+// benchmark harness and writes them as GeoJSON (and optionally SVG for
+// visual inspection of coverings, in the spirit of the paper's Figure 1).
+//
+//	actgen -dataset neighborhoods -o neighborhoods.geojson
+//	actgen -dataset boroughs -svg boroughs.svg -precision 60
+//	actgen -dataset census -census 4000 -o census.geojson
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/actindex/act/internal/cover"
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geojson"
+	"github.com/actindex/act/internal/grid"
+)
+
+func main() {
+	dataset := flag.String("dataset", "neighborhoods", "boroughs | neighborhoods | census")
+	census := flag.Int("census", 4000, "census-blocks polygon count")
+	seed := flag.Int64("seed", 42, "generation seed")
+	out := flag.String("o", "", "output GeoJSON file (default stdout)")
+	svg := flag.String("svg", "", "also render polygons + covering to this SVG file")
+	precision := flag.Float64("precision", 60, "covering precision in meters for -svg")
+	flag.Parse()
+
+	var (
+		set *data.PolygonSet
+		err error
+	)
+	switch *dataset {
+	case "boroughs":
+		set, err = data.Boroughs(*seed)
+	case "neighborhoods":
+		set, err = data.Neighborhoods(*seed)
+	case "census":
+		set, err = data.CensusBlocks(*seed, *census)
+	default:
+		fmt.Fprintf(os.Stderr, "actgen: unknown dataset %q\n", *dataset)
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actgen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "actgen: %s: %d polygons, %d vertices\n",
+		set.Name, len(set.Polygons), set.NumVertices())
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := geojson.WritePolygons(w, set.Polygons); err != nil {
+		fmt.Fprintf(os.Stderr, "actgen: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *svg != "" {
+		g := grid.NewPlanar()
+		coverer, err := cover.NewCoverer(g, *precision)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actgen: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := os.Create(*svg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actgen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := renderSVG(f, set, g, coverer); err != nil {
+			fmt.Fprintf(os.Stderr, "actgen: svg: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "actgen: wrote covering illustration to %s\n", *svg)
+	}
+}

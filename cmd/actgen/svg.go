@@ -1,0 +1,66 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/cover"
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/grid"
+)
+
+// renderSVG draws the polygon set with its coverings: boundary cells in
+// blue, interior cells in green, polygon outlines in black — the color
+// scheme of the paper's Figure 1.
+func renderSVG(w io.Writer, set *data.PolygonSet, g grid.Grid, coverer *cover.Coverer) error {
+	const width = 1200.0
+	b := set.Bound
+	scaleX := width / (b.MaxLng - b.MinLng)
+	height := (b.MaxLat - b.MinLat) * scaleX
+	toX := func(lng float64) float64 { return (lng - b.MinLng) * scaleX }
+	toY := func(lat float64) float64 { return height - (lat-b.MinLat)*scaleX }
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintln(w, `<rect width="100%" height="100%" fill="white"/>`)
+
+	cellRect := func(id cellid.ID) (x, y, cw, ch float64) {
+		r := grid.CellRect(id)
+		sw := g.Unproject(id.Face(), r.Min)
+		ne := g.Unproject(id.Face(), r.Max)
+		return toX(sw.Lng), toY(ne.Lat), toX(ne.Lng) - toX(sw.Lng), toY(sw.Lat) - toY(ne.Lat)
+	}
+
+	for _, p := range set.Polygons {
+		cov, err := coverer.Cover(p)
+		if err != nil {
+			return err
+		}
+		for _, id := range cov.Interior {
+			x, y, cw, ch := cellRect(id)
+			fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#2ca02c" fill-opacity="0.45" stroke="#1a701a" stroke-width="0.2"/>`+"\n", x, y, cw, ch)
+		}
+		for _, id := range cov.Boundary {
+			x, y, cw, ch := cellRect(id)
+			fmt.Fprintf(w, `<rect x="%.2f" y="%.2f" width="%.2f" height="%.2f" fill="#1f77b4" fill-opacity="0.55" stroke="#11446e" stroke-width="0.2"/>`+"\n", x, y, cw, ch)
+		}
+	}
+	for _, p := range set.Polygons {
+		writeRing(w, p.Outer, toX, toY)
+		for _, h := range p.Holes {
+			writeRing(w, h, toX, toY)
+		}
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+func writeRing(w io.Writer, ring []geo.LatLng, toX, toY func(float64) float64) {
+	fmt.Fprint(w, `<polygon points="`)
+	for _, v := range ring {
+		fmt.Fprintf(w, "%.2f,%.2f ", toX(v.Lng), toY(v.Lat))
+	}
+	fmt.Fprintln(w, `" fill="none" stroke="black" stroke-width="0.8"/>`)
+}

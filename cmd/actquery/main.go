@@ -1,0 +1,107 @@
+// Command actquery builds an ACT index from a GeoJSON polygon file and
+// answers point queries from stdin, one "lat lng" pair per line:
+//
+//	actgen -dataset neighborhoods -o n.geojson
+//	echo "40.7580 -73.9855" | actquery -polygons n.geojson -precision 4
+//
+// Output per point: the matching polygon ids, split into true hits and
+// candidates (or refined exactly with -exact).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/geojson"
+)
+
+func main() {
+	polyFile := flag.String("polygons", "", "GeoJSON file with the polygon set (required)")
+	precision := flag.Float64("precision", 4, "precision bound ε in meters")
+	exact := flag.Bool("exact", false, "refine candidates with exact geometry")
+	gridFlag := flag.String("grid", "planar", "hierarchical grid: planar | cubeface")
+	flag.Parse()
+
+	if *polyFile == "" {
+		fmt.Fprintln(os.Stderr, "actquery: -polygons is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*polyFile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actquery: %v\n", err)
+		os.Exit(1)
+	}
+	polys, err := geojson.ReadPolygons(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actquery: %v\n", err)
+		os.Exit(1)
+	}
+
+	var gk act.GridKind
+	switch *gridFlag {
+	case "planar":
+		gk = act.PlanarGrid
+	case "cubeface":
+		gk = act.CubeFaceGrid
+	default:
+		fmt.Fprintf(os.Stderr, "actquery: unknown grid %q\n", *gridFlag)
+		os.Exit(2)
+	}
+
+	idx, err := act.BuildIndex(polys, act.Options{PrecisionMeters: *precision, Grid: gk})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actquery: build: %v\n", err)
+		os.Exit(1)
+	}
+	st := idx.Stats()
+	fmt.Fprintf(os.Stderr,
+		"actquery: %d polygons, %d cells, %.1f MB, ε=%.1fm (achieved %.2fm); reading \"lat lng\" lines\n",
+		st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6,
+		*precision, st.AchievedPrecisionMeters)
+
+	in := bufio.NewScanner(os.Stdin)
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+	var res act.Result
+	lineNo := 0
+	for in.Scan() {
+		lineNo++
+		fields := strings.Fields(in.Text())
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) < 2 {
+			fmt.Fprintf(os.Stderr, "actquery: line %d: need \"lat lng\"\n", lineNo)
+			continue
+		}
+		lat, err1 := strconv.ParseFloat(fields[0], 64)
+		lng, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil {
+			fmt.Fprintf(os.Stderr, "actquery: line %d: bad coordinates\n", lineNo)
+			continue
+		}
+		ll := act.LatLng{Lat: lat, Lng: lng}
+		var hit bool
+		if *exact {
+			hit = idx.LookupExact(ll, &res)
+		} else {
+			hit = idx.Lookup(ll, &res)
+		}
+		if !hit {
+			fmt.Fprintf(out, "%.6f %.6f -> no match\n", lat, lng)
+			continue
+		}
+		fmt.Fprintf(out, "%.6f %.6f -> true=%v candidates=%v\n", lat, lng, res.True, res.Candidates)
+	}
+	if err := in.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "actquery: stdin: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,57 @@
+// Command actserve exposes an ACT index as an HTTP geofencing service —
+// the deployment shape of the paper's motivating use case (map incoming
+// ride requests to zones in real time).
+//
+//	actgen -dataset neighborhoods -o n.geojson
+//	actserve -polygons n.geojson -precision 4 -addr :8080
+//
+//	GET /lookup?lat=40.758&lng=-73.9855          approximate lookup
+//	GET /lookup?lat=40.758&lng=-73.9855&exact=1  exact (refined) lookup
+//	GET /stats                                   index statistics
+//	GET /healthz                                 liveness
+//
+// Responses are JSON. The index is immutable after startup, so the
+// handlers are trivially safe for concurrent use.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/geojson"
+)
+
+func main() {
+	polyFile := flag.String("polygons", "", "GeoJSON file with the polygon set (required)")
+	precision := flag.Float64("precision", 4, "precision bound ε in meters")
+	addr := flag.String("addr", ":8080", "listen address")
+	flag.Parse()
+
+	if *polyFile == "" {
+		fmt.Fprintln(os.Stderr, "actserve: -polygons is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	f, err := os.Open(*polyFile)
+	if err != nil {
+		log.Fatalf("actserve: %v", err)
+	}
+	polys, err := geojson.ReadPolygons(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("actserve: %v", err)
+	}
+	idx, err := act.BuildIndex(polys, act.Options{PrecisionMeters: *precision})
+	if err != nil {
+		log.Fatalf("actserve: build: %v", err)
+	}
+	st := idx.Stats()
+	log.Printf("actserve: %d polygons, %d cells, %.1f MB, ε=%.1fm, listening on %s",
+		st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6, *precision, *addr)
+
+	log.Fatal(http.ListenAndServe(*addr, NewServer(idx)))
+}

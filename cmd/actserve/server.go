@@ -1,0 +1,117 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"github.com/actindex/act"
+)
+
+// Server is the HTTP API over an immutable index. It is exported (within
+// this main package) for httptest-based testing.
+type Server struct {
+	idx *act.Index
+	mux *http.ServeMux
+	// results are pooled: lookups are allocation-free, so the handler's
+	// only steady-state allocations are the JSON encoder's.
+	pool sync.Pool
+}
+
+// NewServer wires the routes.
+func NewServer(idx *act.Index) *Server {
+	s := &Server{
+		idx: idx,
+		mux: http.NewServeMux(),
+		pool: sync.Pool{
+			New: func() any { return &act.Result{} },
+		},
+	}
+	s.mux.HandleFunc("GET /lookup", s.handleLookup)
+	s.mux.HandleFunc("GET /stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// lookupResponse is the JSON shape of a lookup.
+type lookupResponse struct {
+	Lat        float64  `json:"lat"`
+	Lng        float64  `json:"lng"`
+	Matched    bool     `json:"matched"`
+	True       []uint32 `json:"true,omitempty"`
+	Candidates []uint32 `json:"candidates,omitempty"`
+	// Epsilon echoes the precision bound candidates are subject to.
+	Epsilon float64 `json:"epsilonMeters"`
+	Exact   bool    `json:"exact"`
+}
+
+func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	lat, err1 := strconv.ParseFloat(q.Get("lat"), 64)
+	lng, err2 := strconv.ParseFloat(q.Get("lng"), 64)
+	if err1 != nil || err2 != nil {
+		http.Error(w, `need numeric "lat" and "lng" query parameters`, http.StatusBadRequest)
+		return
+	}
+	ll := act.LatLng{Lat: lat, Lng: lng}
+	if !ll.IsValid() {
+		http.Error(w, "coordinates out of range", http.StatusBadRequest)
+		return
+	}
+	exact := q.Get("exact") == "1" || q.Get("exact") == "true"
+
+	res := s.pool.Get().(*act.Result)
+	defer s.pool.Put(res)
+	var matched bool
+	if exact {
+		matched = s.idx.LookupExact(ll, res)
+	} else {
+		matched = s.idx.Lookup(ll, res)
+	}
+	resp := lookupResponse{
+		Lat: lat, Lng: lng, Matched: matched,
+		True: res.True, Candidates: res.Candidates,
+		Epsilon: s.idx.PrecisionMeters(), Exact: exact,
+	}
+	writeJSON(w, resp)
+}
+
+// statsResponse is the JSON shape of /stats.
+type statsResponse struct {
+	NumPolygons             int     `json:"numPolygons"`
+	IndexedCells            int     `json:"indexedCells"`
+	TrieBytes               int64   `json:"trieBytes"`
+	TableBytes              int64   `json:"tableBytes"`
+	PrecisionMeters         float64 `json:"precisionMeters"`
+	AchievedPrecisionMeters float64 `json:"achievedPrecisionMeters"`
+	Grid                    string  `json:"grid"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.idx.Stats()
+	writeJSON(w, statsResponse{
+		NumPolygons:             st.NumPolygons,
+		IndexedCells:            st.IndexedCells,
+		TrieBytes:               st.TrieBytes,
+		TableBytes:              st.TableBytes,
+		PrecisionMeters:         s.idx.PrecisionMeters(),
+		AchievedPrecisionMeters: st.AchievedPrecisionMeters,
+		Grid:                    s.idx.GridName(),
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok"))
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

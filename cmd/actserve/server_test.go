@@ -1,0 +1,129 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"github.com/actindex/act"
+)
+
+func testServer(t *testing.T) (*Server, *act.Index) {
+	t.Helper()
+	zone := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.70, Lng: -74.02},
+		{Lat: 40.70, Lng: -73.96},
+		{Lat: 40.76, Lng: -73.96},
+		{Lat: 40.76, Lng: -74.02},
+	}}
+	idx, err := act.BuildIndex([]*act.Polygon{zone}, act.Options{PrecisionMeters: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(idx), idx
+}
+
+func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodGet, path, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestLookupHit(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/lookup?lat=40.73&lng=-73.99")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	var resp lookupResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Matched || len(resp.True) != 1 || resp.True[0] != 0 {
+		t.Errorf("resp = %+v", resp)
+	}
+	if resp.Epsilon != 10 {
+		t.Errorf("epsilon = %v", resp.Epsilon)
+	}
+}
+
+func TestLookupMiss(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/lookup?lat=41.5&lng=-73.99")
+	var resp lookupResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Matched || len(resp.True) != 0 || len(resp.Candidates) != 0 {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestLookupExactParam(t *testing.T) {
+	s, _ := testServer(t)
+	rec := get(t, s, "/lookup?lat=40.73&lng=-73.99&exact=1")
+	var resp lookupResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Exact || !resp.Matched || len(resp.Candidates) != 0 {
+		t.Errorf("resp = %+v", resp)
+	}
+}
+
+func TestLookupValidation(t *testing.T) {
+	s, _ := testServer(t)
+	for _, path := range []string{
+		"/lookup",
+		"/lookup?lat=abc&lng=1",
+		"/lookup?lat=1",
+		"/lookup?lat=95&lng=0",
+		"/lookup?lat=0&lng=181",
+	} {
+		if rec := get(t, s, path); rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", path, rec.Code)
+		}
+	}
+}
+
+func TestStatsAndHealth(t *testing.T) {
+	s, idx := testServer(t)
+	rec := get(t, s, "/stats")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("stats status %d", rec.Code)
+	}
+	var resp statsResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.NumPolygons != 1 || resp.Grid != "planar" ||
+		resp.IndexedCells != idx.Stats().IndexedCells {
+		t.Errorf("stats = %+v", resp)
+	}
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("health status %d", rec.Code)
+	}
+}
+
+func TestConcurrentLookups(t *testing.T) {
+	s, _ := testServer(t)
+	done := make(chan bool)
+	for w := 0; w < 8; w++ {
+		go func() {
+			defer func() { done <- true }()
+			for i := 0; i < 200; i++ {
+				rec := get(t, s, "/lookup?lat=40.73&lng=-73.99")
+				if rec.Code != http.StatusOK {
+					t.Errorf("status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for w := 0; w < 8; w++ {
+		<-done
+	}
+}

@@ -1,0 +1,33 @@
+package cellid
+
+import "math/bits"
+
+// CommonAncestor returns the smallest cell containing both a and b, or
+// ok=false when the cells lie on different faces (no common ancestor
+// exists in the id space).
+func CommonAncestor(a, b ID) (ID, bool) {
+	if a.Face() != b.Face() {
+		return 0, false
+	}
+	lo := a.RangeMin()
+	if m := b.RangeMin(); m < lo {
+		lo = m
+	}
+	hi := a.RangeMax()
+	if m := b.RangeMax(); m > hi {
+		hi = m
+	}
+	x := uint64(lo) ^ uint64(hi)
+	if x == 0 {
+		return lo, true // identical leaves
+	}
+	hb := 63 - bits.LeadingZeros64(x)
+	// Path bits occupy positions 60..1 of a leaf id; the two bits of the
+	// level-l quadrant sit at positions 62−2l and 61−2l. The leading
+	// 60−hb agreeing bits fix ⌊(60−hb)/2⌋ whole levels.
+	level := (60 - hb) / 2
+	if level > MaxLevel {
+		level = MaxLevel
+	}
+	return lo.Parent(level), true
+}

@@ -1,0 +1,59 @@
+package cellid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestCommonAncestorBasics(t *testing.T) {
+	a := FromFace(2).Child(1).Child(0)
+	b := FromFace(2).Child(1).Child(3)
+	anc, ok := CommonAncestor(a, b)
+	if !ok {
+		t.Fatal("same-face cells must have a common ancestor")
+	}
+	if want := FromFace(2).Child(1); anc != want {
+		t.Errorf("CommonAncestor = %v, want %v", anc, want)
+	}
+
+	// Ancestor of a cell and its descendant is the cell itself.
+	anc, ok = CommonAncestor(a, a.Child(2).Child(1))
+	if !ok || anc != a {
+		t.Errorf("ancestor+descendant: got %v, want %v", anc, a)
+	}
+
+	// Identical cells.
+	anc, ok = CommonAncestor(a, a)
+	if !ok || anc != a {
+		t.Errorf("identical: got %v, want %v", anc, a)
+	}
+
+	// Different faces.
+	if _, ok := CommonAncestor(FromFace(0), FromFace(1)); ok {
+		t.Error("different faces must not have a common ancestor")
+	}
+}
+
+func TestCommonAncestorRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for n := 0; n < 2000; n++ {
+		face := rng.Intn(NumFaces)
+		a := FromFaceIJ(face, rng.Intn(MaxSize), rng.Intn(MaxSize)).Parent(rng.Intn(MaxLevel + 1))
+		b := FromFaceIJ(face, rng.Intn(MaxSize), rng.Intn(MaxSize)).Parent(rng.Intn(MaxLevel + 1))
+		anc, ok := CommonAncestor(a, b)
+		if !ok {
+			t.Fatal("same face must have ancestor")
+		}
+		if !anc.Contains(a) || !anc.Contains(b) {
+			t.Fatalf("ancestor %v does not contain %v and %v", anc, a, b)
+		}
+		// Minimality: no child of anc contains both.
+		if anc.Level() < MaxLevel {
+			for _, c := range anc.Children() {
+				if c.Contains(a) && c.Contains(b) {
+					t.Fatalf("child %v of ancestor also contains both %v and %v", c, a, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,230 @@
+// Package cellid implements 64-bit identifiers for cells of a quadtree-based
+// hierarchical grid, following the bit layout popularized by Google S2.
+//
+// A cell id encodes the path from a root cell (a "face") to a quadtree node:
+//
+//	| face (3 bits) | quadrant pairs (2 bits × level) | 1 | 0…0 |
+//
+// The marker bit (the lowest set bit) makes the level recoverable and gives
+// every cell a half-open range [RangeMin, RangeMax] of leaf ids that is
+// contiguous in integer order. Child ids extend their parent's bit prefix,
+// which is exactly the property the Adaptive Cell Trie indexes.
+//
+// Quadrants are enumerated in Morton (Z-order): the quadrant at each level is
+// (iBit<<1)|jBit where i is the horizontal and j the vertical grid
+// coordinate. The paper notes that any consistent enumeration of the four
+// quadrants works; Morton keeps id↔(i,j) conversion branch-free.
+package cellid
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+const (
+	// MaxLevel is the deepest quadtree level. At 30 levels a leaf cell of
+	// the planar grid spans about 2 cm of latitude — comfortably below any
+	// useful precision bound for GPS data.
+	MaxLevel = 30
+
+	// NumFaces is the maximum number of root cells. The planar grid uses a
+	// single face; the cube-face grid uses six.
+	NumFaces = 6
+
+	// PosBits is the number of bits used for the quadtree path plus the
+	// marker bit.
+	PosBits = 2*MaxLevel + 1
+
+	// FaceBits is the number of bits used for the face number.
+	FaceBits = 3
+
+	// MaxSize is the number of leaf cells along one edge of a face.
+	MaxSize = 1 << MaxLevel
+)
+
+// ID identifies a cell in the hierarchical grid. The zero value is invalid.
+type ID uint64
+
+// FromFacePosLevel returns the cell at the given level containing the
+// 60-bit leaf position pos on the given face. Bits of pos below the level's
+// resolution are discarded.
+func FromFacePosLevel(face int, pos uint64, level int) ID {
+	return ID(uint64(face)<<PosBits + (pos | 1)).Parent(level)
+}
+
+// FromFaceIJ returns the leaf cell at coordinates (i, j) on the given face.
+// i and j must be in [0, MaxSize).
+func FromFaceIJ(face, i, j int) ID {
+	pos := interleave(uint32(i), uint32(j))
+	return ID(uint64(face)<<PosBits | pos<<1 | 1)
+}
+
+// FromFace returns the root cell (level 0) of the given face.
+func FromFace(face int) ID {
+	return ID(uint64(face)<<PosBits | 1<<(PosBits-1))
+}
+
+// IsValid reports whether the id denotes a well-formed cell: a valid face
+// number and a marker bit in an even position.
+func (id ID) IsValid() bool {
+	return id.Face() < NumFaces && id != 0 && (uint64(id)&0x1555555555555555) != 0 &&
+		bits.TrailingZeros64(uint64(id))%2 == 0
+}
+
+// Face returns the face number (root cell index) of the cell.
+func (id ID) Face() int { return int(uint64(id) >> PosBits) }
+
+// Pos returns the 61-bit position of the cell within its face, including the
+// marker bit.
+func (id ID) Pos() uint64 { return uint64(id) & (1<<PosBits - 1) }
+
+// Level returns the quadtree level of the cell (0 = face cell, 30 = leaf).
+func (id ID) Level() int {
+	return MaxLevel - bits.TrailingZeros64(uint64(id))>>1
+}
+
+// IsLeaf reports whether the cell is at MaxLevel.
+func (id ID) IsLeaf() bool { return uint64(id)&1 != 0 }
+
+// IsFace reports whether the cell is a root (level 0) cell.
+func (id ID) IsFace() bool { return uint64(id)&(1<<(PosBits-1)-1) == 0 }
+
+// lsb returns the lowest set bit (the marker bit).
+func (id ID) lsb() uint64 { return uint64(id) & -uint64(id) }
+
+// lsbForLevel returns the marker bit of a cell at the given level.
+func lsbForLevel(level int) uint64 { return 1 << (2 * uint(MaxLevel-level)) }
+
+// Parent returns the ancestor of the cell at the given level.
+// It panics if level is greater than the cell's level.
+func (id ID) Parent(level int) ID {
+	l := lsbForLevel(level)
+	if l < id.lsb() {
+		panic(fmt.Sprintf("cellid: Parent(%d) of level-%d cell", level, id.Level()))
+	}
+	return ID((uint64(id) & -l) | l)
+}
+
+// ImmediateParent returns the parent one level up.
+func (id ID) ImmediateParent() ID {
+	l := id.lsb() << 2
+	return ID((uint64(id) & -l) | l)
+}
+
+// Child returns the k-th child (k in [0,3]) of the cell.
+func (id ID) Child(k int) ID {
+	l := id.lsb() >> 2
+	return ID(uint64(id) - id.lsb() + uint64(2*k+1)*l)
+}
+
+// Children returns the four children of the cell in Morton order.
+func (id ID) Children() [4]ID {
+	return [4]ID{id.Child(0), id.Child(1), id.Child(2), id.Child(3)}
+}
+
+// ChildBegin returns the first cell at the given deeper level contained in
+// this cell. Together with ChildEnd it enumerates all descendants at level.
+func (id ID) ChildBegin(level int) ID {
+	l := lsbForLevel(level)
+	return ID(uint64(id) - id.lsb() + l)
+}
+
+// ChildEnd returns the cell one past the last descendant at the given level.
+// The result may not be a valid cell (it can overflow into the next face).
+func (id ID) ChildEnd(level int) ID {
+	l := lsbForLevel(level)
+	return ID(uint64(id) + id.lsb() + l)
+}
+
+// Next returns the next cell at the same level (may cross faces or be
+// invalid past the last face).
+func (id ID) Next() ID { return ID(uint64(id) + id.lsb()<<1) }
+
+// RangeMin returns the first leaf cell contained in the cell.
+func (id ID) RangeMin() ID { return ID(uint64(id) - (id.lsb() - 1)) }
+
+// RangeMax returns the last leaf cell contained in the cell.
+func (id ID) RangeMax() ID { return ID(uint64(id) + (id.lsb() - 1)) }
+
+// Contains reports whether the cell fully contains other.
+func (id ID) Contains(other ID) bool {
+	return uint64(id.RangeMin()) <= uint64(other) && uint64(other) <= uint64(id.RangeMax())
+}
+
+// Intersects reports whether the two cells overlap, i.e. one contains the
+// other.
+func (id ID) Intersects(other ID) bool {
+	return id.Contains(other) || other.Contains(id)
+}
+
+// ChildPosition returns the quadrant (0..3) this cell's level-"level"
+// ancestor occupies within its parent. level must be in [1, id.Level()].
+func (id ID) ChildPosition(level int) int {
+	return int(uint64(id)>>(2*uint(MaxLevel-level)+1)) & 3
+}
+
+// ToFaceIJ returns the face, the (i, j) coordinates of the cell's minimum
+// (lowest-id) leaf corner, and the cell's level.
+func (id ID) ToFaceIJ() (face, i, j, level int) {
+	face = id.Face()
+	level = id.Level()
+	pos := id.RangeMin().Pos() >> 1 // 60-bit leaf Morton code
+	iu, ju := deinterleave(pos)
+	return face, int(iu), int(ju), level
+}
+
+// SizeIJ returns the edge length of the cell in leaf-cell units.
+func (id ID) SizeIJ() int { return 1 << uint(MaxLevel-id.Level()) }
+
+// PathBits returns the quadtree path of the cell as a bit string aligned to
+// the most-significant end of a 60-bit value: the first quadrant occupies
+// bits 59..58, the second 57..56, and so on. The number of meaningful bits
+// is 2×Level(). This is the key the Adaptive Cell Trie indexes.
+func (id ID) PathBits() uint64 {
+	return (id.Pos() - id.lsb()) >> 1 // clear the marker, drop its bit position
+}
+
+// String implements fmt.Stringer, printing face, level, and quadrant path.
+func (id ID) String() string {
+	if !id.IsValid() {
+		return fmt.Sprintf("Invalid(%#x)", uint64(id))
+	}
+	s := fmt.Sprintf("%d/", id.Face())
+	for l := 1; l <= id.Level(); l++ {
+		s += string(rune('0' + id.ChildPosition(l)))
+	}
+	return s
+}
+
+// interleave spreads the low 30 bits of i into even+1 positions and j into
+// even positions, producing the 60-bit Morton code with i above j.
+func interleave(i, j uint32) uint64 {
+	return spreadBits(uint64(i))<<1 | spreadBits(uint64(j))
+}
+
+// deinterleave is the inverse of interleave.
+func deinterleave(m uint64) (i, j uint32) {
+	return compactBits(m >> 1), compactBits(m)
+}
+
+// spreadBits spaces out the low 30 bits of v so that bit k moves to bit 2k.
+func spreadBits(v uint64) uint64 {
+	v &= 0x3fffffff
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}
+
+// compactBits collects the even-position bits of v into the low 30 bits.
+func compactBits(v uint64) uint32 {
+	v &= 0x5555555555555555
+	v = (v | v>>1) & 0x3333333333333333
+	v = (v | v>>2) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v>>4) & 0x00ff00ff00ff00ff
+	v = (v | v>>8) & 0x0000ffff0000ffff
+	v = (v | v>>16) & 0x00000000ffffffff
+	return uint32(v)
+}

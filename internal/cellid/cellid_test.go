@@ -1,0 +1,248 @@
+package cellid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFace(t *testing.T) {
+	for face := 0; face < NumFaces; face++ {
+		id := FromFace(face)
+		if !id.IsValid() {
+			t.Fatalf("FromFace(%d) = %v not valid", face, id)
+		}
+		if id.Face() != face {
+			t.Errorf("FromFace(%d).Face() = %d", face, id.Face())
+		}
+		if id.Level() != 0 {
+			t.Errorf("FromFace(%d).Level() = %d, want 0", face, id.Level())
+		}
+		if !id.IsFace() {
+			t.Errorf("FromFace(%d).IsFace() = false", face)
+		}
+		if id.IsLeaf() {
+			t.Errorf("FromFace(%d).IsLeaf() = true", face)
+		}
+	}
+}
+
+func TestFromFaceIJRoundTrip(t *testing.T) {
+	cases := []struct{ face, i, j int }{
+		{0, 0, 0},
+		{1, 1, 0},
+		{2, 0, 1},
+		{3, MaxSize - 1, MaxSize - 1},
+		{4, 12345678, 87654321},
+		{5, MaxSize / 2, MaxSize/2 - 1},
+	}
+	for _, c := range cases {
+		id := FromFaceIJ(c.face, c.i, c.j)
+		if !id.IsValid() {
+			t.Fatalf("FromFaceIJ(%d,%d,%d) invalid", c.face, c.i, c.j)
+		}
+		if !id.IsLeaf() {
+			t.Errorf("FromFaceIJ(%d,%d,%d) not leaf", c.face, c.i, c.j)
+		}
+		face, i, j, level := id.ToFaceIJ()
+		if face != c.face || i != c.i || j != c.j || level != MaxLevel {
+			t.Errorf("ToFaceIJ = (%d,%d,%d,%d), want (%d,%d,%d,%d)",
+				face, i, j, level, c.face, c.i, c.j, MaxLevel)
+		}
+	}
+}
+
+func TestFromFaceIJRoundTripQuick(t *testing.T) {
+	f := func(face uint8, i, j uint32) bool {
+		fc := int(face) % NumFaces
+		ic := int(i) % MaxSize
+		jc := int(j) % MaxSize
+		face2, i2, j2, _ := FromFaceIJ(fc, ic, jc).ToFaceIJ()
+		return face2 == fc && i2 == ic && j2 == jc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParentChild(t *testing.T) {
+	id := FromFaceIJ(2, 12345678, 87654321)
+	for level := MaxLevel - 1; level >= 0; level-- {
+		p := id.Parent(level)
+		if p.Level() != level {
+			t.Fatalf("Parent(%d).Level() = %d", level, p.Level())
+		}
+		if !p.Contains(id) {
+			t.Fatalf("Parent(%d) does not contain child", level)
+		}
+		if !p.Contains(p) {
+			t.Fatalf("cell does not contain itself at level %d", level)
+		}
+	}
+
+	// Children partition the parent exactly.
+	p := id.Parent(10)
+	kids := p.Children()
+	if kids[0].RangeMin() != p.RangeMin() {
+		t.Errorf("first child RangeMin %v != parent RangeMin %v", kids[0].RangeMin(), p.RangeMin())
+	}
+	if kids[3].RangeMax() != p.RangeMax() {
+		t.Errorf("last child RangeMax %v != parent RangeMax %v", kids[3].RangeMax(), p.RangeMax())
+	}
+	for k := 0; k < 3; k++ {
+		// Adjacent leaf ids differ by 2 (the marker bit keeps ids odd).
+		if uint64(kids[k].RangeMax())+2 != uint64(kids[k+1].RangeMin()) {
+			t.Errorf("children %d and %d not contiguous", k, k+1)
+		}
+		if kids[k].ImmediateParent() != p {
+			t.Errorf("child %d ImmediateParent != parent", k)
+		}
+		if kids[k].ChildPosition(11) != k {
+			t.Errorf("child %d ChildPosition = %d", k, kids[k].ChildPosition(11))
+		}
+	}
+}
+
+func TestChildBeginEnd(t *testing.T) {
+	p := FromFace(1).Child(2).Child(3)
+	level := p.Level() + 2
+	n := 0
+	for c := p.ChildBegin(level); c != p.ChildEnd(level); c = c.Next() {
+		if c.Level() != level {
+			t.Fatalf("descendant level = %d, want %d", c.Level(), level)
+		}
+		if !p.Contains(c) {
+			t.Fatalf("descendant %v not contained in %v", c, p)
+		}
+		n++
+	}
+	if n != 16 {
+		t.Errorf("descendants at level+2 = %d, want 16", n)
+	}
+}
+
+func TestContainsIntersects(t *testing.T) {
+	a := FromFace(0).Child(1)
+	b := a.Child(2)
+	c := FromFace(0).Child(3)
+	if !a.Contains(b) || b.Contains(a) {
+		t.Error("Contains asymmetric relation broken")
+	}
+	if !a.Intersects(b) || !b.Intersects(a) {
+		t.Error("Intersects should hold between ancestor and descendant")
+	}
+	if a.Intersects(c) || c.Intersects(a) {
+		t.Error("siblings should not intersect")
+	}
+}
+
+func TestLevelAlgebraQuick(t *testing.T) {
+	f := func(face uint8, i, j uint32, lvl uint8) bool {
+		leaf := FromFaceIJ(int(face)%NumFaces, int(i)%MaxSize, int(j)%MaxSize)
+		level := int(lvl) % (MaxLevel + 1)
+		p := leaf.Parent(level)
+		return p.Level() == level && p.Contains(leaf) &&
+			p.RangeMin() <= leaf && leaf <= p.RangeMax()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPathBits(t *testing.T) {
+	// Face cell: empty path.
+	if got := FromFace(3).PathBits(); got != 0 {
+		t.Errorf("face PathBits = %#x, want 0", got)
+	}
+	// One level down, quadrant 2: top two bits of the 60-bit path are 10.
+	id := FromFace(0).Child(2)
+	if got := id.PathBits(); got != 2<<58 {
+		t.Errorf("child(2) PathBits = %#x, want %#x", got, uint64(2)<<58)
+	}
+	// Two levels: quadrants 3 then 1.
+	id = FromFace(0).Child(3).Child(1)
+	want := uint64(3)<<58 | uint64(1)<<56
+	if got := id.PathBits(); got != want {
+		t.Errorf("PathBits = %#x, want %#x", got, want)
+	}
+	// Leaf PathBits reconstructs the Morton code.
+	leaf := FromFaceIJ(0, 123456, 654321)
+	if got, want := leaf.PathBits(), leaf.Pos()>>1; got != want {
+		t.Errorf("leaf PathBits = %#x, want %#x", got, want)
+	}
+}
+
+func TestChildPositionMatchesPath(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for n := 0; n < 100; n++ {
+		id := FromFace(rng.Intn(NumFaces))
+		var quads []int
+		for l := 0; l < 1+rng.Intn(MaxLevel); l++ {
+			q := rng.Intn(4)
+			quads = append(quads, q)
+			id = id.Child(q)
+		}
+		for l, want := range quads {
+			if got := id.ChildPosition(l + 1); got != want {
+				t.Fatalf("ChildPosition(%d) = %d, want %d (id %v)", l+1, got, want, id)
+			}
+		}
+	}
+}
+
+func TestSizeIJ(t *testing.T) {
+	if got := FromFace(0).SizeIJ(); got != MaxSize {
+		t.Errorf("face SizeIJ = %d", got)
+	}
+	if got := FromFaceIJ(0, 0, 0).SizeIJ(); got != 1 {
+		t.Errorf("leaf SizeIJ = %d", got)
+	}
+}
+
+func TestInterleaveInverse(t *testing.T) {
+	f := func(i, j uint32) bool {
+		ic, jc := i&(MaxSize-1), j&(MaxSize-1)
+		i2, j2 := deinterleave(interleave(ic, jc))
+		return i2 == ic && j2 == jc
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestString(t *testing.T) {
+	id := FromFace(4).Child(0).Child(3).Child(2)
+	if got, want := id.String(), "4/032"; got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := ID(0).String(); got == "" {
+		t.Error("invalid id should still print something")
+	}
+}
+
+func TestInvalid(t *testing.T) {
+	invalid := []ID{0, ID(7) << PosBits, ID(6) << PosBits}
+	for _, id := range invalid {
+		if id.IsValid() {
+			t.Errorf("id %#x should be invalid", uint64(id))
+		}
+	}
+	// Marker at odd bit position is invalid.
+	if ID(1 << 1).IsValid() {
+		t.Error("odd marker position should be invalid")
+	}
+}
+
+func TestNextCrossesSiblings(t *testing.T) {
+	a := FromFace(0).Child(0)
+	b := a.Next()
+	if b != FromFace(0).Child(1) {
+		t.Errorf("Next = %v, want sibling 1", b)
+	}
+	// Next stays at the same level: past the last level-1 cell of face 0
+	// comes the first level-1 cell of face 1.
+	last := FromFace(0).Child(3)
+	if last.Next() != FromFace(1).Child(0) {
+		t.Errorf("Next past face = %v, want 1/0", last.Next())
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/cellid"
+)
+
+func buildRandomTrie(t *testing.T, cfg Config, seed int64) *Trie {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	polys := map[uint32]struct{ boundary, interior []cellid.ID }{}
+	for p := uint32(0); p < 12; p++ {
+		var entry struct{ boundary, interior []cellid.ID }
+		for c := 0; c < 1+rng.Intn(8); c++ {
+			leaf := cellid.FromFaceIJ(rng.Intn(3), rng.Intn(cellid.MaxSize), rng.Intn(cellid.MaxSize))
+			cell := leaf.Parent(1 + rng.Intn(cellid.MaxLevel))
+			if rng.Intn(2) == 0 {
+				entry.boundary = append(entry.boundary, cell)
+			} else {
+				entry.interior = append(entry.interior, cell)
+			}
+		}
+		polys[p] = entry
+	}
+	trie, err := Build(buildSC(t, polys), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trie
+}
+
+func TestTrieSerializationRoundTrip(t *testing.T) {
+	for _, cfg := range []Config{
+		{Fanout: 256},
+		{Fanout: 16},
+		{Fanout: 4, DisableInlining: true},
+	} {
+		trie := buildRandomTrie(t, cfg, int64(cfg.Fanout))
+		var buf bytes.Buffer
+		n, err := trie.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", cfg.Fanout, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("fanout %d: WriteTo reported %d, wrote %d", cfg.Fanout, n, buf.Len())
+		}
+		back, err := ReadTrie(&buf)
+		if err != nil {
+			t.Fatalf("fanout %d: %v", cfg.Fanout, err)
+		}
+		// Structural equality.
+		if back.fanout != trie.fanout || len(back.nodes) != len(trie.nodes) ||
+			len(back.table) != len(trie.table) || back.roots != trie.roots ||
+			back.rootSkip != trie.rootSkip || back.rootPrefix != trie.rootPrefix {
+			t.Fatalf("fanout %d: structure mismatch after round trip", cfg.Fanout)
+		}
+		// Behavioural equality on random probes.
+		rng := rand.New(rand.NewSource(9))
+		var r1, r2 Result
+		for q := 0; q < 3000; q++ {
+			leaf := cellid.FromFaceIJ(rng.Intn(3), rng.Intn(cellid.MaxSize), rng.Intn(cellid.MaxSize))
+			r1.Reset()
+			r2.Reset()
+			h1 := trie.Lookup(leaf, &r1)
+			h2 := back.Lookup(leaf, &r2)
+			if h1 != h2 || len(r1.True) != len(r2.True) || len(r1.Candidates) != len(r2.Candidates) {
+				t.Fatalf("fanout %d: lookup diverges at %v", cfg.Fanout, leaf)
+			}
+		}
+	}
+}
+
+func TestTrieSerializationErrors(t *testing.T) {
+	trie := buildRandomTrie(t, DefaultConfig(), 1)
+	var buf bytes.Buffer
+	if _, err := trie.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := ReadTrie(bytes.NewReader(good[:10])); err == nil {
+		t.Error("truncated header should fail")
+	}
+	if _, err := ReadTrie(bytes.NewReader(good[:len(good)-4])); err == nil {
+		t.Error("truncated checksum should fail")
+	}
+	bad := append([]byte(nil), good...)
+	bad[0] = 'X'
+	if _, err := ReadTrie(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+	flip := append([]byte(nil), good...)
+	flip[len(flip)/2] ^= 0x01
+	if _, err := ReadTrie(bytes.NewReader(flip)); err == nil {
+		t.Error("bit flip should fail the checksum or validation")
+	}
+}

@@ -1,0 +1,206 @@
+package cover
+
+import (
+	"fmt"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/grid"
+)
+
+// The fast covering path avoids the O(vertices) cost per visited cell of
+// the straightforward classifier. Two ideas:
+//
+//  1. Hierarchical edge filtering: each recursion level narrows the set of
+//     polygon edges that can possibly touch the current cell (bounding-box
+//     prefilter). Classification then tests only the local edges, so the
+//     total work is proportional to the boundary length instead of
+//     #cells × #vertices.
+//
+//  2. Incremental inside/outside propagation: when no local edge touches a
+//     cell, the whole cell is uniformly inside or outside. Instead of an
+//     O(vertices) point-in-polygon test, the parity of certified edge
+//     crossings along the segment from the parent's reference point (whose
+//     status is known) to the cell center decides the status using only
+//     the parent's local edges. Whenever a floating-point sign cannot be
+//     certified (geom.OrientSign), the code falls back to the exact
+//     point-in-polygon test, so results are identical to the slow path.
+//
+// The parity argument treats the polygon boundary as one even-odd edge
+// set, which matches Polygon.ContainsPoint only when holes are disjoint
+// and inside the outer ring; canParity checks that (conservatively, via
+// bounding boxes) and disables the parity shortcut otherwise.
+
+// edgeRec is one polygon edge with its bounding box.
+type edgeRec struct {
+	a, b geom.Point
+	bbox geom.Rect
+}
+
+// fastCover is the per-Cover state of the fast path.
+type fastCover struct {
+	c      *Coverer
+	poly   *geom.Polygon
+	edges  []edgeRec
+	stack  []int32 // active edge indices, stack-allocated per depth
+	cov    *Covering
+	parity bool // whether the parity shortcut is sound for this polygon
+}
+
+// polygonEdges flattens all rings into edge records.
+func polygonEdges(p *geom.Polygon) []edgeRec {
+	total := len(p.Outer)
+	for _, h := range p.Holes {
+		total += len(h)
+	}
+	edges := make([]edgeRec, 0, total)
+	addRing := func(ring geom.Ring) {
+		n := len(ring)
+		for i := 0; i < n; i++ {
+			a, b := ring[i], ring[(i+1)%n]
+			edges = append(edges, edgeRec{a: a, b: b, bbox: geom.RectFromPoints(a, b)})
+		}
+	}
+	addRing(p.Outer)
+	for _, h := range p.Holes {
+		addRing(h)
+	}
+	return edges
+}
+
+// canParity reports whether global even-odd parity equals the polygon's
+// outer-minus-holes semantics: holes pairwise disjoint and inside the
+// outer ring (checked conservatively on bounding boxes).
+func canParity(p *geom.Polygon) bool {
+	outer := p.Outer.Bound()
+	for i, h := range p.Holes {
+		hb := h.Bound()
+		if !outer.ContainsRect(hb) {
+			return false
+		}
+		for j := i + 1; j < len(p.Holes); j++ {
+			if hb.Intersects(p.Holes[j].Bound()) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// coverFast is the production covering path; its output is identical to
+// coverExhaustive (asserted by TestFastMatchesExhaustive).
+func (c *Coverer) coverFast(start cellid.ID, poly *geom.Polygon) (*Covering, error) {
+	f := &fastCover{
+		c:      c,
+		poly:   poly,
+		edges:  polygonEdges(poly),
+		cov:    &Covering{},
+		parity: canParity(poly),
+	}
+	all := make([]int32, len(f.edges))
+	for i := range all {
+		all[i] = int32(i)
+	}
+	f.stack = all
+	startRect := grid.CellRect(start)
+	refPt := startRect.Center()
+	if err := f.visit(start, 0, len(all), refPt, poly.ContainsPoint(refPt)); err != nil {
+		return nil, err
+	}
+	sortCells(f.cov.Boundary)
+	sortCells(f.cov.Interior)
+	return f.cov, nil
+}
+
+// visit classifies cell, whose candidate edges are f.stack[lo:hi]. refPt is
+// a point in the cell's parent (or the cell itself at the root) with known
+// containment status refInside.
+func (f *fastCover) visit(cell cellid.ID, lo, hi int, refPt geom.Point, refInside bool) error {
+	rect := grid.CellRect(cell)
+	// Narrow the active edge set and detect boundary contact.
+	subLo := len(f.stack)
+	crossing := false
+	for _, ei := range f.stack[lo:hi] {
+		e := &f.edges[ei]
+		if !e.bbox.Intersects(rect) {
+			continue
+		}
+		f.stack = append(f.stack, ei)
+		if !crossing && geom.SegmentIntersectsRect(e.a, e.b, rect) {
+			crossing = true
+		}
+	}
+	subHi := len(f.stack)
+	defer func() { f.stack = f.stack[:subLo] }()
+
+	if !crossing {
+		// Uniform cell: decide its status once.
+		center := rect.Center()
+		inside, ok := false, false
+		if f.parity {
+			inside, ok = f.parityInside(refPt, refInside, center, lo, hi)
+		}
+		if !ok {
+			inside = f.poly.ContainsPoint(center)
+		}
+		if inside {
+			f.cov.Interior = append(f.cov.Interior, cell)
+		}
+		return nil
+	}
+
+	diag := grid.CellDiagonalMeters(f.c.g, cell)
+	if diag <= f.c.precision {
+		f.cov.Boundary = append(f.cov.Boundary, cell)
+		if diag > f.cov.AchievedPrecisionMeters {
+			f.cov.AchievedPrecisionMeters = diag
+		}
+		return nil
+	}
+	if cell.Level() >= f.c.maxLevel {
+		return fmt.Errorf("%w: cell %v at level cap %d has diagonal %.3f m > %.3f m",
+			ErrPrecision, cell, f.c.maxLevel, diag, f.c.precision)
+	}
+	// Establish a reference point for the children: the cell center, whose
+	// status follows from the parent reference by crossing parity over the
+	// parent's active edges (any edge crossing the segment refPt→center
+	// lies in the parent cell, hence in f.stack[lo:hi]).
+	center := rect.Center()
+	centerInside, ok := false, false
+	if f.parity {
+		centerInside, ok = f.parityInside(refPt, refInside, center, lo, hi)
+	}
+	if !ok {
+		centerInside = f.poly.ContainsPoint(center)
+	}
+	for _, child := range cell.Children() {
+		if err := f.visit(child, subLo, subHi, center, centerInside); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parityInside decides whether target is inside the polygon given a
+// reference point with known status, by counting certified proper crossings
+// of the segment refPt→target with the active edges. ok is false when any
+// crossing test is ambiguous (caller falls back to the exact test).
+func (f *fastCover) parityInside(refPt geom.Point, refInside bool, target geom.Point, lo, hi int) (inside, ok bool) {
+	if refPt == target {
+		return refInside, true
+	}
+	crossings := 0
+	for _, ei := range f.stack[lo:hi] {
+		e := &f.edges[ei]
+		cross, certain := geom.SegmentsCrossCertified(refPt, target, e.a, e.b)
+		if !certain {
+			// Ambiguity is rare; rather than reasoning about endpoint
+			// touches, resolve the whole decision exactly.
+			return false, false
+		}
+		if cross {
+			crossings++
+		}
+	}
+	return refInside != (crossings%2 == 1), true
+}

@@ -1,0 +1,164 @@
+package cover
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/grid"
+)
+
+// assertCoveringsEqual compares two coverings cell by cell.
+func assertCoveringsEqual(t *testing.T, label string, a, b *Covering) {
+	t.Helper()
+	if len(a.Boundary) != len(b.Boundary) || len(a.Interior) != len(b.Interior) {
+		t.Fatalf("%s: shape differs: boundary %d vs %d, interior %d vs %d",
+			label, len(a.Boundary), len(b.Boundary), len(a.Interior), len(b.Interior))
+	}
+	for i := range a.Boundary {
+		if a.Boundary[i] != b.Boundary[i] {
+			t.Fatalf("%s: boundary[%d] %v vs %v", label, i, a.Boundary[i], b.Boundary[i])
+		}
+	}
+	for i := range a.Interior {
+		if a.Interior[i] != b.Interior[i] {
+			t.Fatalf("%s: interior[%d] %v vs %v", label, i, a.Interior[i], b.Interior[i])
+		}
+	}
+	if math.Abs(a.AchievedPrecisionMeters-b.AchievedPrecisionMeters) > 1e-9 {
+		t.Fatalf("%s: achieved precision %v vs %v", label, a.AchievedPrecisionMeters, b.AchievedPrecisionMeters)
+	}
+}
+
+// TestFastMatchesExhaustive asserts bit-identical output of the fast and
+// reference covering paths across random star polygons with holes, on both
+// grids and several precisions.
+func TestFastMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(303))
+	for trial := 0; trial < 25; trial++ {
+		p := randomGeoPolygon(rng)
+		for _, g := range testGrids {
+			for _, eps := range []float64{200, 40} {
+				c, err := NewCoverer(g, eps)
+				if err != nil {
+					t.Fatal(err)
+				}
+				face, poly, err := grid.ProjectPolygon(g, p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				start := c.startCell(face, poly)
+				fast, err := c.coverFast(start, poly)
+				if err != nil {
+					t.Fatalf("trial %d %s/%v: fast: %v", trial, g.Name(), eps, err)
+				}
+				slow, err := c.coverExhaustive(start, poly)
+				if err != nil {
+					t.Fatalf("trial %d %s/%v: slow: %v", trial, g.Name(), eps, err)
+				}
+				assertCoveringsEqual(t, g.Name(), fast, slow)
+			}
+		}
+	}
+}
+
+// TestFastMatchesExhaustiveOnGenerated runs the equivalence check on the
+// lattice-generated polygons the benchmarks use (staircase boundaries,
+// pinch points, punched holes).
+func TestFastMatchesExhaustiveOnGenerated(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "fastgen", NumRegions: 12, Lattice: 64, Seed: 304,
+		BoundaryJitter: 0.8, HoleFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grid.NewPlanar()
+	c, err := NewCoverer(g, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range set.Polygons {
+		face, poly, err := grid.ProjectPolygon(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := c.startCell(face, poly)
+		fast, err := c.coverFast(start, poly)
+		if err != nil {
+			t.Fatalf("polygon %d fast: %v", i, err)
+		}
+		slow, err := c.coverExhaustive(start, poly)
+		if err != nil {
+			t.Fatalf("polygon %d slow: %v", i, err)
+		}
+		assertCoveringsEqual(t, "generated", fast, slow)
+	}
+}
+
+// TestFastParityDisabledForPathologicalHoles: overlapping holes disable the
+// parity shortcut but the covering still matches the reference.
+func TestFastParityDisabledForPathologicalHoles(t *testing.T) {
+	p := &geo.Polygon{
+		Outer: []geo.LatLng{
+			{Lat: 40.70, Lng: -74.02}, {Lat: 40.70, Lng: -73.96},
+			{Lat: 40.76, Lng: -73.96}, {Lat: 40.76, Lng: -74.02},
+		},
+		// Two overlapping holes: even-odd over all edges would disagree
+		// with outer-minus-holes semantics inside the overlap.
+		Holes: [][]geo.LatLng{
+			{{Lat: 40.72, Lng: -74.00}, {Lat: 40.72, Lng: -73.98}, {Lat: 40.74, Lng: -73.98}, {Lat: 40.74, Lng: -74.00}},
+			{{Lat: 40.73, Lng: -73.99}, {Lat: 40.73, Lng: -73.97}, {Lat: 40.75, Lng: -73.97}, {Lat: 40.75, Lng: -73.99}},
+		},
+	}
+	g := grid.NewPlanar()
+	face, poly, err := grid.ProjectPolygon(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if canParity(poly) {
+		t.Fatal("overlapping holes must disable the parity shortcut")
+	}
+	c, err := NewCoverer(g, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := c.startCell(face, poly)
+	fast, err := c.coverFast(start, poly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := c.coverExhaustive(start, poly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertCoveringsEqual(t, "pathological", fast, slow)
+}
+
+// randomGeoPolygon builds a random star polygon with an optional hole over
+// NYC-scale coordinates.
+func randomGeoPolygon(rng *rand.Rand) *geo.Polygon {
+	cx := -74.1 + rng.Float64()*0.3
+	cy := 40.6 + rng.Float64()*0.2
+	n := 5 + rng.Intn(20)
+	outer := make([]geo.LatLng, n)
+	for i := range outer {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		rad := 0.005 + rng.Float64()*0.04
+		outer[i] = geo.LatLng{Lng: cx + rad*math.Cos(ang), Lat: cy + rad*math.Sin(ang)}
+	}
+	p := &geo.Polygon{Outer: outer}
+	if rng.Intn(2) == 0 {
+		m := 3 + rng.Intn(6)
+		hole := make([]geo.LatLng, m)
+		for i := range hole {
+			ang := 2 * math.Pi * float64(i) / float64(m)
+			rad := 0.0005 + rng.Float64()*0.003
+			hole[i] = geo.LatLng{Lng: cx + rad*math.Cos(ang), Lat: cy + rad*math.Sin(ang)}
+		}
+		p.Holes = append(p.Holes, hole)
+	}
+	return p
+}

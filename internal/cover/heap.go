@@ -1,0 +1,59 @@
+package cover
+
+import "github.com/actindex/act/internal/cellid"
+
+// cellEntry pairs a boundary cell with its precomputed diagonal so the
+// budgeted coverer can refine the loosest cell first.
+type cellEntry struct {
+	id   cellid.ID
+	diag float64
+}
+
+// cellHeap is a max-heap of cellEntry ordered by diagonal length.
+type cellHeap struct {
+	entries []cellEntry
+}
+
+// Len returns the number of entries.
+func (h *cellHeap) Len() int { return len(h.entries) }
+
+// peek returns the entry with the largest diagonal.
+func (h *cellHeap) peek() cellEntry { return h.entries[0] }
+
+// push inserts an entry.
+func (h *cellHeap) push(e cellEntry) {
+	h.entries = append(h.entries, e)
+	i := len(h.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.entries[parent].diag >= h.entries[i].diag {
+			break
+		}
+		h.entries[parent], h.entries[i] = h.entries[i], h.entries[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the entry with the largest diagonal.
+func (h *cellHeap) pop() cellEntry {
+	top := h.entries[0]
+	last := len(h.entries) - 1
+	h.entries[0] = h.entries[last]
+	h.entries = h.entries[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < len(h.entries) && h.entries[l].diag > h.entries[largest].diag {
+			largest = l
+		}
+		if r < len(h.entries) && h.entries[r].diag > h.entries[largest].diag {
+			largest = r
+		}
+		if largest == i {
+			return top
+		}
+		h.entries[i], h.entries[largest] = h.entries[largest], h.entries[i]
+		i = largest
+	}
+}

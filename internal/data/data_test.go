@@ -1,0 +1,380 @@
+package data
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/geom"
+)
+
+func TestGrowRegionsLabelsEverything(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	l, err := growRegions(64, 64, 10, 0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[int32]int)
+	for _, lab := range l.labels {
+		if lab < 0 || lab >= 10 {
+			t.Fatalf("label %d out of range", lab)
+		}
+		counts[lab]++
+	}
+	if len(counts) != 10 {
+		t.Errorf("got %d regions, want 10", len(counts))
+	}
+}
+
+func TestGrowRegionsConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	l, err := growRegions(48, 48, 8, 0.9, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flood-fill each region from one member; all members must be reached.
+	for label := int32(0); label < 8; label++ {
+		var start = -1
+		total := 0
+		for i, lab := range l.labels {
+			if lab == label {
+				total++
+				if start == -1 {
+					start = i
+				}
+			}
+		}
+		if total == 0 {
+			t.Fatalf("region %d empty", label)
+		}
+		seen := map[int]bool{start: true}
+		stack := []int{start}
+		for len(stack) > 0 {
+			idx := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			x, y := idx%l.w, idx/l.w
+			for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+				nx, ny := x+d[0], y+d[1]
+				if nx < 0 || nx >= l.w || ny < 0 || ny >= l.h {
+					continue
+				}
+				nidx := ny*l.w + nx
+				if !seen[nidx] && l.labels[nidx] == label {
+					seen[nidx] = true
+					stack = append(stack, nidx)
+				}
+			}
+		}
+		if len(seen) != total {
+			t.Errorf("region %d disconnected: reached %d of %d cells", label, len(seen), total)
+		}
+	}
+}
+
+func TestGrowRegionsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	if _, err := growRegions(4, 4, 0, 0, rng); err == nil {
+		t.Error("zero regions should error")
+	}
+	if _, err := growRegions(2, 2, 100, 0, rng); err == nil {
+		t.Error("too many regions should error")
+	}
+}
+
+// TestTraceMembershipMatchesLattice is the key tracing property: a point at
+// the center of lattice cell (x,y) must be inside the traced polygon of
+// region r exactly when labels[x,y] == r.
+func TestTraceMembershipMatchesLattice(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l, err := growRegions(40, 40, 6, 0.8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label := int32(0); label < 6; label++ {
+		loops, err := traceRegion(l, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		poly := &geom.Polygon{}
+		poly.Outer = loopToRing(loops[0])
+		for _, h := range loops[1:] {
+			poly.Holes = append(poly.Holes, loopToRing(h))
+		}
+		for y := 0; y < l.h; y++ {
+			for x := 0; x < l.w; x++ {
+				p := geom.Point{X: float64(x) + 0.5, Y: float64(y) + 0.5}
+				in := poly.ContainsPoint(p)
+				want := l.at(x, y) == label
+				if in != want {
+					t.Fatalf("region %d cell (%d,%d): polygon says %v, lattice says %v",
+						label, x, y, in, want)
+				}
+			}
+		}
+	}
+}
+
+func loopToRing(loop []vertexID) geom.Ring {
+	ring := make(geom.Ring, len(loop))
+	for i, v := range loop {
+		x, y := v.xy()
+		ring[i] = geom.Point{X: float64(x), Y: float64(y)}
+	}
+	return ring
+}
+
+func TestGeneratePolygonsPresets(t *testing.T) {
+	cases := []struct {
+		name    string
+		gen     func() (*PolygonSet, error)
+		wantN   int
+		allowFewer bool
+	}{
+		{"boroughs", func() (*PolygonSet, error) { return Boroughs(42) }, 5, false},
+		{"neighborhoods", func() (*PolygonSet, error) { return Neighborhoods(42) }, 289, true},
+		{"census", func() (*PolygonSet, error) { return CensusBlocks(42, 500) }, 500, true},
+	}
+	for _, c := range cases {
+		set, err := c.gen()
+		if err != nil {
+			t.Fatalf("%s: %v", c.name, err)
+		}
+		if c.allowFewer {
+			// Water removal drops some regions.
+			if len(set.Polygons) > c.wantN || len(set.Polygons) < c.wantN*9/10 {
+				t.Errorf("%s: %d polygons, want ~%d", c.name, len(set.Polygons), c.wantN)
+			}
+		} else if len(set.Polygons) != c.wantN {
+			t.Errorf("%s: %d polygons, want %d", c.name, len(set.Polygons), c.wantN)
+		}
+		for i, p := range set.Polygons {
+			if err := p.Validate(); err != nil {
+				t.Fatalf("%s polygon %d: %v", c.name, i, err)
+			}
+			b := p.Bound()
+			if !set.Bound.Contains(geo.LatLng{Lat: b.MinLat, Lng: b.MinLng}) ||
+				!set.Bound.Contains(geo.LatLng{Lat: b.MaxLat, Lng: b.MaxLng}) {
+				t.Fatalf("%s polygon %d exceeds dataset bound", c.name, i)
+			}
+		}
+	}
+}
+
+func TestBoroughsAreComplex(t *testing.T) {
+	set, err := Boroughs(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "While there are only five boroughs, their polygons are
+	// significantly more complex": each should have hundreds of vertices.
+	for i, p := range set.Polygons {
+		if n := p.NumVertices(); n < 200 {
+			t.Errorf("borough %d has only %d vertices", i, n)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Neighborhoods(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Neighborhoods(99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Polygons) != len(b.Polygons) {
+		t.Fatal("polygon counts differ across runs with same seed")
+	}
+	for i := range a.Polygons {
+		if len(a.Polygons[i].Outer) != len(b.Polygons[i].Outer) {
+			t.Fatalf("polygon %d shape differs across runs with same seed", i)
+		}
+	}
+	c, err := Neighborhoods(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(a.Polygons) == len(c.Polygons)
+	if same {
+		identical := true
+		for i := range a.Polygons {
+			if len(a.Polygons[i].Outer) != len(c.Polygons[i].Outer) {
+				identical = false
+				break
+			}
+		}
+		if identical {
+			t.Error("different seeds produced identical datasets")
+		}
+	}
+}
+
+func TestGeneratePolygonsValidation(t *testing.T) {
+	if _, err := GeneratePolygons(PolygonConfig{NumRegions: 0, Lattice: 64}); err == nil {
+		t.Error("zero regions should error")
+	}
+	if _, err := GeneratePolygons(PolygonConfig{NumRegions: 5, Lattice: 4}); err == nil {
+		t.Error("tiny lattice should error")
+	}
+	if _, err := GeneratePolygons(PolygonConfig{NumRegions: 5, Lattice: 64, BoundaryJitter: 2}); err == nil {
+		t.Error("jitter > 1 should error")
+	}
+	if _, err := GeneratePolygons(PolygonConfig{NumRegions: 5, Lattice: 64, WaterFraction: 1}); err == nil {
+		t.Error("water fraction 1 should error")
+	}
+}
+
+func TestPolygonsTileWithoutOverlap(t *testing.T) {
+	set, err := GeneratePolygons(PolygonConfig{
+		Name: "tile", NumRegions: 24, Lattice: 64, Seed: 5, BoundaryJitter: 0.6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without water or holes, every sampled point belongs to exactly one
+	// polygon (boundary samples are measure-zero; the sampler avoids exact
+	// lattice lines by construction of rand.Float64).
+	planar := make([]*geom.Polygon, len(set.Polygons))
+	for i, p := range set.Polygons {
+		planar[i] = planarPolygon(p)
+	}
+	rng := rand.New(rand.NewSource(6))
+	multi, none := 0, 0
+	const samples = 4000
+	for n := 0; n < samples; n++ {
+		pt := geom.Point{
+			X: set.Bound.MinLng + rng.Float64()*(set.Bound.MaxLng-set.Bound.MinLng),
+			Y: set.Bound.MinLat + rng.Float64()*(set.Bound.MaxLat-set.Bound.MinLat),
+		}
+		hits := 0
+		for _, p := range planar {
+			if p.ContainsPoint(pt) {
+				hits++
+			}
+		}
+		switch {
+		case hits == 0:
+			none++
+		case hits > 1:
+			multi++
+		}
+	}
+	if multi > 0 {
+		t.Errorf("%d/%d sampled points inside more than one polygon", multi, samples)
+	}
+	if none > samples/100 {
+		t.Errorf("%d/%d sampled points uncovered (tiling should be complete)", none, samples)
+	}
+}
+
+func TestGeneratePointsDistributions(t *testing.T) {
+	set, err := GeneratePolygons(PolygonConfig{
+		Name: "p", NumRegions: 10, Lattice: 64, Seed: 7, BoundaryJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dist := range []Distribution{Uniform, Clustered, Adversarial} {
+		pts, err := GeneratePoints(PointConfig{
+			N: 5000, Seed: 8, Distribution: dist, Polygons: set,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", dist, err)
+		}
+		if len(pts) != 5000 {
+			t.Fatalf("%v: got %d points", dist, len(pts))
+		}
+		bound := NYCBound()
+		for _, p := range pts {
+			if !bound.Contains(p) {
+				t.Fatalf("%v: point %v outside bound", dist, p)
+			}
+		}
+	}
+}
+
+func TestGeneratePointsClusteredIsClustered(t *testing.T) {
+	uni, err := GeneratePoints(PointConfig{N: 20000, Seed: 1, Distribution: Uniform})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clu, err := GeneratePoints(PointConfig{N: 20000, Seed: 1, Distribution: Clustered, Hotspots: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare occupancy of a coarse grid: clustering should leave many
+	// more cells empty.
+	emptyCells := func(pts []geo.LatLng) int {
+		const g = 32
+		b := NYCBound()
+		occ := make([]bool, g*g)
+		for _, p := range pts {
+			x := int((p.Lng - b.MinLng) / (b.MaxLng - b.MinLng) * g)
+			y := int((p.Lat - b.MinLat) / (b.MaxLat - b.MinLat) * g)
+			if x >= g {
+				x = g - 1
+			}
+			if y >= g {
+				y = g - 1
+			}
+			occ[y*g+x] = true
+		}
+		empty := 0
+		for _, o := range occ {
+			if !o {
+				empty++
+			}
+		}
+		return empty
+	}
+	if eU, eC := emptyCells(uni), emptyCells(clu); eC <= eU*2 {
+		t.Errorf("clustered points not clustered: empty cells uniform=%d clustered=%d", eU, eC)
+	}
+}
+
+func TestGeneratePointsErrors(t *testing.T) {
+	if _, err := GeneratePoints(PointConfig{N: -1}); err == nil {
+		t.Error("negative N should error")
+	}
+	if _, err := GeneratePoints(PointConfig{N: 10, Distribution: Adversarial}); err == nil {
+		t.Error("adversarial without polygons should error")
+	}
+	if _, err := GeneratePoints(PointConfig{N: 10, Distribution: Distribution(99)}); err == nil {
+		t.Error("unknown distribution should error")
+	}
+}
+
+func TestGeneratePointsDeterministic(t *testing.T) {
+	a, _ := GeneratePoints(PointConfig{N: 100, Seed: 5})
+	b, _ := GeneratePoints(PointConfig{N: 100, Seed: 5})
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different points")
+		}
+	}
+}
+
+func TestPunchHoleStaysInside(t *testing.T) {
+	set, err := GeneratePolygons(PolygonConfig{
+		Name: "h", NumRegions: 6, Lattice: 96, Seed: 9, BoundaryJitter: 0.5, HoleFraction: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	holes := 0
+	for i, p := range set.Polygons {
+		for _, h := range p.Holes {
+			holes++
+			pl := planarPolygon(&geo.Polygon{Outer: p.Outer})
+			for _, v := range h {
+				if !pl.ContainsPoint(geom.Point{X: v.Lng, Y: v.Lat}) {
+					t.Fatalf("polygon %d hole vertex %v outside outer ring", i, v)
+				}
+			}
+		}
+	}
+	if holes == 0 {
+		t.Error("HoleFraction=1 produced no holes")
+	}
+}

@@ -1,0 +1,135 @@
+package data
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/actindex/act/internal/geo"
+)
+
+// Distribution selects how query points are spread over the area.
+type Distribution int
+
+const (
+	// Uniform spreads points evenly over the bounding box.
+	Uniform Distribution = iota
+	// Clustered draws points from a mixture of Gaussian hotspots, like
+	// taxi pickups concentrating in busy areas.
+	Clustered
+	// Adversarial places points near polygon boundaries, maximizing the
+	// share of candidate (non-true) hits the index must handle.
+	Adversarial
+)
+
+// String implements fmt.Stringer.
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Clustered:
+		return "clustered"
+	case Adversarial:
+		return "adversarial"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// PointConfig parameterizes point-stream generation.
+type PointConfig struct {
+	// N is the number of points.
+	N int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Bound is the area to draw from. Defaults to NYCBound.
+	Bound geo.Rect
+	// Distribution selects the spread (default Uniform).
+	Distribution Distribution
+	// Hotspots is the number of Gaussian clusters for Clustered
+	// (default 20).
+	Hotspots int
+	// Polygons supplies boundary vertices for Adversarial.
+	Polygons *PolygonSet
+	// JitterMeters is the spread around boundary vertices for
+	// Adversarial (default 50 m).
+	JitterMeters float64
+}
+
+// GeneratePoints materializes a point stream.
+func GeneratePoints(cfg PointConfig) ([]geo.LatLng, error) {
+	if cfg.N < 0 {
+		return nil, fmt.Errorf("data: negative point count %d", cfg.N)
+	}
+	bound := boundOrNYC(cfg.Bound)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pts := make([]geo.LatLng, cfg.N)
+	switch cfg.Distribution {
+	case Uniform:
+		for i := range pts {
+			pts[i] = uniformPoint(rng, bound)
+		}
+	case Clustered:
+		hotspots := cfg.Hotspots
+		if hotspots <= 0 {
+			hotspots = 20
+		}
+		centers := make([]geo.LatLng, hotspots)
+		sigmas := make([]float64, hotspots)
+		for i := range centers {
+			centers[i] = uniformPoint(rng, bound)
+			// Hotspot radius between 200 m and ~2 km, in degrees.
+			sigmas[i] = geo.MetersToLatDegrees(200 + rng.Float64()*1800)
+		}
+		for i := range pts {
+			c := rng.Intn(hotspots)
+			pts[i] = clampToBound(geo.LatLng{
+				Lat: centers[c].Lat + rng.NormFloat64()*sigmas[c],
+				Lng: centers[c].Lng + rng.NormFloat64()*sigmas[c]*1.3,
+			}, bound)
+		}
+	case Adversarial:
+		if cfg.Polygons == nil || len(cfg.Polygons.Polygons) == 0 {
+			return nil, fmt.Errorf("data: Adversarial distribution needs Polygons")
+		}
+		jitter := cfg.JitterMeters
+		if jitter <= 0 {
+			jitter = 50
+		}
+		jLat := geo.MetersToLatDegrees(jitter)
+		polys := cfg.Polygons.Polygons
+		for i := range pts {
+			p := polys[rng.Intn(len(polys))]
+			v := p.Outer[rng.Intn(len(p.Outer))]
+			pts[i] = clampToBound(geo.LatLng{
+				Lat: v.Lat + rng.NormFloat64()*jLat,
+				Lng: v.Lng + rng.NormFloat64()*jLat*1.3,
+			}, bound)
+		}
+	default:
+		return nil, fmt.Errorf("data: unknown distribution %v", cfg.Distribution)
+	}
+	return pts, nil
+}
+
+func uniformPoint(rng *rand.Rand, b geo.Rect) geo.LatLng {
+	return geo.LatLng{
+		Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+		Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+	}
+}
+
+func clampToBound(ll geo.LatLng, b geo.Rect) geo.LatLng {
+	if ll.Lat < b.MinLat {
+		ll.Lat = b.MinLat
+	}
+	if ll.Lat > b.MaxLat {
+		ll.Lat = b.MaxLat
+	}
+	if ll.Lng < b.MinLng {
+		ll.Lng = b.MinLng
+	}
+	if ll.Lng > b.MaxLng {
+		ll.Lng = b.MaxLng
+	}
+	return ll
+}

@@ -1,0 +1,245 @@
+package data
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/geom"
+)
+
+// NYCBound returns the bounding box of New York City, the area the paper's
+// datasets cover.
+func NYCBound() geo.Rect {
+	return geo.Rect{MinLat: 40.49, MinLng: -74.27, MaxLat: 40.92, MaxLng: -73.68}
+}
+
+// boundOrNYC substitutes the NYC default for an unset or empty bound.
+func boundOrNYC(b geo.Rect) geo.Rect {
+	if b == (geo.Rect{}) || b.IsEmpty() {
+		return NYCBound()
+	}
+	return b
+}
+
+// PolygonConfig parameterizes synthetic polygon-set generation.
+type PolygonConfig struct {
+	// Name labels the dataset in reports.
+	Name string
+	// NumRegions is the number of polygons before water removal.
+	NumRegions int
+	// Lattice is the grid resolution per axis used to grow regions;
+	// higher values give more boundary vertices per polygon.
+	Lattice int
+	// Bound is the geographic area to tile. Defaults to NYCBound.
+	Bound geo.Rect
+	// Seed makes generation deterministic.
+	Seed int64
+	// BoundaryJitter in [0,1] controls boundary raggedness: 0 yields
+	// near-straight Voronoi edges, 1 highly organic shapes.
+	BoundaryJitter float64
+	// WaterFraction in [0,1) removes this share of regions, leaving
+	// uncovered gaps like rivers and bays (points there match nothing).
+	WaterFraction float64
+	// HoleFraction in [0,1] punches an interior hole (a park or pond)
+	// into this share of the surviving polygons.
+	HoleFraction float64
+}
+
+// PolygonSet is a generated polygon dataset. Polygon ids are the slice
+// indices, matching how the join pipeline numbers polygons.
+type PolygonSet struct {
+	Name     string
+	Polygons []*geo.Polygon
+	Bound    geo.Rect
+}
+
+// NumVertices returns the total vertex count across all polygons.
+func (s *PolygonSet) NumVertices() int {
+	n := 0
+	for _, p := range s.Polygons {
+		n += p.NumVertices()
+	}
+	return n
+}
+
+// GeneratePolygons tiles the configured area with polygons.
+func GeneratePolygons(cfg PolygonConfig) (*PolygonSet, error) {
+	if cfg.NumRegions < 1 {
+		return nil, fmt.Errorf("data: NumRegions must be positive, got %d", cfg.NumRegions)
+	}
+	if cfg.Lattice < 8 {
+		return nil, fmt.Errorf("data: Lattice must be at least 8, got %d", cfg.Lattice)
+	}
+	if cfg.BoundaryJitter < 0 || cfg.BoundaryJitter > 1 {
+		return nil, fmt.Errorf("data: BoundaryJitter %v outside [0,1]", cfg.BoundaryJitter)
+	}
+	if cfg.WaterFraction < 0 || cfg.WaterFraction >= 1 {
+		return nil, fmt.Errorf("data: WaterFraction %v outside [0,1)", cfg.WaterFraction)
+	}
+	bound := boundOrNYC(cfg.Bound)
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	lat, err := growRegions(cfg.Lattice, cfg.Lattice, cfg.NumRegions, cfg.BoundaryJitter, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	// Select water regions deterministically.
+	water := make(map[int32]bool)
+	if cfg.WaterFraction > 0 {
+		perm := rng.Perm(cfg.NumRegions)
+		for _, r := range perm[:int(float64(cfg.NumRegions)*cfg.WaterFraction)] {
+			water[int32(r)] = true
+		}
+	}
+
+	toGeo := func(v vertexID) geo.LatLng {
+		x, y := v.xy()
+		return geo.LatLng{
+			Lat: bound.MinLat + float64(y)/float64(cfg.Lattice)*(bound.MaxLat-bound.MinLat),
+			Lng: bound.MinLng + float64(x)/float64(cfg.Lattice)*(bound.MaxLng-bound.MinLng),
+		}
+	}
+
+	set := &PolygonSet{Name: cfg.Name, Bound: bound}
+	for r := int32(0); r < int32(cfg.NumRegions); r++ {
+		if water[r] {
+			continue
+		}
+		loops, err := traceRegion(lat, r)
+		if err != nil {
+			return nil, err
+		}
+		poly := &geo.Polygon{Outer: ringToGeo(loops[0], toGeo)}
+		for _, hole := range loops[1:] {
+			poly.Holes = append(poly.Holes, ringToGeo(hole, toGeo))
+		}
+		if cfg.HoleFraction > 0 && rng.Float64() < cfg.HoleFraction {
+			if hole, ok := punchHole(poly, rng); ok {
+				poly.Holes = append(poly.Holes, hole)
+			}
+		}
+		if err := poly.Validate(); err != nil {
+			return nil, fmt.Errorf("data: generated polygon %d invalid: %w", r, err)
+		}
+		set.Polygons = append(set.Polygons, poly)
+	}
+	if len(set.Polygons) == 0 {
+		return nil, fmt.Errorf("data: all %d regions were water", cfg.NumRegions)
+	}
+	return set, nil
+}
+
+func ringToGeo(loop []vertexID, toGeo func(vertexID) geo.LatLng) []geo.LatLng {
+	ring := make([]geo.LatLng, len(loop))
+	for i, v := range loop {
+		ring[i] = toGeo(v)
+	}
+	return ring
+}
+
+// punchHole adds a small octagonal hole at an interior spot of the polygon,
+// guaranteed not to touch the boundary. It reports ok=false when no safe
+// spot is found (tiny or sliver polygons).
+func punchHole(p *geo.Polygon, rng *rand.Rand) ([]geo.LatLng, bool) {
+	pl := planarPolygon(p)
+	b := pl.Bound()
+	var bestPt geom.Point
+	var bestDist float64
+	for try := 0; try < 32; try++ {
+		pt := geom.Point{
+			X: b.Min.X + rng.Float64()*(b.Max.X-b.Min.X),
+			Y: b.Min.Y + rng.Float64()*(b.Max.Y-b.Min.Y),
+		}
+		if !pl.ContainsPoint(pt) {
+			continue
+		}
+		if d := pl.BoundaryDistance(pt); d > bestDist {
+			bestDist, bestPt = d, pt
+		}
+	}
+	if bestDist <= 0 {
+		return nil, false
+	}
+	radius := bestDist * 0.5
+	hole := make([]geo.LatLng, 8)
+	for i := range hole {
+		ang := 2 * math.Pi * float64(i) / 8
+		hole[i] = geo.LatLng{
+			Lng: bestPt.X + radius*math.Cos(ang),
+			Lat: bestPt.Y + radius*math.Sin(ang),
+		}
+	}
+	return hole, true
+}
+
+// planarPolygon views a geographic polygon as a planar one with X=lng,
+// Y=lat (adequate for the city-scale shapes the generator produces).
+func planarPolygon(p *geo.Polygon) *geom.Polygon {
+	conv := func(ring []geo.LatLng) geom.Ring {
+		out := make(geom.Ring, len(ring))
+		for i, v := range ring {
+			out[i] = geom.Point{X: v.Lng, Y: v.Lat}
+		}
+		return out
+	}
+	pl := &geom.Polygon{Outer: conv(p.Outer)}
+	for _, h := range p.Holes {
+		pl.Holes = append(pl.Holes, conv(h))
+	}
+	return pl
+}
+
+// The three dataset presets mirror the paper's polygon sets (§III). Region
+// counts for boroughs and neighborhoods match the paper exactly; census
+// blocks default to a scaled-down count suitable for a laptop-class
+// machine — pass the paper's 39184 for a full-scale run.
+
+// Boroughs generates 5 large, boundary-complex polygons (NYC boroughs
+// analogue). A high lattice resolution gives each polygon thousands of
+// vertices, mirroring "there are only five boroughs, but their polygons
+// are significantly more complex".
+func Boroughs(seed int64) (*PolygonSet, error) {
+	return GeneratePolygons(PolygonConfig{
+		Name:           "boroughs",
+		NumRegions:     5,
+		Lattice:        512,
+		Seed:           seed,
+		BoundaryJitter: 0.9,
+		HoleFraction:   0.4,
+	})
+}
+
+// Neighborhoods generates 289 medium polygons (NYC neighborhoods analogue),
+// with some water gaps like Jamaica Bay in the paper's Figure 1b.
+func Neighborhoods(seed int64) (*PolygonSet, error) {
+	return GeneratePolygons(PolygonConfig{
+		Name:           "neighborhoods",
+		NumRegions:     289,
+		Lattice:        512,
+		Seed:           seed,
+		BoundaryJitter: 0.7,
+		WaterFraction:  0.05,
+		HoleFraction:   0.1,
+	})
+}
+
+// CensusBlocks generates numRegions small polygons (NYC census blocks
+// analogue; the paper uses 39184).
+func CensusBlocks(seed int64, numRegions int) (*PolygonSet, error) {
+	lattice := 512
+	// Keep an average of ≥ 25 lattice cells per region so blocks have
+	// non-trivial shapes.
+	for lattice*lattice < numRegions*25 && lattice < 4096 {
+		lattice *= 2
+	}
+	return GeneratePolygons(PolygonConfig{
+		Name:           "census",
+		NumRegions:     numRegions,
+		Lattice:        lattice,
+		Seed:           seed,
+		BoundaryJitter: 0.4,
+		WaterFraction:  0.02,
+	})
+}

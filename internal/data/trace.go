@@ -1,0 +1,207 @@
+package data
+
+import (
+	"fmt"
+	"sort"
+)
+
+// vertexID packs a lattice corner (x, y) with x, y in [0, 2^31).
+type vertexID uint64
+
+func vid(x, y int32) vertexID { return vertexID(uint64(uint32(x))<<32 | uint64(uint32(y))) }
+
+func (v vertexID) xy() (int32, int32) { return int32(v >> 32), int32(uint32(v)) }
+
+// dirEdge is a unit boundary edge directed so that the region lies on its
+// left. With x growing right and y growing up, outer loops come out
+// counterclockwise and hole loops clockwise.
+type dirEdge struct {
+	from, to vertexID
+}
+
+// traceRegion extracts the boundary loops of one region of the lattice.
+// The first returned ring is the outer boundary (counterclockwise, largest
+// area); the rest are holes (clockwise). Vertices are lattice corners with
+// collinear runs merged.
+func traceRegion(l *lattice, label int32) (loops [][]vertexID, err error) {
+	edges := collectEdges(l, label)
+	if len(edges) == 0 {
+		return nil, fmt.Errorf("data: region %d has no boundary edges", label)
+	}
+	raw, err := chainLoops(edges)
+	if err != nil {
+		return nil, fmt.Errorf("data: region %d: %w", label, err)
+	}
+	for i := range raw {
+		raw[i] = simplifyCollinear(raw[i])
+	}
+	// The outer loop is the one with the largest absolute signed area.
+	sort.Slice(raw, func(i, j int) bool {
+		return absArea(raw[i]) > absArea(raw[j])
+	})
+	if signedArea(raw[0]) <= 0 {
+		return nil, fmt.Errorf("data: region %d outer loop not counterclockwise", label)
+	}
+	loops = raw[:1]
+	for _, lp := range raw[1:] {
+		if signedArea(lp) < 0 {
+			loops = append(loops, lp)
+		}
+		// A second counterclockwise loop would be a disconnected island;
+		// region growth guarantees connectivity, so this cannot occur.
+		// Dropping it (rather than failing) keeps generation robust.
+	}
+	return loops, nil
+}
+
+// collectEdges gathers the directed boundary edges of the region.
+func collectEdges(l *lattice, label int32) []dirEdge {
+	var edges []dirEdge
+	for y := 0; y < l.h; y++ {
+		for x := 0; x < l.w; x++ {
+			if l.at(x, y) != label {
+				continue
+			}
+			x32, y32 := int32(x), int32(y)
+			// Bottom neighbor differs: edge runs left→right.
+			if y == 0 || l.at(x, y-1) != label {
+				edges = append(edges, dirEdge{vid(x32, y32), vid(x32+1, y32)})
+			}
+			// Right neighbor differs: edge runs bottom→top.
+			if x == l.w-1 || l.at(x+1, y) != label {
+				edges = append(edges, dirEdge{vid(x32+1, y32), vid(x32+1, y32+1)})
+			}
+			// Top neighbor differs: edge runs right→left.
+			if y == l.h-1 || l.at(x, y+1) != label {
+				edges = append(edges, dirEdge{vid(x32+1, y32+1), vid(x32, y32+1)})
+			}
+			// Left neighbor differs: edge runs top→bottom.
+			if x == 0 || l.at(x-1, y) != label {
+				edges = append(edges, dirEdge{vid(x32, y32+1), vid(x32, y32)})
+			}
+		}
+	}
+	return edges
+}
+
+// chainLoops stitches directed edges into closed loops. At corner-touching
+// (pinch) vertices with two outgoing edges the walk takes the rightmost
+// turn, which merges lobes meeting at the pinch into a single closed walk
+// instead of splitting them. The resulting ring may repeat the pinch
+// vertex; point-in-polygon under the even-odd rule is unaffected because
+// membership depends only on the edge set.
+func chainLoops(edges []dirEdge) ([][]vertexID, error) {
+	out := make(map[vertexID][]int, len(edges))
+	used := make([]bool, len(edges))
+	for i, e := range edges {
+		out[e.from] = append(out[e.from], i)
+	}
+	var loops [][]vertexID
+	for start := range edges {
+		if used[start] {
+			continue
+		}
+		var loop []vertexID
+		cur := start
+		for {
+			used[cur] = true
+			loop = append(loop, edges[cur].from)
+			next := -1
+			cands := out[edges[cur].to]
+			switch {
+			case len(cands) == 1:
+				if !used[cands[0]] {
+					next = cands[0]
+				}
+			case len(cands) > 1:
+				next = pickRightmost(edges, used, edges[cur], cands)
+			}
+			if next == -1 {
+				break
+			}
+			cur = next
+		}
+		if len(loop) < 4 {
+			return nil, fmt.Errorf("degenerate loop of %d edges", len(loop))
+		}
+		if edges[cur].to != edges[start].from {
+			return nil, fmt.Errorf("loop did not close (start %v, end %v)",
+				edges[start].from, edges[cur].to)
+		}
+		loops = append(loops, loop)
+	}
+	return loops, nil
+}
+
+// pickRightmost selects the unused outgoing edge that turns most sharply
+// right relative to the incoming edge. (U-turns cannot occur: each
+// geometric segment carries at most one directed edge.)
+func pickRightmost(edges []dirEdge, used []bool, in dirEdge, cands []int) int {
+	ix1, iy1 := in.from.xy()
+	ix2, iy2 := in.to.xy()
+	dx, dy := ix2-ix1, iy2-iy1
+	best, bestScore := -1, 0
+	for _, c := range cands {
+		if used[c] {
+			continue
+		}
+		ox2, oy2 := edges[c].to.xy()
+		ox1, oy1 := edges[c].from.xy()
+		ex, ey := ox2-ox1, oy2-oy1
+		// right turn preferred (3), then straight (2), then left (1).
+		cross := dx*ey - dy*ex
+		var score int
+		switch {
+		case cross < 0:
+			score = 3
+		case cross == 0:
+			score = 2
+		default:
+			score = 1
+		}
+		if score > bestScore {
+			bestScore, best = score, c
+		}
+	}
+	return best
+}
+
+// simplifyCollinear removes vertices in the middle of straight runs.
+func simplifyCollinear(loop []vertexID) []vertexID {
+	n := len(loop)
+	if n < 4 {
+		return loop
+	}
+	keep := make([]vertexID, 0, n)
+	for i := 0; i < n; i++ {
+		prev := loop[(i-1+n)%n]
+		next := loop[(i+1)%n]
+		px, py := prev.xy()
+		cx, cy := loop[i].xy()
+		nx, ny := next.xy()
+		if (cx-px)*(ny-cy) == (cy-py)*(nx-cx) {
+			continue // collinear
+		}
+		keep = append(keep, loop[i])
+	}
+	return keep
+}
+
+func signedArea(loop []vertexID) int64 {
+	var s int64
+	n := len(loop)
+	for i := 0; i < n; i++ {
+		x1, y1 := loop[i].xy()
+		x2, y2 := loop[(i+1)%n].xy()
+		s += int64(x1)*int64(y2) - int64(x2)*int64(y1)
+	}
+	return s
+}
+
+func absArea(loop []vertexID) int64 {
+	s := signedArea(loop)
+	if s < 0 {
+		return -s
+	}
+	return s
+}

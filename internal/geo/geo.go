@@ -1,0 +1,218 @@
+// Package geo provides geodesy primitives shared by the ACT join pipeline:
+// latitude/longitude coordinates, great-circle (haversine) distances, and
+// conversions between angular extents and meters.
+//
+// The precision bound of the approximate join is defined in meters on the
+// Earth's surface, so every module that reasons about "how big is this cell"
+// ultimately calls into this package.
+package geo
+
+import (
+	"fmt"
+	"math"
+)
+
+// EarthRadiusMeters is the mean Earth radius used for all great-circle
+// computations. The paper's precision bounds (60 m / 15 m / 4 m) are far
+// coarser than the error introduced by the spherical-Earth assumption.
+const EarthRadiusMeters = 6371008.8
+
+// MetersPerDegree is the length of one degree of latitude (and of longitude
+// at the equator) on the spherical Earth model.
+const MetersPerDegree = EarthRadiusMeters * math.Pi / 180
+
+// LatLng is a point on the sphere in degrees.
+// Valid latitudes are in [-90, 90] and longitudes in [-180, 180].
+type LatLng struct {
+	Lat float64 // degrees north
+	Lng float64 // degrees east
+}
+
+// String implements fmt.Stringer.
+func (ll LatLng) String() string {
+	return fmt.Sprintf("(%.7f, %.7f)", ll.Lat, ll.Lng)
+}
+
+// IsValid reports whether ll is a finite coordinate within the canonical
+// latitude/longitude ranges.
+func (ll LatLng) IsValid() bool {
+	return !math.IsNaN(ll.Lat) && !math.IsNaN(ll.Lng) &&
+		ll.Lat >= -90 && ll.Lat <= 90 &&
+		ll.Lng >= -180 && ll.Lng <= 180
+}
+
+// Normalized returns ll with the longitude wrapped into [-180, 180] and the
+// latitude clamped into [-90, 90].
+func (ll LatLng) Normalized() LatLng {
+	lat := math.Min(90, math.Max(-90, ll.Lat))
+	lng := math.Mod(ll.Lng, 360)
+	if lng < -180 {
+		lng += 360
+	} else if lng > 180 {
+		lng -= 360
+	}
+	return LatLng{Lat: lat, Lng: lng}
+}
+
+// Radians returns the latitude and longitude in radians.
+func (ll LatLng) Radians() (lat, lng float64) {
+	return ll.Lat * math.Pi / 180, ll.Lng * math.Pi / 180
+}
+
+// Point3 is a point on (or near) the unit sphere in Cartesian coordinates.
+// It is the intermediate representation used by the cube-face grid.
+type Point3 struct {
+	X, Y, Z float64
+}
+
+// FromLatLng converts a geographic coordinate to a unit vector.
+func FromLatLng(ll LatLng) Point3 {
+	lat, lng := ll.Radians()
+	cosLat := math.Cos(lat)
+	return Point3{
+		X: cosLat * math.Cos(lng),
+		Y: cosLat * math.Sin(lng),
+		Z: math.Sin(lat),
+	}
+}
+
+// ToLatLng converts a (not necessarily normalized) vector back to degrees.
+func (p Point3) ToLatLng() LatLng {
+	lat := math.Atan2(p.Z, math.Hypot(p.X, p.Y))
+	lng := math.Atan2(p.Y, p.X)
+	return LatLng{Lat: lat * 180 / math.Pi, Lng: lng * 180 / math.Pi}
+}
+
+// Norm returns the Euclidean length of p.
+func (p Point3) Norm() float64 {
+	return math.Sqrt(p.X*p.X + p.Y*p.Y + p.Z*p.Z)
+}
+
+// DistanceMeters returns the great-circle distance between a and b using the
+// haversine formula, which is numerically stable for small distances (the
+// common case when measuring cell diagonals of a few meters).
+func DistanceMeters(a, b LatLng) float64 {
+	latA, lngA := a.Radians()
+	latB, lngB := b.Radians()
+	sinLat := math.Sin((latB - latA) / 2)
+	sinLng := math.Sin((lngB - lngA) / 2)
+	h := sinLat*sinLat + math.Cos(latA)*math.Cos(latB)*sinLng*sinLng
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusMeters * math.Asin(math.Sqrt(h))
+}
+
+// LatDegreesToMeters converts an extent in degrees of latitude to meters.
+func LatDegreesToMeters(deg float64) float64 { return deg * MetersPerDegree }
+
+// LngDegreesToMeters converts an extent in degrees of longitude at the given
+// latitude to meters.
+func LngDegreesToMeters(deg, atLat float64) float64 {
+	return deg * MetersPerDegree * math.Cos(atLat*math.Pi/180)
+}
+
+// MetersToLatDegrees converts a distance in meters to degrees of latitude.
+func MetersToLatDegrees(m float64) float64 { return m / MetersPerDegree }
+
+// MetersToLngDegrees converts a distance in meters to degrees of longitude at
+// the given latitude.
+func MetersToLngDegrees(m, atLat float64) float64 {
+	c := math.Cos(atLat * math.Pi / 180)
+	if c < 1e-12 {
+		c = 1e-12
+	}
+	return m / (MetersPerDegree * c)
+}
+
+// Rect is a latitude/longitude rectangle. It does not support wrapping
+// across the antimeridian; the data sets handled by this library (city-scale
+// polygon sets) never need it, and the planar grid treats longitude as a
+// plain axis.
+type Rect struct {
+	MinLat, MinLng, MaxLat, MaxLng float64
+}
+
+// NewRect returns the bounding rectangle of the given points.
+// It returns the empty rect for no points.
+func NewRect(pts ...LatLng) Rect {
+	if len(pts) == 0 {
+		return EmptyRect()
+	}
+	r := Rect{
+		MinLat: pts[0].Lat, MaxLat: pts[0].Lat,
+		MinLng: pts[0].Lng, MaxLng: pts[0].Lng,
+	}
+	for _, p := range pts[1:] {
+		r = r.Extend(p)
+	}
+	return r
+}
+
+// EmptyRect returns a rectangle that contains no points.
+func EmptyRect() Rect {
+	return Rect{MinLat: 1, MaxLat: -1, MinLng: 1, MaxLng: -1}
+}
+
+// IsEmpty reports whether the rectangle contains no points.
+func (r Rect) IsEmpty() bool { return r.MinLat > r.MaxLat || r.MinLng > r.MaxLng }
+
+// Contains reports whether the rectangle contains the point (inclusive).
+func (r Rect) Contains(ll LatLng) bool {
+	return ll.Lat >= r.MinLat && ll.Lat <= r.MaxLat &&
+		ll.Lng >= r.MinLng && ll.Lng <= r.MaxLng
+}
+
+// Extend returns the smallest rectangle containing both r and ll.
+func (r Rect) Extend(ll LatLng) Rect {
+	if r.IsEmpty() {
+		return Rect{MinLat: ll.Lat, MaxLat: ll.Lat, MinLng: ll.Lng, MaxLng: ll.Lng}
+	}
+	return Rect{
+		MinLat: math.Min(r.MinLat, ll.Lat),
+		MaxLat: math.Max(r.MaxLat, ll.Lat),
+		MinLng: math.Min(r.MinLng, ll.Lng),
+		MaxLng: math.Max(r.MaxLng, ll.Lng),
+	}
+}
+
+// Union returns the smallest rectangle containing both rectangles.
+func (r Rect) Union(o Rect) Rect {
+	if r.IsEmpty() {
+		return o
+	}
+	if o.IsEmpty() {
+		return r
+	}
+	return Rect{
+		MinLat: math.Min(r.MinLat, o.MinLat),
+		MaxLat: math.Max(r.MaxLat, o.MaxLat),
+		MinLng: math.Min(r.MinLng, o.MinLng),
+		MaxLng: math.Max(r.MaxLng, o.MaxLng),
+	}
+}
+
+// Intersects reports whether the rectangles share at least one point.
+func (r Rect) Intersects(o Rect) bool {
+	if r.IsEmpty() || o.IsEmpty() {
+		return false
+	}
+	return r.MinLat <= o.MaxLat && o.MinLat <= r.MaxLat &&
+		r.MinLng <= o.MaxLng && o.MinLng <= r.MaxLng
+}
+
+// Center returns the midpoint of the rectangle.
+func (r Rect) Center() LatLng {
+	return LatLng{Lat: (r.MinLat + r.MaxLat) / 2, Lng: (r.MinLng + r.MaxLng) / 2}
+}
+
+// DiagonalMeters returns the great-circle length of the rectangle diagonal.
+func (r Rect) DiagonalMeters() float64 {
+	if r.IsEmpty() {
+		return 0
+	}
+	return DistanceMeters(
+		LatLng{Lat: r.MinLat, Lng: r.MinLng},
+		LatLng{Lat: r.MaxLat, Lng: r.MaxLng},
+	)
+}

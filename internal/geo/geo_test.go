@@ -1,0 +1,162 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLatLngValid(t *testing.T) {
+	valid := []LatLng{{0, 0}, {90, 180}, {-90, -180}, {40.7, -74}}
+	for _, ll := range valid {
+		if !ll.IsValid() {
+			t.Errorf("%v should be valid", ll)
+		}
+	}
+	invalid := []LatLng{{91, 0}, {-90.1, 0}, {0, 181}, {0, -180.5}, {math.NaN(), 0}, {0, math.NaN()}}
+	for _, ll := range invalid {
+		if ll.IsValid() {
+			t.Errorf("%v should be invalid", ll)
+		}
+	}
+}
+
+func TestNormalized(t *testing.T) {
+	cases := []struct{ in, want LatLng }{
+		{LatLng{0, 190}, LatLng{0, -170}},
+		{LatLng{0, -190}, LatLng{0, 170}},
+		{LatLng{95, 0}, LatLng{90, 0}},
+		{LatLng{-95, 360}, LatLng{-90, 0}},
+		{LatLng{40, -74}, LatLng{40, -74}},
+	}
+	for _, c := range cases {
+		got := c.in.Normalized()
+		if math.Abs(got.Lat-c.want.Lat) > 1e-12 || math.Abs(got.Lng-c.want.Lng) > 1e-12 {
+			t.Errorf("Normalized(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDistanceMeters(t *testing.T) {
+	// One degree of latitude is ~111.2 km.
+	d := DistanceMeters(LatLng{40, -74}, LatLng{41, -74})
+	if math.Abs(d-MetersPerDegree) > 200 {
+		t.Errorf("1° latitude = %.0f m, want ≈ %.0f", d, MetersPerDegree)
+	}
+	// Symmetry and identity.
+	a, b := LatLng{40.7, -74}, LatLng{40.8, -73.9}
+	if DistanceMeters(a, b) != DistanceMeters(b, a) {
+		t.Error("distance not symmetric")
+	}
+	if DistanceMeters(a, a) != 0 {
+		t.Error("self distance not zero")
+	}
+	// Antipodal points: half the circumference.
+	half := math.Pi * EarthRadiusMeters
+	if d := DistanceMeters(LatLng{0, 0}, LatLng{0, 180}); math.Abs(d-half) > 1 {
+		t.Errorf("antipodal distance %.0f, want %.0f", d, half)
+	}
+	// Small distances stay accurate (haversine stability).
+	d = DistanceMeters(LatLng{40.7, -74}, LatLng{40.7000001, -74})
+	if d < 0.005 || d > 0.03 {
+		t.Errorf("tiny distance %.6f m implausible", d)
+	}
+}
+
+func TestDegreesMetersRoundTrip(t *testing.T) {
+	f := func(seed float64) bool {
+		if math.IsNaN(seed) || math.IsInf(seed, 0) {
+			return true
+		}
+		frac := math.Abs(math.Mod(seed, 1))
+		m := frac * 1e6
+		lat := frac * 80
+		if math.Abs(LatDegreesToMeters(MetersToLatDegrees(m))-m) > 1e-6*m+1e-9 {
+			return false
+		}
+		return math.Abs(LngDegreesToMeters(MetersToLngDegrees(m, lat), lat)-m) < 1e-6*m+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoint3RoundTrip(t *testing.T) {
+	pts := []LatLng{{0, 0}, {40.7, -74}, {-33, 151}, {89, 10}, {-89, -170}}
+	for _, ll := range pts {
+		p := FromLatLng(ll)
+		if math.Abs(p.Norm()-1) > 1e-12 {
+			t.Errorf("FromLatLng(%v) not unit: %v", ll, p.Norm())
+		}
+		back := p.ToLatLng()
+		if DistanceMeters(ll, back) > 0.001 {
+			t.Errorf("round trip %v -> %v", ll, back)
+		}
+	}
+}
+
+func TestRectOps(t *testing.T) {
+	r := NewRect(LatLng{40, -74}, LatLng{41, -73})
+	if !r.Contains(LatLng{40.5, -73.5}) || r.Contains(LatLng{39, -73.5}) {
+		t.Error("Contains broken")
+	}
+	if r.Center() != (LatLng{40.5, -73.5}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Error("EmptyRect not empty")
+	}
+	if e.Union(r) != r || r.Union(e) != r {
+		t.Error("union with empty should be identity")
+	}
+	ext := e.Extend(LatLng{40, -74})
+	if ext.IsEmpty() || !ext.Contains(LatLng{40, -74}) {
+		t.Error("Extend from empty broken")
+	}
+	o := NewRect(LatLng{40.5, -73.5}, LatLng{42, -72})
+	if !r.Intersects(o) || !o.Intersects(r) {
+		t.Error("Intersects broken")
+	}
+	far := NewRect(LatLng{10, 10}, LatLng{11, 11})
+	if r.Intersects(far) {
+		t.Error("disjoint rects intersect")
+	}
+	if r.DiagonalMeters() <= 0 || e.DiagonalMeters() != 0 {
+		t.Error("DiagonalMeters broken")
+	}
+	if NewRect().IsEmpty() != true {
+		t.Error("NewRect() should be empty")
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	ok := &Polygon{Outer: []LatLng{{40, -74}, {40, -73}, {41, -73}}}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid polygon rejected: %v", err)
+	}
+	if ok.NumVertices() != 3 {
+		t.Errorf("NumVertices = %d", ok.NumVertices())
+	}
+	short := &Polygon{Outer: []LatLng{{40, -74}, {40, -73}}}
+	if err := short.Validate(); err == nil {
+		t.Error("2-vertex ring accepted")
+	}
+	badHole := &Polygon{
+		Outer: ok.Outer,
+		Holes: [][]LatLng{{{40, -74}, {200, -73}, {41, -73}}},
+	}
+	if err := badHole.Validate(); err == nil {
+		t.Error("out-of-range hole vertex accepted")
+	}
+	b := ok.Bound()
+	if b.MinLat != 40 || b.MaxLat != 41 || b.MinLng != -74 || b.MaxLng != -73 {
+		t.Errorf("Bound = %+v", b)
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	if s := (LatLng{40.7128, -74.006}).String(); s == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,56 @@
+package geo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Polygon is a geographic polygon: an outer ring and zero or more holes,
+// with vertices in degrees. Rings are implicitly closed (the last vertex
+// connects back to the first) and must not repeat the first vertex.
+type Polygon struct {
+	Outer []LatLng
+	Holes [][]LatLng
+}
+
+// ErrInvalidPolygon is returned for structurally invalid polygons.
+var ErrInvalidPolygon = errors.New("geo: invalid polygon")
+
+// Validate checks ring sizes and coordinate ranges.
+func (p *Polygon) Validate() error {
+	if err := validateRing(p.Outer); err != nil {
+		return fmt.Errorf("outer ring: %w", err)
+	}
+	for i, h := range p.Holes {
+		if err := validateRing(h); err != nil {
+			return fmt.Errorf("hole %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateRing(ring []LatLng) error {
+	if len(ring) < 3 {
+		return fmt.Errorf("%w: ring needs at least 3 vertices, got %d", ErrInvalidPolygon, len(ring))
+	}
+	for i, v := range ring {
+		if !v.IsValid() {
+			return fmt.Errorf("%w: vertex %d out of range: %v", ErrInvalidPolygon, i, v)
+		}
+	}
+	return nil
+}
+
+// Bound returns the latitude/longitude bounding rectangle of the outer ring.
+func (p *Polygon) Bound() Rect {
+	return NewRect(p.Outer...)
+}
+
+// NumVertices returns the total vertex count across all rings.
+func (p *Polygon) NumVertices() int {
+	n := len(p.Outer)
+	for _, h := range p.Holes {
+		n += len(h)
+	}
+	return n
+}

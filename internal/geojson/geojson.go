@@ -1,0 +1,173 @@
+// Package geojson reads and writes polygon sets as GeoJSON
+// FeatureCollections (RFC 7946 subset: Polygon and MultiPolygon
+// geometries), so generated datasets can be persisted, inspected in
+// standard GIS tools, and fed to the query CLI.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"github.com/actindex/act/internal/geo"
+)
+
+// featureCollection mirrors the GeoJSON structure.
+type featureCollection struct {
+	Type     string    `json:"type"`
+	Features []feature `json:"features"`
+}
+
+type feature struct {
+	Type       string          `json:"type"`
+	Properties map[string]any  `json:"properties,omitempty"`
+	Geometry   json.RawMessage `json:"geometry"`
+}
+
+type geometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+// ReadPolygons parses a GeoJSON FeatureCollection (or a bare Polygon /
+// MultiPolygon geometry) into polygons. MultiPolygon members become
+// separate polygons. Coordinates are [lng, lat] per the GeoJSON spec.
+func ReadPolygons(r io.Reader) ([]*geo.Polygon, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	// Try FeatureCollection first.
+	var fc featureCollection
+	if err := json.Unmarshal(data, &fc); err != nil {
+		return nil, fmt.Errorf("geojson: parse: %w", err)
+	}
+	switch fc.Type {
+	case "FeatureCollection":
+		var out []*geo.Polygon
+		for i, f := range fc.Features {
+			polys, err := parseGeometry(f.Geometry)
+			if err != nil {
+				return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+			}
+			out = append(out, polys...)
+		}
+		return out, nil
+	case "Polygon", "MultiPolygon":
+		return parseGeometry(data)
+	case "Feature":
+		var f feature
+		if err := json.Unmarshal(data, &f); err != nil {
+			return nil, fmt.Errorf("geojson: parse feature: %w", err)
+		}
+		return parseGeometry(f.Geometry)
+	default:
+		return nil, fmt.Errorf("geojson: unsupported root type %q", fc.Type)
+	}
+}
+
+func parseGeometry(raw json.RawMessage) ([]*geo.Polygon, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing geometry")
+	}
+	var g geometry
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return nil, err
+	}
+	switch g.Type {
+	case "Polygon":
+		var rings [][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &rings); err != nil {
+			return nil, err
+		}
+		p, err := ringsToPolygon(rings)
+		if err != nil {
+			return nil, err
+		}
+		return []*geo.Polygon{p}, nil
+	case "MultiPolygon":
+		var multi [][][][2]float64
+		if err := json.Unmarshal(g.Coordinates, &multi); err != nil {
+			return nil, err
+		}
+		out := make([]*geo.Polygon, 0, len(multi))
+		for _, rings := range multi {
+			p, err := ringsToPolygon(rings)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, p)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("unsupported geometry type %q", g.Type)
+	}
+}
+
+func ringsToPolygon(rings [][][2]float64) (*geo.Polygon, error) {
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("polygon with no rings")
+	}
+	p := &geo.Polygon{Outer: toRing(rings[0])}
+	for _, r := range rings[1:] {
+		p.Holes = append(p.Holes, toRing(r))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// toRing converts coordinates, dropping the GeoJSON closing vertex when the
+// ring repeats its first point.
+func toRing(coords [][2]float64) []geo.LatLng {
+	if n := len(coords); n > 1 && coords[0] == coords[n-1] {
+		coords = coords[:n-1]
+	}
+	ring := make([]geo.LatLng, len(coords))
+	for i, c := range coords {
+		ring[i] = geo.LatLng{Lng: c[0], Lat: c[1]}
+	}
+	return ring
+}
+
+// WritePolygons encodes polygons as a GeoJSON FeatureCollection. Each
+// polygon becomes one Feature with its slice index as the "id" property.
+func WritePolygons(w io.Writer, polys []*geo.Polygon) error {
+	fc := featureCollection{Type: "FeatureCollection"}
+	for i, p := range polys {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("geojson: polygon %d: %w", i, err)
+		}
+		rings := make([][][2]float64, 0, 1+len(p.Holes))
+		rings = append(rings, fromRing(p.Outer))
+		for _, h := range p.Holes {
+			rings = append(rings, fromRing(h))
+		}
+		coords, err := json.Marshal(rings)
+		if err != nil {
+			return err
+		}
+		geomRaw, err := json.Marshal(geometry{Type: "Polygon", Coordinates: coords})
+		if err != nil {
+			return err
+		}
+		fc.Features = append(fc.Features, feature{
+			Type:       "Feature",
+			Properties: map[string]any{"id": i},
+			Geometry:   geomRaw,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(fc)
+}
+
+// fromRing emits coordinates with the GeoJSON closing vertex.
+func fromRing(ring []geo.LatLng) [][2]float64 {
+	out := make([][2]float64, 0, len(ring)+1)
+	for _, v := range ring {
+		out = append(out, [2]float64{v.Lng, v.Lat})
+	}
+	out = append(out, out[0])
+	return out
+}

@@ -1,0 +1,120 @@
+package geojson
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+)
+
+func TestRoundTrip(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "rt", NumRegions: 10, Lattice: 48, Seed: 1,
+		BoundaryJitter: 0.5, HoleFraction: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePolygons(&buf, set.Polygons); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPolygons(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(set.Polygons) {
+		t.Fatalf("round trip: %d polygons, want %d", len(back), len(set.Polygons))
+	}
+	for i := range back {
+		a, b := set.Polygons[i], back[i]
+		if len(a.Outer) != len(b.Outer) || len(a.Holes) != len(b.Holes) {
+			t.Fatalf("polygon %d shape changed", i)
+		}
+		for j := range a.Outer {
+			if a.Outer[j] != b.Outer[j] {
+				t.Fatalf("polygon %d vertex %d changed: %v -> %v", i, j, a.Outer[j], b.Outer[j])
+			}
+		}
+	}
+}
+
+func TestReadFeatureCollection(t *testing.T) {
+	src := `{
+		"type": "FeatureCollection",
+		"features": [{
+			"type": "Feature",
+			"properties": {"name": "test"},
+			"geometry": {
+				"type": "Polygon",
+				"coordinates": [[[-74.0, 40.7], [-73.9, 40.7], [-73.9, 40.8], [-74.0, 40.8], [-74.0, 40.7]]]
+			}
+		}]
+	}`
+	polys, err := ReadPolygons(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(polys) != 1 {
+		t.Fatalf("got %d polygons", len(polys))
+	}
+	if len(polys[0].Outer) != 4 {
+		t.Errorf("closing vertex not dropped: %d vertices", len(polys[0].Outer))
+	}
+	if polys[0].Outer[0] != (geo.LatLng{Lat: 40.7, Lng: -74.0}) {
+		t.Errorf("lng/lat order wrong: %v", polys[0].Outer[0])
+	}
+}
+
+func TestReadMultiPolygon(t *testing.T) {
+	src := `{
+		"type": "MultiPolygon",
+		"coordinates": [
+			[[[0,0],[1,0],[1,1],[0,0]]],
+			[[[2,2],[3,2],[3,3],[2,2]], [[2.2,2.2],[2.6,2.2],[2.6,2.6],[2.2,2.2]]]
+		]
+	}`
+	polys, err := ReadPolygons(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(polys) != 2 {
+		t.Fatalf("got %d polygons, want 2", len(polys))
+	}
+	if len(polys[1].Holes) != 1 {
+		t.Errorf("second polygon should have a hole")
+	}
+}
+
+func TestReadBareFeature(t *testing.T) {
+	src := `{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[1,0],[1,1],[0,0]]]}}`
+	polys, err := ReadPolygons(strings.NewReader(src))
+	if err != nil || len(polys) != 1 {
+		t.Fatalf("bare feature: %v, %d polygons", err, len(polys))
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"type":"Point","coordinates":[1,2]}`,
+		`{"type":"FeatureCollection","features":[{"type":"Feature"}]}`,
+		`{"type":"Polygon","coordinates":[]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[1,1]]]}`,
+		`{"type":"Polygon","coordinates":[[[0,200],[1,0],[1,1]]]}`,
+	}
+	for i, src := range cases {
+		if _, err := ReadPolygons(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d should fail", i)
+		}
+	}
+}
+
+func TestWriteInvalidPolygon(t *testing.T) {
+	bad := &geo.Polygon{Outer: []geo.LatLng{{Lat: 0, Lng: 0}}}
+	if err := WritePolygons(&bytes.Buffer{}, []*geo.Polygon{bad}); err == nil {
+		t.Error("invalid polygon should not serialize")
+	}
+}

@@ -1,0 +1,348 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// square returns an axis-aligned square ring.
+func square(x, y, side float64) Ring {
+	return Ring{{x, y}, {x + side, y}, {x + side, y + side}, {x, y + side}}
+}
+
+func TestOrient(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	if Orient(a, b, Point{0, 1}) <= 0 {
+		t.Error("left turn should be positive")
+	}
+	if Orient(a, b, Point{0, -1}) >= 0 {
+		t.Error("right turn should be negative")
+	}
+	if Orient(a, b, Point{2, 0}) != 0 {
+		t.Error("collinear should be zero")
+	}
+}
+
+func TestSegmentsIntersect(t *testing.T) {
+	cases := []struct {
+		a, b, c, d Point
+		want       bool
+	}{
+		{Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0}, true},   // proper cross
+		{Point{0, 0}, Point{1, 1}, Point{2, 2}, Point{3, 3}, false},  // collinear disjoint
+		{Point{0, 0}, Point{2, 2}, Point{1, 1}, Point{3, 3}, true},   // collinear overlap
+		{Point{0, 0}, Point{1, 0}, Point{1, 0}, Point{2, 5}, true},   // shared endpoint
+		{Point{0, 0}, Point{2, 0}, Point{1, 0}, Point{1, 5}, true},   // T junction
+		{Point{0, 0}, Point{2, 0}, Point{0, 1}, Point{2, 1}, false},  // parallel
+		{Point{0, 0}, Point{0, 0}, Point{0, 0}, Point{1, 1}, true},   // degenerate on segment
+		{Point{5, 5}, Point{5, 5}, Point{0, 0}, Point{1, 1}, false},  // degenerate off segment
+		{Point{0, 0}, Point{10, 1}, Point{5, 0}, Point{5, -5}, false}, // near miss
+	}
+	for i, c := range cases {
+		if got := SegmentsIntersect(c.a, c.b, c.c, c.d); got != c.want {
+			t.Errorf("case %d: SegmentsIntersect = %v, want %v", i, got, c.want)
+		}
+		// Symmetry in both segment order and endpoint order.
+		if got := SegmentsIntersect(c.c, c.d, c.a, c.b); got != c.want {
+			t.Errorf("case %d: swapped segments = %v, want %v", i, got, c.want)
+		}
+		if got := SegmentsIntersect(c.b, c.a, c.d, c.c); got != c.want {
+			t.Errorf("case %d: reversed endpoints = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDistPointSegment(t *testing.T) {
+	a, b := Point{0, 0}, Point{10, 0}
+	cases := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{5, 3}, 3},
+		{Point{-3, 4}, 5},
+		{Point{13, -4}, 5},
+		{Point{5, 0}, 0},
+		{Point{0, 0}, 0},
+	}
+	for _, c := range cases {
+		if got := DistPointSegment(c.p, a, b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("DistPointSegment(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	// Degenerate segment.
+	if got := DistPointSegment(Point{3, 4}, a, a); got != 5 {
+		t.Errorf("degenerate segment distance = %v, want 5", got)
+	}
+}
+
+func TestRectBasics(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{2, 1}}
+	if !r.Contains(Point{0, 0}) || !r.Contains(Point{2, 1}) || !r.Contains(Point{1, 0.5}) {
+		t.Error("closed rect should contain corners and center")
+	}
+	if r.Contains(Point{2.001, 0.5}) {
+		t.Error("rect should not contain outside point")
+	}
+	if r.Center() != (Point{1, 0.5}) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if r.Area() != 2 {
+		t.Errorf("Area = %v", r.Area())
+	}
+	o := Rect{Min: Point{2, 1}, Max: Point{3, 3}}
+	if !r.Intersects(o) {
+		t.Error("touching rects should intersect")
+	}
+	if !r.Union(o).ContainsRect(r) || !r.Union(o).ContainsRect(o) {
+		t.Error("union should contain both")
+	}
+	empty := RectFromPoints()
+	if !empty.IsEmpty() {
+		t.Error("empty rect should be empty")
+	}
+	if r.Intersects(empty) || empty.Intersects(r) {
+		t.Error("empty rect intersects nothing")
+	}
+}
+
+func TestSegmentIntersectsRect(t *testing.T) {
+	r := Rect{Min: Point{0, 0}, Max: Point{10, 10}}
+	cases := []struct {
+		a, b Point
+		want bool
+	}{
+		{Point{1, 1}, Point{2, 2}, true},     // fully inside
+		{Point{-5, 5}, Point{15, 5}, true},   // crosses through
+		{Point{-5, -5}, Point{-1, -1}, false},// outside
+		{Point{-5, 0}, Point{5, -5}, false},  // clips corner region but misses
+		{Point{-1, 5}, Point{5, 5}, true},    // one endpoint inside
+		{Point{0, -5}, Point{0, 15}, true},   // runs along left edge
+		{Point{-5, 10}, Point{15, 10}, true}, // runs along top edge
+		{Point{10, 10}, Point{20, 20}, true}, // touches corner
+		{Point{9, 12}, Point{12, 9}, false},  // diagonal just missing top-right corner
+		{Point{-1, 9}, Point{9, -1}, true},   // diagonal cutting corner
+	}
+	for i, c := range cases {
+		if got := SegmentIntersectsRect(c.a, c.b, r); got != c.want {
+			t.Errorf("case %d: SegmentIntersectsRect(%v,%v) = %v, want %v", i, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRingArea(t *testing.T) {
+	ccw := square(0, 0, 2)
+	if got := ccw.SignedArea(); got != 4 {
+		t.Errorf("ccw area = %v, want 4", got)
+	}
+	cw := Ring{ccw[3], ccw[2], ccw[1], ccw[0]}
+	if got := cw.SignedArea(); got != -4 {
+		t.Errorf("cw area = %v, want -4", got)
+	}
+}
+
+func TestRingCentroid(t *testing.T) {
+	r := square(2, 4, 2)
+	c := r.Centroid()
+	if math.Abs(c.X-3) > 1e-12 || math.Abs(c.Y-5) > 1e-12 {
+		t.Errorf("centroid = %v, want (3,5)", c)
+	}
+	deg := Ring{{0, 0}, {1, 1}, {2, 2}}
+	c = deg.Centroid()
+	if math.Abs(c.X-1) > 1e-12 || math.Abs(c.Y-1) > 1e-12 {
+		t.Errorf("degenerate centroid = %v, want (1,1)", c)
+	}
+}
+
+func TestRingContainsPoint(t *testing.T) {
+	// Non-convex "L" shape.
+	l := Ring{{0, 0}, {4, 0}, {4, 1}, {1, 1}, {1, 4}, {0, 4}}
+	inside := []Point{{0.5, 0.5}, {3, 0.5}, {0.5, 3}}
+	outside := []Point{{2, 2}, {-1, 0}, {5, 5}, {3, 1.5}}
+	for _, p := range inside {
+		if !l.ContainsPoint(p) {
+			t.Errorf("%v should be inside L", p)
+		}
+	}
+	for _, p := range outside {
+		if l.ContainsPoint(p) {
+			t.Errorf("%v should be outside L", p)
+		}
+	}
+}
+
+func TestPolygonWithHoles(t *testing.T) {
+	pg, err := NewPolygon(square(0, 0, 10), square(4, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pg.ContainsPoint(Point{1, 1}) {
+		t.Error("point in solid part should be inside")
+	}
+	if pg.ContainsPoint(Point{5, 5}) {
+		t.Error("point in hole should be outside")
+	}
+	if pg.ContainsPoint(Point{-1, 5}) {
+		t.Error("point outside outer should be outside")
+	}
+	if got, want := pg.Area(), 96.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("Area = %v, want %v", got, want)
+	}
+	if got := pg.NumVertices(); got != 8 {
+		t.Errorf("NumVertices = %d, want 8", got)
+	}
+}
+
+func TestPolygonValidate(t *testing.T) {
+	if _, err := NewPolygon(Ring{{0, 0}, {1, 1}}); err == nil {
+		t.Error("2-vertex ring should be invalid")
+	}
+	if _, err := NewPolygon(Ring{{0, 0}, {1, 1}, {math.NaN(), 0}}); err == nil {
+		t.Error("NaN vertex should be invalid")
+	}
+	if _, err := NewPolygon(square(0, 0, 1), Ring{{0, 0}}); err == nil {
+		t.Error("invalid hole should be rejected")
+	}
+}
+
+func TestRelateRect(t *testing.T) {
+	pg, err := NewPolygon(square(0, 0, 10), square(4, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		r    Rect
+		want Relation
+	}{
+		{Rect{Point{1, 1}, Point{2, 2}}, Contained},
+		{Rect{Point{-2, -2}, Point{-1, -1}}, Disjoint},
+		{Rect{Point{-1, -1}, Point{1, 1}}, Intersects},   // crosses outer
+		{Rect{Point{4.5, 4.5}, Point{5.5, 5.5}}, Disjoint}, // inside hole
+		{Rect{Point{3, 3}, Point{5, 5}}, Intersects},     // crosses hole edge
+		{Rect{Point{-5, -5}, Point{15, 15}}, Intersects}, // contains polygon
+		{Rect{Point{20, 20}, Point{30, 30}}, Disjoint},
+		{Rect{Point{3.5, 3.5}, Point{6.5, 6.5}}, Intersects}, // hole nested in rect
+		{Rect{Point{0, 0}, Point{10, 10}}, Intersects},   // exactly the outer ring
+	}
+	for i, c := range cases {
+		if got := pg.RelateRect(c.r); got != c.want {
+			t.Errorf("case %d: RelateRect(%v) = %v, want %v", i, c.r, got, c.want)
+		}
+	}
+}
+
+// TestRelateRectConsistency is the property the covering correctness rests
+// on: if RelateRect says Contained, every sampled point in the rect must be
+// inside the polygon; if Disjoint, no sampled point may be inside.
+func TestRelateRectConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 300; iter++ {
+		pg := randomPolygon(rng)
+		r := randomRect(rng)
+		rel := pg.RelateRect(r)
+		for s := 0; s < 40; s++ {
+			p := Point{
+				r.Min.X + rng.Float64()*(r.Max.X-r.Min.X),
+				r.Min.Y + rng.Float64()*(r.Max.Y-r.Min.Y),
+			}
+			in := pg.ContainsPoint(p)
+			switch rel {
+			case Contained:
+				if !in {
+					t.Fatalf("iter %d: rect %v Contained but %v outside polygon", iter, r, p)
+				}
+			case Disjoint:
+				if in {
+					t.Fatalf("iter %d: rect %v Disjoint but %v inside polygon", iter, r, p)
+				}
+			}
+		}
+	}
+}
+
+// randomPolygon builds a random star-shaped polygon around a random center,
+// optionally with a hole.
+func randomPolygon(rng *rand.Rand) *Polygon {
+	cx, cy := rng.Float64()*10, rng.Float64()*10
+	n := 5 + rng.Intn(10)
+	outer := make(Ring, n)
+	for i := range outer {
+		ang := 2 * math.Pi * float64(i) / float64(n)
+		rad := 1 + rng.Float64()*4
+		outer[i] = Point{cx + rad*math.Cos(ang), cy + rad*math.Sin(ang)}
+	}
+	var holes []Ring
+	if rng.Intn(2) == 0 {
+		m := 3 + rng.Intn(5)
+		hole := make(Ring, m)
+		for i := range hole {
+			ang := 2 * math.Pi * float64(i) / float64(m)
+			rad := 0.2 + rng.Float64()*0.5
+			hole[i] = Point{cx + rad*math.Cos(ang), cy + rad*math.Sin(ang)}
+		}
+		holes = append(holes, hole)
+	}
+	pg, err := NewPolygon(outer, holes...)
+	if err != nil {
+		panic(err)
+	}
+	return pg
+}
+
+func randomRect(rng *rand.Rand) Rect {
+	x, y := rng.Float64()*12-1, rng.Float64()*12-1
+	w, h := rng.Float64()*3+0.01, rng.Float64()*3+0.01
+	return Rect{Min: Point{x, y}, Max: Point{x + w, y + h}}
+}
+
+func TestDistance(t *testing.T) {
+	pg, err := NewPolygon(square(0, 0, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pg.Distance(Point{5, 5}); got != 0 {
+		t.Errorf("inside distance = %v, want 0", got)
+	}
+	if got := pg.Distance(Point{-3, 5}); math.Abs(got-3) > 1e-12 {
+		t.Errorf("outside distance = %v, want 3", got)
+	}
+	if got := pg.Distance(Point{13, 14}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("corner distance = %v, want 5", got)
+	}
+	if got := pg.BoundaryDistance(Point{5, 5}); math.Abs(got-5) > 1e-12 {
+		t.Errorf("boundary distance from center = %v, want 5", got)
+	}
+}
+
+// TestContainsPointQuick cross-checks ContainsPoint against a winding-number
+// reference implementation on convex polygons (where both rules agree for
+// non-boundary points).
+func TestContainsPointQuick(t *testing.T) {
+	hex := make(Ring, 6)
+	for i := range hex {
+		ang := 2 * math.Pi * float64(i) / 6
+		hex[i] = Point{5 + 3*math.Cos(ang), 5 + 3*math.Sin(ang)}
+	}
+	f := func(xr, yr float64) bool {
+		p := Point{math.Mod(math.Abs(xr), 10), math.Mod(math.Abs(yr), 10)}
+		// Convex reference: inside iff on the same side of all edges.
+		inside := true
+		for i := range hex {
+			if Orient(hex[i], hex[(i+1)%6], p) < 0 {
+				inside = false
+				break
+			}
+		}
+		// Skip points too close to the boundary where rules may differ.
+		var pg Polygon
+		pg.Outer = hex
+		if pg.BoundaryDistance(p) < 1e-9 {
+			return true
+		}
+		return hex.ContainsPoint(p) == inside
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

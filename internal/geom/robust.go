@@ -1,0 +1,47 @@
+package geom
+
+import "math"
+
+// orientErrFactor is the static error bound factor for the floating-point
+// orientation determinant (Shewchuk's (3+16ε)ε for ε = 2⁻⁵³): when
+// |det| exceeds orientErrFactor·(|det₁|+|det₂|) the computed sign is
+// certainly correct.
+const orientErrFactor = 3.3306690738754716e-16
+
+// OrientSign returns the certified sign of Orient(a, b, c): +1 for a
+// counterclockwise turn, −1 for clockwise, 0 for exactly collinear inputs
+// whose determinant terms are individually exact zeros. ok is false when
+// floating-point rounding cannot certify the sign; callers must then fall
+// back to a slower exact decision.
+func OrientSign(a, b, c Point) (sign int, ok bool) {
+	det1 := (b.X - a.X) * (c.Y - a.Y)
+	det2 := (b.Y - a.Y) * (c.X - a.X)
+	det := det1 - det2
+	bound := orientErrFactor * (math.Abs(det1) + math.Abs(det2))
+	switch {
+	case det > bound:
+		return 1, true
+	case det < -bound:
+		return -1, true
+	case det1 == 0 && det2 == 0:
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// SegmentsCrossCertified reports whether segments ab and cd properly cross
+// (intersect at a single interior point of both). ok is false when any of
+// the four orientation signs cannot be certified or an endpoint lies
+// exactly on the other segment's line — ambiguous cases the caller must
+// resolve exactly.
+func SegmentsCrossCertified(a, b, c, d Point) (cross, ok bool) {
+	d1, ok1 := OrientSign(c, d, a)
+	d2, ok2 := OrientSign(c, d, b)
+	d3, ok3 := OrientSign(a, b, c)
+	d4, ok4 := OrientSign(a, b, d)
+	if !ok1 || !ok2 || !ok3 || !ok4 || d1 == 0 || d2 == 0 || d3 == 0 || d4 == 0 {
+		return false, false
+	}
+	return d1 != d2 && d3 != d4, true
+}

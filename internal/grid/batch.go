@@ -1,0 +1,55 @@
+package grid
+
+import (
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/geom"
+)
+
+// LeafCells converts a batch of points to leaf cells, appending to out.
+// The conversion loop is specialized per concrete grid type so the
+// projection inlines — the join hot path calls this once per chunk instead
+// of paying an interface dispatch per point.
+func LeafCells(g Grid, pts []geo.LatLng, out []cellid.ID) []cellid.ID {
+	switch cg := g.(type) {
+	case Planar:
+		for _, ll := range pts {
+			face, st := cg.Project(ll)
+			out = append(out, cellid.FromFaceIJ(face, stToIJ(st.X), stToIJ(st.Y)))
+		}
+	case CubeFace:
+		for _, ll := range pts {
+			face, st := cg.Project(ll)
+			out = append(out, cellid.FromFaceIJ(face, stToIJ(st.X), stToIJ(st.Y)))
+		}
+	default:
+		for _, ll := range pts {
+			out = append(out, LeafCell(g, ll))
+		}
+	}
+	return out
+}
+
+// ProjectAll converts a batch of points to grid-plane coordinates,
+// appending to out. Like LeafCells, it exists so the projection inlines in
+// per-chunk loops.
+func ProjectAll(g Grid, pts []geo.LatLng, out []geom.Point) []geom.Point {
+	switch cg := g.(type) {
+	case Planar:
+		for _, ll := range pts {
+			_, st := cg.Project(ll)
+			out = append(out, st)
+		}
+	case CubeFace:
+		for _, ll := range pts {
+			_, st := cg.Project(ll)
+			out = append(out, st)
+		}
+	default:
+		for _, ll := range pts {
+			_, st := g.Project(ll)
+			out = append(out, st)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+package grid
+
+import (
+	"math"
+
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/geom"
+)
+
+// CubeFace is an S2-style grid: the sphere is wrapped by the six faces of a
+// cube, and the gnomonic face coordinates (u,v) are warped by the quadratic
+// transform so that leaf cells have near-uniform area everywhere on Earth.
+//
+// Face numbering and orientations follow S2: face 0 is centered on +X
+// (0°N 0°E), 1 on +Y, 2 on +Z (north pole), 3 on −X, 4 on −Y, 5 on −Z.
+type CubeFace struct{}
+
+// NewCubeFace returns the S2-style cube-face grid.
+func NewCubeFace() CubeFace { return CubeFace{} }
+
+// Name implements Grid.
+func (CubeFace) Name() string { return "cubeface" }
+
+// NumFaces implements Grid.
+func (CubeFace) NumFaces() int { return 6 }
+
+// Project implements Grid.
+func (CubeFace) Project(ll geo.LatLng) (int, geom.Point) {
+	p := geo.FromLatLng(ll)
+	face := faceOf(p)
+	u, v := faceUV(face, p)
+	return face, geom.Point{X: uvToST(u), Y: uvToST(v)}
+}
+
+// Unproject implements Grid.
+func (CubeFace) Unproject(face int, st geom.Point) geo.LatLng {
+	u := stToUV(st.X)
+	v := stToUV(st.Y)
+	return faceUVToXYZ(face, u, v).ToLatLng()
+}
+
+// faceOf returns the cube face whose axis has the largest absolute
+// component in p.
+func faceOf(p geo.Point3) int {
+	ax, ay, az := math.Abs(p.X), math.Abs(p.Y), math.Abs(p.Z)
+	switch {
+	case ax >= ay && ax >= az:
+		if p.X >= 0 {
+			return 0
+		}
+		return 3
+	case ay >= az:
+		if p.Y >= 0 {
+			return 1
+		}
+		return 4
+	default:
+		if p.Z >= 0 {
+			return 2
+		}
+		return 5
+	}
+}
+
+// faceUV returns the gnomonic (u,v) coordinates of p on the given face.
+// p must lie in the face's half-space so the divisors are nonzero.
+func faceUV(face int, p geo.Point3) (u, v float64) {
+	switch face {
+	case 0:
+		return p.Y / p.X, p.Z / p.X
+	case 1:
+		return -p.X / p.Y, p.Z / p.Y
+	case 2:
+		return -p.X / p.Z, -p.Y / p.Z
+	case 3:
+		return p.Z / p.X, p.Y / p.X
+	case 4:
+		return p.Z / p.Y, -p.X / p.Y
+	default:
+		return -p.Y / p.Z, -p.X / p.Z
+	}
+}
+
+// faceUVToXYZ is the inverse of faceUV (up to normalization).
+func faceUVToXYZ(face int, u, v float64) geo.Point3 {
+	switch face {
+	case 0:
+		return geo.Point3{X: 1, Y: u, Z: v}
+	case 1:
+		return geo.Point3{X: -u, Y: 1, Z: v}
+	case 2:
+		return geo.Point3{X: -u, Y: -v, Z: 1}
+	case 3:
+		return geo.Point3{X: -1, Y: -v, Z: -u}
+	case 4:
+		return geo.Point3{X: v, Y: -1, Z: -u}
+	default:
+		return geo.Point3{X: v, Y: u, Z: -1}
+	}
+}
+
+// uvToST applies S2's quadratic warp, mapping u ∈ [-1,1] to s ∈ [0,1] while
+// flattening the area distortion of the gnomonic projection.
+func uvToST(u float64) float64 {
+	if u >= 0 {
+		return 0.5 * math.Sqrt(1+3*u)
+	}
+	return 1 - 0.5*math.Sqrt(1-3*u)
+}
+
+// stToUV is the inverse of uvToST.
+func stToUV(s float64) float64 {
+	if s >= 0.5 {
+		return (4*s*s - 1) / 3
+	}
+	return (1 - 4*(1-s)*(1-s)) / 3
+}

@@ -1,0 +1,42 @@
+package grid
+
+import (
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/geom"
+)
+
+// Planar is an equirectangular grid: one root face covering the whole world,
+// with s proportional to longitude and t proportional to latitude. It is the
+// default grid. Its cells are perfect lat/lng rectangles, which makes the
+// meters-per-cell math exact and lets a single index span any polygon set on
+// Earth (poles and antimeridian-crossing polygons excepted).
+type Planar struct{}
+
+// NewPlanar returns the equirectangular world grid.
+func NewPlanar() Planar { return Planar{} }
+
+// Name implements Grid.
+func (Planar) Name() string { return "planar" }
+
+// NumFaces implements Grid.
+func (Planar) NumFaces() int { return 1 }
+
+// Project implements Grid.
+func (Planar) Project(ll geo.LatLng) (int, geom.Point) {
+	// Multiply by the reciprocal: float division costs an order of
+	// magnitude more than multiplication and this is the per-point hot
+	// path. The reciprocals are exact powers-of-two-free constants; the
+	// rounding difference to /360 is below the 2 cm leaf resolution.
+	return 0, geom.Point{
+		X: (ll.Lng + 180) * (1.0 / 360),
+		Y: (ll.Lat + 90) * (1.0 / 180),
+	}
+}
+
+// Unproject implements Grid.
+func (Planar) Unproject(face int, st geom.Point) geo.LatLng {
+	return geo.LatLng{
+		Lat: st.Y*180 - 90,
+		Lng: st.X*360 - 180,
+	}
+}

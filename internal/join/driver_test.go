@@ -1,0 +1,76 @@
+package join
+
+import (
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+)
+
+// TestManyThreadsFewPoints exercises the driver when worker count exceeds
+// the number of chunks (and even the number of points).
+func TestManyThreadsFewPoints(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "drv", NumRegions: 6, Lattice: 48, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPipeline(t, set, 60)
+	pts, err := data.GeneratePoints(data.PointConfig{N: 37, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := &ACT{Grid: p.g, Trie: p.trie}
+	serial, ss := Run(j, pts, p.n, 1)
+	parallel, sp := Run(j, pts, p.n, 16)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("polygon %d: %d vs %d", i, serial[i], parallel[i])
+		}
+	}
+	if ss.Pairs() != sp.Pairs() {
+		t.Error("pair counts differ")
+	}
+}
+
+// TestThreadsZeroUsesGOMAXPROCS verifies the default thread selection.
+func TestThreadsZeroUsesGOMAXPROCS(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "drv0", NumRegions: 4, Lattice: 32, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPipeline(t, set, 60)
+	pts := []geo.LatLng{{Lat: 40.7, Lng: -74}}
+	_, st := Run(&ACT{Grid: p.g, Trie: p.trie}, pts, p.n, 0)
+	if st.Threads < 1 {
+		t.Errorf("Threads = %d", st.Threads)
+	}
+}
+
+// TestPointsOutsideWorldBounds verifies strays clamp rather than crash.
+func TestPointsOutsideWorldBounds(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "drvw", NumRegions: 4, Lattice: 32, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPipeline(t, set, 60)
+	pts := []geo.LatLng{
+		{Lat: 90, Lng: 180},
+		{Lat: -90, Lng: -180},
+		{Lat: 0, Lng: 0},
+	}
+	counts, st := Run(&ACT{Grid: p.g, Trie: p.trie}, pts, p.n, 1)
+	if st.Misses != int64(len(pts)) {
+		t.Errorf("expected all misses, got %+v", st)
+	}
+	for _, c := range counts {
+		if c != 0 {
+			t.Error("unexpected count")
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"github.com/actindex/act/internal/geom"
+)
+
+// TestQuickQueryMatchesScan property-tests the tree against a linear scan
+// with generator-driven rectangle sets and probe points.
+func TestQuickQueryMatchesScan(t *testing.T) {
+	f := func(seeds []uint32, probeSeed uint32) bool {
+		if len(seeds) == 0 {
+			return true
+		}
+		if len(seeds) > 400 {
+			seeds = seeds[:400]
+		}
+		tr, err := New(8)
+		if err != nil {
+			return false
+		}
+		rects := make([]geom.Rect, len(seeds))
+		for i, s := range seeds {
+			x := float64(s%1000) / 10
+			y := float64((s/1000)%1000) / 10
+			w := float64((s/7)%40) / 10
+			h := float64((s/11)%40) / 10
+			rects[i] = geom.Rect{Min: geom.Point{X: x, Y: y}, Max: geom.Point{X: x + w, Y: y + h}}
+			tr.Insert(rects[i], uint32(i))
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("invariants: %v", err)
+			return false
+		}
+		p := geom.Point{X: float64(probeSeed%1100) / 10, Y: float64((probeSeed/1100)%1100) / 10}
+		got := tr.QueryPoint(p, nil)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		var want []uint32
+		for i, r := range rects {
+			if r.Contains(p) {
+				want = append(want, uint32(i))
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickNoNaNPropagation ensures degenerate float inputs don't corrupt
+// the structure silently: non-finite rects are the caller's bug, but finite
+// extremes must work.
+func TestQuickExtremeCoordinates(t *testing.T) {
+	tr, _ := New(8)
+	extremes := []geom.Rect{
+		{Min: geom.Point{X: -1e15, Y: -1e15}, Max: geom.Point{X: -1e15 + 1, Y: -1e15 + 1}},
+		{Min: geom.Point{X: 1e15, Y: 1e15}, Max: geom.Point{X: 1e15 + 1, Y: 1e15 + 1}},
+		{Min: geom.Point{X: -math.MaxFloat64 / 4, Y: 0}, Max: geom.Point{X: 0, Y: 1}},
+	}
+	for i, r := range extremes {
+		tr.Insert(r, uint32(i))
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got := tr.QueryPoint(geom.Point{X: 1e15 + 0.5, Y: 1e15 + 0.5}, nil)
+	if len(got) != 1 || got[0] != 1 {
+		t.Errorf("extreme query = %v", got)
+	}
+}

@@ -1,0 +1,93 @@
+package supercover
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/cover"
+)
+
+// TestQuickPrefixFreeAndLossless property-tests the merge on
+// generator-driven cell sets: the output is always prefix-free and every
+// leaf lookup returns exactly the union of input references.
+func TestQuickPrefixFreeAndLossless(t *testing.T) {
+	f := func(cellSeeds []uint64, polySplit uint8) bool {
+		if len(cellSeeds) == 0 {
+			return true
+		}
+		if len(cellSeeds) > 60 {
+			cellSeeds = cellSeeds[:60]
+		}
+		nPolys := int(polySplit%4) + 1
+		covs := make([]*cover.Covering, nPolys)
+		for i := range covs {
+			covs[i] = &cover.Covering{}
+		}
+		var allCells []cellid.ID
+		for i, s := range cellSeeds {
+			// Derive a valid cell: face 0–1, level 1–30.
+			face := int(s % 2)
+			level := int(s/2%cellid.MaxLevel) + 1
+			leaf := cellid.FromFaceIJ(face, int(s/7%cellid.MaxSize), int(s/13%cellid.MaxSize))
+			cell := leaf.Parent(level)
+			p := i % nPolys
+			if s%3 == 0 {
+				covs[p].Interior = append(covs[p].Interior, cell)
+			} else {
+				covs[p].Boundary = append(covs[p].Boundary, cell)
+			}
+			allCells = append(allCells, cell)
+		}
+		var b Builder
+		for i, cov := range covs {
+			if err := b.Add(uint32(i), cov); err != nil {
+				return false
+			}
+		}
+		sc := b.Build()
+		// Prefix-free and sorted.
+		for i := 1; i < sc.NumCells(); i++ {
+			if sc.Cell(i-1) >= sc.Cell(i) || sc.Cell(i-1).Intersects(sc.Cell(i)) {
+				return false
+			}
+		}
+		// Lossless: probe the first leaf of every input cell.
+		for _, cell := range allCells {
+			leaf := cell.RangeMin()
+			want := map[uint32]bool{}
+			for p, cov := range covs {
+				hit := false
+				for _, c := range cov.Interior {
+					if c.Contains(leaf) {
+						hit = true
+					}
+				}
+				for _, c := range cov.Boundary {
+					if c.Contains(leaf) {
+						hit = true
+					}
+				}
+				if hit {
+					want[uint32(p)] = true
+				}
+			}
+			refs, ok := sc.Lookup(leaf)
+			if !ok {
+				return len(want) == 0
+			}
+			if len(refs) != len(want) {
+				return false
+			}
+			for _, r := range refs {
+				if !want[r.PolygonID] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,273 @@
+package supercover
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/cover"
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/grid"
+)
+
+// covering builds a cover.Covering directly from cell lists (bypassing the
+// geometric coverer) so merge behaviour can be tested in isolation.
+func covering(boundary, interior []cellid.ID) *cover.Covering {
+	return &cover.Covering{Boundary: boundary, Interior: interior}
+}
+
+func build(t *testing.T, covs map[uint32]*cover.Covering) *SuperCovering {
+	t.Helper()
+	var b Builder
+	ids := make([]uint32, 0, len(covs))
+	for id := range covs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		if err := b.Add(id, covs[id]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestSingleCovering(t *testing.T) {
+	c := cellid.FromFace(0).Child(1).Child(2)
+	d := cellid.FromFace(0).Child(3)
+	s := build(t, map[uint32]*cover.Covering{
+		7: covering([]cellid.ID{c}, []cellid.ID{d}),
+	})
+	if s.NumCells() != 2 {
+		t.Fatalf("NumCells = %d, want 2", s.NumCells())
+	}
+	refs, ok := s.Lookup(c.RangeMin())
+	if !ok || len(refs) != 1 || refs[0] != (Ref{PolygonID: 7}) {
+		t.Errorf("boundary lookup = %v, %v", refs, ok)
+	}
+	refs, ok = s.Lookup(d.RangeMax())
+	if !ok || len(refs) != 1 || refs[0] != (Ref{PolygonID: 7, Interior: true}) {
+		t.Errorf("interior lookup = %v, %v", refs, ok)
+	}
+	if _, ok := s.Lookup(cellid.FromFace(1).RangeMin()); ok {
+		t.Error("uncovered leaf should miss")
+	}
+}
+
+func TestDuplicateCellsMerge(t *testing.T) {
+	c := cellid.FromFace(2).Child(0).Child(0)
+	s := build(t, map[uint32]*cover.Covering{
+		1: covering([]cellid.ID{c}, nil),
+		2: covering(nil, []cellid.ID{c}),
+	})
+	if s.NumCells() != 1 {
+		t.Fatalf("NumCells = %d, want 1", s.NumCells())
+	}
+	refs, ok := s.Lookup(c.RangeMin())
+	if !ok || len(refs) != 2 {
+		t.Fatalf("lookup = %v, %v", refs, ok)
+	}
+	if refs[0] != (Ref{PolygonID: 1}) || refs[1] != (Ref{PolygonID: 2, Interior: true}) {
+		t.Errorf("merged refs = %v", refs)
+	}
+}
+
+func TestAncestorPushedDown(t *testing.T) {
+	parent := cellid.FromFace(0).Child(2)
+	child := parent.Child(1)
+	s := build(t, map[uint32]*cover.Covering{
+		1: covering(nil, []cellid.ID{parent}), // interior of poly 1
+		2: covering([]cellid.ID{child}, nil),  // boundary of poly 2
+	})
+	// Expect: child carries {1 interior, 2 candidate}; the three sibling
+	// gaps carry {1 interior}. Prefix-free, 4 cells total.
+	if s.NumCells() != 4 {
+		t.Fatalf("NumCells = %d, want 4", s.NumCells())
+	}
+	refs, ok := s.Lookup(child.RangeMin())
+	if !ok || len(refs) != 2 {
+		t.Fatalf("child refs = %v", refs)
+	}
+	if refs[0] != (Ref{PolygonID: 1, Interior: true}) || refs[1] != (Ref{PolygonID: 2}) {
+		t.Errorf("child refs = %v", refs)
+	}
+	for _, sib := range []cellid.ID{parent.Child(0), parent.Child(2), parent.Child(3)} {
+		refs, ok := s.Lookup(sib.RangeMin())
+		if !ok || len(refs) != 1 || refs[0] != (Ref{PolygonID: 1, Interior: true}) {
+			t.Errorf("sibling %v refs = %v, %v", sib, refs, ok)
+		}
+	}
+}
+
+func TestDeepAncestorGaps(t *testing.T) {
+	top := cellid.FromFace(1).Child(0)
+	deep := top.Child(1).Child(2).Child(3)
+	s := build(t, map[uint32]*cover.Covering{
+		1: covering([]cellid.ID{top}, nil),
+		2: covering(nil, []cellid.ID{deep}),
+	})
+	// Pushing top down three levels produces 3 gaps per level + the deep
+	// cell itself = 10 cells.
+	if s.NumCells() != 10 {
+		t.Fatalf("NumCells = %d, want 10", s.NumCells())
+	}
+	assertPrefixFree(t, s)
+	refs, ok := s.Lookup(deep.RangeMin())
+	if !ok || len(refs) != 2 {
+		t.Fatalf("deep refs = %v", refs)
+	}
+}
+
+func TestSamePolygonConflictCandidateWins(t *testing.T) {
+	parent := cellid.FromFace(0).Child(1)
+	child := parent.Child(0)
+	// Malformed input: polygon 5 claims the parent as interior and a child
+	// as boundary. The safe resolution keeps the candidate flag.
+	s := build(t, map[uint32]*cover.Covering{
+		5: covering([]cellid.ID{child}, []cellid.ID{parent}),
+	})
+	refs, ok := s.Lookup(child.RangeMin())
+	if !ok || len(refs) != 1 {
+		t.Fatalf("refs = %v, %v", refs, ok)
+	}
+	if refs[0].Interior {
+		t.Error("conflicting flags should resolve to candidate")
+	}
+}
+
+func TestPolygonIDLimit(t *testing.T) {
+	var b Builder
+	err := b.Add(MaxPolygonID+1, covering([]cellid.ID{cellid.FromFace(0)}, nil))
+	if err == nil {
+		t.Error("polygon id above 2^30-1 should be rejected")
+	}
+	if err := b.Add(MaxPolygonID, covering([]cellid.ID{cellid.FromFace(0)}, nil)); err != nil {
+		t.Errorf("polygon id at limit should be accepted: %v", err)
+	}
+}
+
+func assertPrefixFree(t *testing.T, s *SuperCovering) {
+	t.Helper()
+	for i := 1; i < s.NumCells(); i++ {
+		a, b := s.Cell(i-1), s.Cell(i)
+		if a >= b {
+			t.Fatalf("cells not strictly sorted: %v >= %v", a, b)
+		}
+		if a.Intersects(b) {
+			t.Fatalf("cells overlap: %v and %v", a, b)
+		}
+	}
+}
+
+// TestMergePreservesLookups is the central property: for random query
+// points, the super covering must report exactly the union of the polygons
+// whose individual coverings contain the point.
+func TestMergePreservesLookups(t *testing.T) {
+	g := grid.NewPlanar()
+	// Three overlapping polygons around the same area.
+	polys := []*geo.Polygon{
+		{Outer: []geo.LatLng{
+			{Lat: 40.70, Lng: -74.02}, {Lat: 40.70, Lng: -73.98},
+			{Lat: 40.74, Lng: -73.98}, {Lat: 40.74, Lng: -74.02}}},
+		{Outer: []geo.LatLng{
+			{Lat: 40.72, Lng: -74.00}, {Lat: 40.72, Lng: -73.96},
+			{Lat: 40.76, Lng: -73.96}, {Lat: 40.76, Lng: -74.00}}},
+		{Outer: []geo.LatLng{
+			{Lat: 40.71, Lng: -74.01}, {Lat: 40.715, Lng: -73.99},
+			{Lat: 40.73, Lng: -73.995}, {Lat: 40.725, Lng: -74.015}}},
+	}
+	c, err := cover.NewCoverer(g, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covs := make([]*cover.Covering, len(polys))
+	var b Builder
+	for i, p := range polys {
+		cov, err := c.Cover(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		covs[i] = cov
+		if err := b.Add(uint32(i), cov); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := b.Build()
+	assertPrefixFree(t, s)
+
+	contains := func(cells []cellid.ID, leaf cellid.ID) bool {
+		i := sort.Search(len(cells), func(i int) bool { return cells[i].RangeMax() >= leaf })
+		return i < len(cells) && cells[i].Contains(leaf)
+	}
+
+	rng := rand.New(rand.NewSource(23))
+	misses, multi := 0, 0
+	for n := 0; n < 5000; n++ {
+		ll := geo.LatLng{Lat: 40.69 + rng.Float64()*0.08, Lng: -74.03 + rng.Float64()*0.08}
+		leaf := grid.LeafCell(g, ll)
+		want := map[Ref]bool{}
+		for i, cov := range covs {
+			if contains(cov.Interior, leaf) {
+				want[Ref{PolygonID: uint32(i), Interior: true}] = true
+			} else if contains(cov.Boundary, leaf) {
+				want[Ref{PolygonID: uint32(i)}] = true
+			}
+		}
+		refs, ok := s.Lookup(leaf)
+		if !ok {
+			misses++
+			if len(want) != 0 {
+				t.Fatalf("super covering missed point %v with refs %v", ll, want)
+			}
+			continue
+		}
+		if len(refs) != len(want) {
+			t.Fatalf("point %v: got %v, want %v", ll, refs, want)
+		}
+		for _, r := range refs {
+			if !want[r] {
+				t.Fatalf("point %v: unexpected ref %v (want %v)", ll, r, want)
+			}
+		}
+		if len(refs) > 1 {
+			multi++
+		}
+	}
+	if misses == 0 {
+		t.Error("expected some query points outside all polygons")
+	}
+	if multi == 0 {
+		t.Error("expected some query points matching multiple polygons")
+	}
+}
+
+func TestStats(t *testing.T) {
+	parent := cellid.FromFace(0).Child(2)
+	child := parent.Child(1)
+	s := build(t, map[uint32]*cover.Covering{
+		1: covering(nil, []cellid.ID{parent}),
+		2: covering([]cellid.ID{child}, nil),
+	})
+	st := s.ComputeStats()
+	if st.NumCells != 4 || st.MaxRefs != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.NumInterior != 3 {
+		t.Errorf("NumInterior = %d, want 3 (the gap cells)", st.NumInterior)
+	}
+	if st.AvgRefs <= 1 || st.AvgRefs >= 2 {
+		t.Errorf("AvgRefs = %v out of range", st.AvgRefs)
+	}
+}
+
+func TestEmptyBuilder(t *testing.T) {
+	var b Builder
+	s := b.Build()
+	if s.NumCells() != 0 {
+		t.Errorf("empty build has %d cells", s.NumCells())
+	}
+	if _, ok := s.Lookup(cellid.FromFace(0).RangeMin()); ok {
+		t.Error("empty super covering should miss")
+	}
+}

@@ -1,0 +1,199 @@
+package act
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"github.com/actindex/act/internal/core"
+	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/grid"
+)
+
+// Index serialization: a small header (grid kind, precision, summary
+// stats), the geographic polygons (so exact refinement works after
+// loading), then the trie blob (which carries its own checksum).
+
+const (
+	indexMagic   = "ACTX"
+	indexVersion = 1
+)
+
+// byteCounter counts bytes flowing to the underlying writer.
+type byteCounter struct {
+	w io.Writer
+	n int64
+}
+
+func (b *byteCounter) Write(p []byte) (int, error) {
+	n, err := b.w.Write(p)
+	b.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the index so it can be loaded with ReadIndex without
+// rebuilding coverings. It implements io.WriterTo.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	bc := &byteCounter{w: w}
+	bw := bufio.NewWriterSize(bc, 1<<20)
+	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if _, err := bw.WriteString(indexMagic); err != nil {
+		return bc.n, err
+	}
+	var gk uint32
+	if ix.grid.Name() == "cubeface" {
+		gk = uint32(CubeFaceGrid)
+	}
+	header := []any{
+		uint32(indexVersion),
+		gk,
+		ix.precision,
+		ix.stats.AchievedPrecisionMeters,
+		uint64(ix.stats.IndexedCells),
+		uint64(len(ix.projected)),
+	}
+	for _, v := range header {
+		if err := write(v); err != nil {
+			return bc.n, err
+		}
+	}
+	// Geographic polygons are not stored in the index; re-derive them
+	// from the projected rings by unprojection? No — unprojection loses
+	// bits. The caller's polygons were validated at build time; store the
+	// projected (grid-space) rings directly: exact lookups operate on
+	// them, so the round trip is bit-exact for join semantics.
+	for _, p := range ix.projected {
+		if err := writeProjected(bw, write, p); err != nil {
+			return bc.n, err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return bc.n, err
+	}
+	if _, err := ix.trie.WriteTo(bc); err != nil {
+		return bc.n, err
+	}
+	return bc.n, nil
+}
+
+func writeProjected(bw *bufio.Writer, write func(any) error, p *geom.Polygon) error {
+	if err := write(uint32(1 + len(p.Holes))); err != nil {
+		return err
+	}
+	rings := append([]geom.Ring{p.Outer}, p.Holes...)
+	for _, ring := range rings {
+		if err := write(uint32(len(ring))); err != nil {
+			return err
+		}
+		for _, v := range ring {
+			if err := write(v.X); err != nil {
+				return err
+			}
+			if err := write(v.Y); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// ReadIndex loads an index serialized with WriteTo.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("act: read magic: %w", err)
+	}
+	if string(magic) != indexMagic {
+		return nil, fmt.Errorf("act: bad index magic %q", magic)
+	}
+	var version, gk uint32
+	if err := read(&version); err != nil {
+		return nil, err
+	}
+	if version != indexVersion {
+		return nil, fmt.Errorf("act: unsupported index version %d", version)
+	}
+	if err := read(&gk); err != nil {
+		return nil, err
+	}
+	var g grid.Grid
+	switch GridKind(gk) {
+	case PlanarGrid:
+		g = grid.NewPlanar()
+	case CubeFaceGrid:
+		g = grid.NewCubeFace()
+	default:
+		return nil, fmt.Errorf("act: unknown grid kind %d", gk)
+	}
+	ix := &Index{grid: g}
+	var cells, numPolys uint64
+	if err := read(&ix.precision); err != nil {
+		return nil, err
+	}
+	if err := read(&ix.stats.AchievedPrecisionMeters); err != nil {
+		return nil, err
+	}
+	if err := read(&cells); err != nil {
+		return nil, err
+	}
+	if err := read(&numPolys); err != nil {
+		return nil, err
+	}
+	if numPolys > 1<<31 {
+		return nil, fmt.Errorf("act: implausible polygon count %d", numPolys)
+	}
+	ix.stats.IndexedCells = int(cells)
+	ix.stats.NumPolygons = int(numPolys)
+	ix.projected = make([]*geom.Polygon, numPolys)
+	for i := range ix.projected {
+		p, err := readProjected(read)
+		if err != nil {
+			return nil, fmt.Errorf("act: polygon %d: %w", i, err)
+		}
+		ix.projected[i] = p
+	}
+	trie, err := core.ReadTrie(br)
+	if err != nil {
+		return nil, err
+	}
+	ix.trie = trie
+	ts := trie.ComputeStats()
+	ix.stats.TrieBytes = ts.TrieBytes
+	ix.stats.TableBytes = ts.TableBytes
+	ix.stats.TrieNodes = ts.NumNodes
+	return ix, nil
+}
+
+func readProjected(read func(any) error) (*geom.Polygon, error) {
+	var numRings uint32
+	if err := read(&numRings); err != nil {
+		return nil, err
+	}
+	if numRings == 0 || numRings > 1<<20 {
+		return nil, fmt.Errorf("implausible ring count %d", numRings)
+	}
+	rings := make([]geom.Ring, numRings)
+	for ri := range rings {
+		var n uint32
+		if err := read(&n); err != nil {
+			return nil, err
+		}
+		if n < 3 || n > 1<<26 {
+			return nil, fmt.Errorf("implausible ring size %d", n)
+		}
+		ring := make(geom.Ring, n)
+		for vi := range ring {
+			if err := read(&ring[vi].X); err != nil {
+				return nil, err
+			}
+			if err := read(&ring[vi].Y); err != nil {
+				return nil, err
+			}
+		}
+		rings[ri] = ring
+	}
+	return geom.NewPolygon(rings[0], rings[1:]...)
+}

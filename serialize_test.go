@@ -1,0 +1,113 @@
+package act
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+)
+
+func buildTestIndex(t *testing.T, gk GridKind) (*Index, *data.PolygonSet) {
+	t.Helper()
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "ser", NumRegions: 15, Lattice: 64, Seed: 201,
+		BoundaryJitter: 0.5, HoleFraction: 0.3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 20, Grid: gk})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, set
+}
+
+func TestIndexSerializationRoundTrip(t *testing.T) {
+	for _, gk := range []GridKind{PlanarGrid, CubeFaceGrid} {
+		idx, set := buildTestIndex(t, gk)
+		var buf bytes.Buffer
+		n, err := idx.WriteTo(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", gk, err)
+		}
+		if n != int64(buf.Len()) {
+			t.Errorf("%v: WriteTo reported %d bytes, wrote %d", gk, n, buf.Len())
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", gk, err)
+		}
+		if loaded.PrecisionMeters() != idx.PrecisionMeters() ||
+			loaded.NumPolygons() != idx.NumPolygons() ||
+			loaded.GridName() != idx.GridName() {
+			t.Fatalf("%v: metadata mismatch", gk)
+		}
+		if loaded.Stats().IndexedCells != idx.Stats().IndexedCells ||
+			loaded.Stats().TrieBytes != idx.Stats().TrieBytes {
+			t.Errorf("%v: stats mismatch: %+v vs %+v", gk, loaded.Stats(), idx.Stats())
+		}
+
+		// Lookups (approximate and exact) identical across the round trip.
+		rng := rand.New(rand.NewSource(202))
+		b := set.Bound
+		var r1, r2 Result
+		for n := 0; n < 3000; n++ {
+			ll := geo.LatLng{
+				Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+				Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+			}
+			h1 := idx.Lookup(ll, &r1)
+			h2 := loaded.Lookup(ll, &r2)
+			if h1 != h2 || len(r1.True) != len(r2.True) || len(r1.Candidates) != len(r2.Candidates) {
+				t.Fatalf("%v: lookup diverges at %v: %+v vs %+v", gk, ll, r1, r2)
+			}
+			for i := range r1.True {
+				if r1.True[i] != r2.True[i] {
+					t.Fatalf("%v: true ids diverge at %v", gk, ll)
+				}
+			}
+			h1 = idx.LookupExact(ll, &r1)
+			h2 = loaded.LookupExact(ll, &r2)
+			if h1 != h2 || len(r1.True) != len(r2.True) {
+				t.Fatalf("%v: exact lookup diverges at %v", gk, ll)
+			}
+		}
+	}
+}
+
+func TestIndexSerializationCorruption(t *testing.T) {
+	idx, _ := buildTestIndex(t, PlanarGrid)
+	var buf bytes.Buffer
+	if _, err := idx.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// Truncated stream.
+	if _, err := ReadIndex(bytes.NewReader(good[:len(good)/2])); err == nil {
+		t.Error("truncated stream should fail")
+	}
+	// Bad magic.
+	bad := append([]byte("NOPE"), good[4:]...)
+	if _, err := ReadIndex(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic should fail")
+	}
+	// Flip a byte inside the trie blob: the checksum must catch it.
+	flip := append([]byte(nil), good...)
+	flip[len(flip)-1000] ^= 0x40
+	if _, err := ReadIndex(bytes.NewReader(flip)); err == nil {
+		t.Error("corrupted trie should fail the checksum")
+	} else if !strings.Contains(err.Error(), "checksum") &&
+		!strings.Contains(err.Error(), "implausible") &&
+		!strings.Contains(err.Error(), "invalid") {
+		t.Logf("corruption detected via: %v", err)
+	}
+	// Garbage input.
+	if _, err := ReadIndex(strings.NewReader("not an index at all")); err == nil {
+		t.Error("garbage should fail")
+	}
+}
