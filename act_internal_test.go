@@ -431,6 +431,95 @@ func TestJoinModes(t *testing.T) {
 	}
 }
 
+// TestJoinStreamAndPairs pins the streaming engine API to per-point Lookup
+// ground truth: Pairs must enumerate exactly the (point, polygon) matches
+// Lookup reports, JoinStream must deliver the same multiset serialized, and
+// Join must equal the aggregation of either.
+func TestJoinStreamAndPairs(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "stream", NumRegions: 12, Lattice: 64, Seed: 97, BoundaryJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := BuildIndex(set.Polygons, Options{PrecisionMeters: 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := data.GeneratePoints(data.PointConfig{N: 20000, Seed: 98})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []JoinMode{Approximate, Exact} {
+		pairs, pst := idx.Pairs(pts, mode, 4)
+		if int64(len(pairs)) != pst.Pairs() {
+			t.Fatalf("%v: %d pairs, stats say %d", mode, len(pairs), pst.Pairs())
+		}
+		// Per-point ground truth through the single-point API.
+		var res Result
+		want := map[Pair]bool{}
+		for i, ll := range pts {
+			var hit bool
+			if mode == Exact {
+				hit = idx.LookupExact(ll, &res)
+			} else {
+				hit = idx.Lookup(ll, &res)
+			}
+			if !hit {
+				continue
+			}
+			for _, id := range res.True {
+				want[Pair{Point: i, Polygon: id, Class: TrueHit}] = true
+			}
+			for _, id := range res.Candidates {
+				want[Pair{Point: i, Polygon: id, Class: Candidate}] = true
+			}
+		}
+		if mode == Approximate {
+			if len(want) != len(pairs) {
+				t.Fatalf("%v: %d pairs, ground truth %d", mode, len(pairs), len(want))
+			}
+			for _, p := range pairs {
+				if !want[p] {
+					t.Fatalf("%v: unexpected pair %+v", mode, p)
+				}
+			}
+		} else {
+			// LookupExact folds confirmed candidates into True; compare on
+			// (point, polygon) only.
+			got := map[[2]uint64]bool{}
+			for _, p := range pairs {
+				got[[2]uint64{uint64(p.Point), uint64(p.Polygon)}] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%v: %d distinct pairs, ground truth %d", mode, len(got), len(want))
+			}
+			for p := range want {
+				if !got[[2]uint64{uint64(p.Point), uint64(p.Polygon)}] {
+					t.Fatalf("%v: missing pair %+v", mode, p)
+				}
+			}
+		}
+		// JoinStream delivers the same multiset.
+		var streamed []Pair
+		sst := idx.JoinStream(pts, mode, 4, func(p Pair) { streamed = append(streamed, p) })
+		if int64(len(streamed)) != sst.Pairs() || len(streamed) != len(pairs) {
+			t.Fatalf("%v: streamed %d pairs, want %d", mode, len(streamed), len(pairs))
+		}
+		// Join equals the aggregation of the pair list.
+		counts, _ := idx.Join(pts, mode, 2)
+		agg := make([]uint64, idx.NumPolygons())
+		for _, p := range pairs {
+			agg[p.Polygon]++
+		}
+		for i := range counts {
+			if counts[i] != agg[i] {
+				t.Fatalf("%v polygon %d: Join %d, Pairs aggregation %d", mode, i, counts[i], agg[i])
+			}
+		}
+	}
+}
+
 // TestAdaptiveIndex exercises the query-driven adaptive build: with a tight
 // budget, sampled query regions see fewer approximate-vs-exact disagreements
 // than unqueried regions, and correctness is unaffected.
@@ -444,7 +533,7 @@ func TestAdaptiveIndex(t *testing.T) {
 	// Hot queries cluster near the boundaries of the first few polygons.
 	hot, err := data.GeneratePoints(data.PointConfig{
 		N: 4000, Seed: 102, Distribution: data.Adversarial,
-		Polygons: &data.PolygonSet{Polygons: set.Polygons[:3], Bound: set.Bound},
+		Polygons:     &data.PolygonSet{Polygons: set.Polygons[:3], Bound: set.Bound},
 		JitterMeters: 40,
 	})
 	if err != nil {

@@ -164,7 +164,8 @@ func BenchmarkTableIBuild(b *testing.B) {
 // benchmarkJoin measures single-threaded join throughput by cycling chunks
 // of the point stream.
 func benchmarkJoin(b *testing.B, j join.Joiner, pts []geo.LatLng, numPolygons int) {
-	counts := make([]uint64, numPolygons)
+	sink := join.NewCountSink(numPolygons)
+	em := sink.NewEmitter()
 	s := &join.Scratch{}
 	const chunk = 8192
 	b.ReportAllocs()
@@ -176,7 +177,7 @@ func benchmarkJoin(b *testing.B, j join.Joiner, pts []geo.LatLng, numPolygons in
 		if b.N-done < n {
 			n = b.N - done
 		}
-		j.JoinChunk(pts[lo:lo+n], counts, s)
+		j.JoinChunk(pts[lo:lo+n], lo, em, s)
 		done += n
 	}
 	b.StopTimer()

@@ -17,9 +17,11 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -34,6 +36,7 @@ func main() {
 	seed := flag.Int64("seed", 42, "dataset generation seed")
 	threadsFlag := flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts for fig4")
 	distFlag := flag.String("dist", "uniform", "point distribution: uniform | clustered | adversarial")
+	jsonOut := flag.String("jsonout", ".", "directory for machine-readable BENCH_*.json result files (empty disables)")
 	flag.Parse()
 
 	var dist data.Distribution
@@ -74,9 +77,24 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	// measured experiments additionally dump their records as
+	// BENCH_<name>.json so the throughput trajectory is diffable across
+	// changes without scraping the human-readable tables.
+	measured := func(name string, f func() ([]bench.Record, error)) {
+		run(name, func() error {
+			records, err := f()
+			if err != nil {
+				return err
+			}
+			if *jsonOut == "" {
+				return nil
+			}
+			return writeRecords(*jsonOut, name, cfg, records)
+		})
+	}
 	run("table1", func() error { return bench.RunTableI(w, cfg) })
-	run("fig3", func() error { return bench.RunFig3(w, cfg) })
-	run("fig4", func() error { return bench.RunFig4(w, cfg, threads) })
+	measured("fig3", func() ([]bench.Record, error) { return bench.RunFig3(w, cfg) })
+	measured("fig4", func() ([]bench.Record, error) { return bench.RunFig4(w, cfg, threads) })
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
@@ -85,6 +103,32 @@ func main() {
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
 	}
+}
+
+// benchFile is the schema of a BENCH_*.json result file.
+type benchFile struct {
+	Config  bench.Config   `json:"config"`
+	Records []bench.Record `json:"records"`
+}
+
+// writeRecords dumps one experiment's records to dir/BENCH_<name>.json.
+func writeRecords(dir, name string, cfg bench.Config, records []bench.Record) error {
+	path := filepath.Join(dir, "BENCH_"+name+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(benchFile{Config: cfg, Records: records}); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "actbench: wrote %s (%d records)\n", path, len(records))
+	return nil
 }
 
 func parseThreads(s string) ([]int, error) {

@@ -7,8 +7,14 @@
 //
 //	GET /lookup?lat=40.758&lng=-73.9855          approximate lookup
 //	GET /lookup?lat=40.758&lng=-73.9855&exact=1  exact (refined) lookup
+//	POST /join                                   batch join, streamed as NDJSON
 //	GET /stats                                   index statistics
 //	GET /healthz                                 liveness
+//
+// POST /join accepts {"points":[{"lat":..,"lng":..},...],"exact":bool,
+// "threads":n} and streams one {"point","polygon","class"} object per join
+// pair followed by a {"stats":{...}} trailer — the deployment shape for
+// bulk scoring and materialized joins over the same immutable index.
 //
 // Responses are JSON. The index is immutable after startup, so the
 // handlers are trivially safe for concurrent use.

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"bufio"
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"sync"
 
@@ -29,6 +32,7 @@ func NewServer(idx *act.Index) *Server {
 		},
 	}
 	s.mux.HandleFunc("GET /lookup", s.handleLookup)
+	s.mux.HandleFunc("POST /join", s.handleJoin)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -80,6 +84,117 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 		Epsilon: s.idx.PrecisionMeters(), Exact: exact,
 	}
 	writeJSON(w, resp)
+}
+
+// joinRequest is the JSON body of POST /join: a point batch to join
+// against the indexed polygon set.
+type joinRequest struct {
+	Points []struct {
+		Lat float64 `json:"lat"`
+		Lng float64 `json:"lng"`
+	} `json:"points"`
+	// Exact refines candidates with exact geometry before emitting.
+	Exact bool `json:"exact"`
+	// Threads bounds the join workers. Values outside [1, GOMAXPROCS] are
+	// clamped so a single request cannot monopolize (or over-subscribe)
+	// the process; the default is 1.
+	Threads int `json:"threads"`
+}
+
+// maxJoinPoints bounds one request's batch so a single POST cannot pin the
+// process; stream larger joins as several requests.
+const maxJoinPoints = 1 << 22
+
+// maxJoinBody bounds the request body read off the wire: comfortably above
+// maxJoinPoints of JSON-encoded coordinates, far below anything that could
+// exhaust memory before the point-count check runs.
+const maxJoinBody = 256 << 20
+
+// joinPair is one NDJSON line of the /join response stream.
+type joinPair struct {
+	Point   int    `json:"point"`
+	Polygon uint32 `json:"polygon"`
+	Class   string `json:"class"`
+}
+
+// joinTrailer is the final NDJSON line: aggregate statistics.
+type joinTrailer struct {
+	Stats struct {
+		Points         int     `json:"points"`
+		Pairs          int64   `json:"pairs"`
+		TrueHits       int64   `json:"trueHits"`
+		CandidateHits  int64   `json:"candidateHits"`
+		Misses         int64   `json:"misses"`
+		ElapsedSeconds float64 `json:"elapsedSeconds"`
+		ThroughputMPts float64 `json:"throughputMPts"`
+	} `json:"stats"`
+}
+
+// handleJoin streams the join of a posted point batch as NDJSON: one
+// {"point","polygon","class"} object per pair, then a {"stats"} trailer.
+// Pairs are emitted as the engine produces them, so the response starts
+// before the join finishes.
+func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
+	var req joinRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBody)).Decode(&req); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) == 0 {
+		http.Error(w, `need a non-empty "points" array`, http.StatusBadRequest)
+		return
+	}
+	if len(req.Points) > maxJoinPoints {
+		http.Error(w, fmt.Sprintf("batch exceeds %d points", maxJoinPoints), http.StatusBadRequest)
+		return
+	}
+	pts := make([]act.LatLng, len(req.Points))
+	for i, p := range req.Points {
+		ll := act.LatLng{Lat: p.Lat, Lng: p.Lng}
+		if !ll.IsValid() {
+			http.Error(w, fmt.Sprintf("point %d out of range", i), http.StatusBadRequest)
+			return
+		}
+		pts[i] = ll
+	}
+	mode := act.Approximate
+	if req.Exact {
+		mode = act.Exact
+	}
+	threads := min(max(req.Threads, 1), runtime.GOMAXPROCS(0))
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	bw := bufio.NewWriterSize(w, 1<<16)
+	enc := json.NewEncoder(bw)
+	// JoinStream serializes fn, so the encoder needs no extra locking.
+	// Once the client is gone (write error or cancelled request), stop
+	// encoding; the join itself still runs to completion, but without the
+	// per-pair serialization work.
+	ctx := r.Context()
+	var writeErr error
+	stats := s.idx.JoinStream(pts, mode, threads, func(p act.Pair) {
+		if writeErr != nil {
+			return
+		}
+		if err := ctx.Err(); err != nil {
+			writeErr = err
+			return
+		}
+		writeErr = enc.Encode(joinPair{Point: p.Point, Polygon: p.Polygon, Class: p.Class.String()})
+	})
+	if writeErr != nil {
+		return
+	}
+	var trailer joinTrailer
+	trailer.Stats.Points = stats.Points
+	trailer.Stats.Pairs = stats.Pairs()
+	trailer.Stats.TrueHits = stats.TrueHits
+	trailer.Stats.CandidateHits = stats.CandidateHits
+	trailer.Stats.Misses = stats.Misses
+	trailer.Stats.ElapsedSeconds = stats.Elapsed.Seconds()
+	trailer.Stats.ThroughputMPts = stats.ThroughputMPts
+	_ = enc.Encode(trailer)
+	_ = bw.Flush()
 }
 
 // statsResponse is the JSON shape of /stats.

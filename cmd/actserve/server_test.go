@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 
 	"github.com/actindex/act"
@@ -105,6 +106,70 @@ func TestStatsAndHealth(t *testing.T) {
 	}
 	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
 		t.Errorf("health status %d", rec.Code)
+	}
+}
+
+func postJoin(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/join", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestJoinBatch(t *testing.T) {
+	s, _ := testServer(t)
+	// Two points inside the zone, one far outside.
+	body := `{"points":[{"lat":40.73,"lng":-73.99},{"lat":41.5,"lng":-73.99},{"lat":40.71,"lng":-74.0}],"exact":true,"threads":2}`
+	rec := postJoin(t, s, body)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 3 { // 2 pairs + trailer
+		t.Fatalf("got %d NDJSON lines: %q", len(lines), rec.Body.String())
+	}
+	gotPoints := map[int]bool{}
+	for _, line := range lines[:len(lines)-1] {
+		var p joinPair
+		if err := json.Unmarshal([]byte(line), &p); err != nil {
+			t.Fatalf("bad pair line %q: %v", line, err)
+		}
+		if p.Polygon != 0 || (p.Class != "true" && p.Class != "candidate") {
+			t.Errorf("pair = %+v", p)
+		}
+		gotPoints[p.Point] = true
+	}
+	if !gotPoints[0] || !gotPoints[2] || gotPoints[1] {
+		t.Errorf("matched points %v, want {0, 2}", gotPoints)
+	}
+	var tr joinTrailer
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &tr); err != nil {
+		t.Fatalf("bad trailer %q: %v", lines[len(lines)-1], err)
+	}
+	if tr.Stats.Points != 3 || tr.Stats.Pairs != 2 || tr.Stats.Misses != 1 {
+		t.Errorf("trailer stats = %+v", tr.Stats)
+	}
+}
+
+func TestJoinValidation(t *testing.T) {
+	s, _ := testServer(t)
+	for _, body := range []string{
+		``,
+		`not json`,
+		`{"points":[]}`,
+		`{"points":[{"lat":95,"lng":0}]}`,
+	} {
+		if rec := postJoin(t, s, body); rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, rec.Code)
+		}
+	}
+	// GET on /join is not routed.
+	if rec := get(t, s, "/join"); rec.Code == http.StatusOK {
+		t.Error("GET /join should not succeed")
 	}
 }
 

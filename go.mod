@@ -1,0 +1,3 @@
+module github.com/actindex/act
+
+go 1.22

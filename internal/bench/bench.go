@@ -114,6 +114,34 @@ func BuildBaseline(set *data.PolygonSet) (*Baseline, error) {
 	}, nil
 }
 
+// Record is one machine-readable measurement row: the throughput of one
+// joiner on one dataset at one thread count. cmd/actbench serializes these
+// to BENCH_*.json so the performance trajectory is tracked across changes.
+type Record struct {
+	Experiment string  `json:"experiment"`
+	Dataset    string  `json:"dataset"`
+	Joiner     string  `json:"joiner"`
+	PrecisionM float64 `json:"precisionMeters,omitempty"`
+	Threads    int     `json:"threads"`
+	Points     int     `json:"points"`
+	Pairs      int64   `json:"pairs"`
+	MPtsPerSec float64 `json:"throughputMPts"`
+}
+
+// record converts join stats into a Record.
+func record(experiment, dataset string, precision float64, st join.Stats) Record {
+	return Record{
+		Experiment: experiment,
+		Dataset:    dataset,
+		Joiner:     st.Joiner,
+		PrecisionM: precision,
+		Threads:    st.Threads,
+		Points:     st.Points,
+		Pairs:      st.Pairs(),
+		MPtsPerSec: st.ThroughputMPts,
+	}
+}
+
 // MeasureJoin runs the joiner over the points and returns the best-of-reps
 // stats (throughput fluctuates with GC; best-of is the standard practice
 // the paper's M points/s numbers imply).

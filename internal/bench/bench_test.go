@@ -136,18 +136,37 @@ func TestExperimentRunnersSmoke(t *testing.T) {
 		t.Error("table1 output incomplete")
 	}
 	sb.Reset()
-	if err := RunFig3(&sb, cfg); err != nil {
+	fig3, err := RunFig3(&sb, cfg)
+	if err != nil {
 		t.Fatalf("fig3: %v", err)
 	}
 	if !strings.Contains(sb.String(), "ACT-4m/R-tree") {
 		t.Error("fig3 output incomplete")
 	}
+	// 3 datasets × (3 precisions + baseline) measurements.
+	if len(fig3) != 12 {
+		t.Errorf("fig3 produced %d records, want 12", len(fig3))
+	}
+	for _, r := range fig3 {
+		if r.Experiment != "fig3" || r.MPtsPerSec <= 0 || r.Threads != 1 {
+			t.Errorf("bad fig3 record %+v", r)
+		}
+	}
 	sb.Reset()
-	if err := RunFig4(&sb, cfg, []int{1, 2}); err != nil {
+	fig4, err := RunFig4(&sb, cfg, []int{1, 2})
+	if err != nil {
 		t.Fatalf("fig4: %v", err)
 	}
 	if !strings.Contains(sb.String(), "Scalability") {
 		t.Error("fig4 output incomplete")
+	}
+	if len(fig4) != 6 {
+		t.Errorf("fig4 produced %d records, want 6", len(fig4))
+	}
+	for _, r := range fig4 {
+		if r.Experiment != "fig4" || r.Joiner != "act" || r.MPtsPerSec <= 0 {
+			t.Errorf("bad fig4 record %+v", r)
+		}
 	}
 }
 

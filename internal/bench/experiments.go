@@ -52,42 +52,46 @@ func RunTableI(w io.Writer, cfg Config) error {
 // RunFig3 regenerates Figure 3: single-threaded join throughput of
 // ACT-60m/15m/4m versus the R-tree baseline for each dataset, plus the
 // ACT-4m/baseline speedup factor the paper quotes (3.54x / 5.86x / 10.3x).
-func RunFig3(w io.Writer, cfg Config) error {
+// It returns one Record per measurement for machine-readable reporting.
+func RunFig3(w io.Writer, cfg Config) ([]Record, error) {
 	cfg = cfg.withDefaults()
 	section(w, "Figure 3: Single-threaded throughput [M points/s]")
 	fmt.Fprintf(w, "%-14s %10s %10s %10s %12s %14s\n",
 		"dataset", "ACT-60m", "ACT-15m", "ACT-4m", "R-tree", "ACT-4m/R-tree")
 	sets, err := Datasets(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var records []Record
 	for _, ds := range sets {
 		idxs, err := BuildIndexes(ds.Set, Precisions, act.PlanarGrid)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		base, err := BuildBaseline(ds.Set)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		tp := make(map[float64]float64, len(Precisions))
 		for _, eps := range Precisions {
 			st := MeasureIndexJoin(idxs[eps], ds.Points, 1, 3)
 			tp[eps] = st.ThroughputMPts
+			records = append(records, record("fig3", ds.Set.Name, eps, st))
 		}
 		baseJoiner := &join.RTree{Grid: base.Grid, Tree: base.Tree}
 		bst := MeasureJoin(baseJoiner, ds.Points, len(ds.Set.Polygons), 1, 3)
+		records = append(records, record("fig3", ds.Set.Name, 0, bst))
 		fmt.Fprintf(w, "%-14s %10.1f %10.1f %10.1f %12.1f %13.2fx\n",
 			ds.Set.Name, tp[60], tp[15], tp[4], bst.ThroughputMPts, tp[4]/bst.ThroughputMPts)
 	}
 	fmt.Fprintln(w, "\nPaper shape: ACT beats the baseline on every dataset and the factor")
 	fmt.Fprintln(w, "grows with the polygon count; ACT-60m ≥ ACT-15m ≥ ACT-4m.")
-	return nil
+	return records, nil
 }
 
 // RunFig4 regenerates Figure 4: throughput of ACT-4m versus thread count
-// for each dataset.
-func RunFig4(w io.Writer, cfg Config, threads []int) error {
+// for each dataset. It returns one Record per measurement.
+func RunFig4(w io.Writer, cfg Config, threads []int) ([]Record, error) {
 	cfg = cfg.withDefaults()
 	if len(threads) == 0 {
 		threads = []int{1, 2, 4, 8, 16, 32}
@@ -100,16 +104,18 @@ func RunFig4(w io.Writer, cfg Config, threads []int) error {
 	fmt.Fprintln(w)
 	sets, err := Datasets(cfg)
 	if err != nil {
-		return err
+		return nil, err
 	}
+	var records []Record
 	for _, ds := range sets {
 		idx, err := act.BuildIndex(ds.Set.Polygons, act.Options{PrecisionMeters: 4})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		fmt.Fprintf(w, "%-14s", ds.Set.Name)
 		for _, th := range threads {
 			st := MeasureIndexJoin(idx, ds.Points, th, 2)
+			records = append(records, record("fig4", ds.Set.Name, 4, st))
 			fmt.Fprintf(w, " %8.1f", st.ThroughputMPts)
 		}
 		fmt.Fprintln(w)
@@ -117,7 +123,7 @@ func RunFig4(w io.Writer, cfg Config, threads []int) error {
 	fmt.Fprintln(w, "\nPaper shape: near-linear scaling over physical cores and further gains")
 	fmt.Fprintln(w, "from hyperthreads (memory-latency bound). Note: on a single-core host")
 	fmt.Fprintln(w, "the curve is necessarily flat; see EXPERIMENTS.md.")
-	return nil
+	return records, nil
 }
 
 // MeasureIndexJoin measures the approximate join through the public index,

@@ -396,6 +396,85 @@ func (t *Trie) readTable(off uint32, res *Result) {
 	res.Candidates = append(res.Candidates, t.table[off:off+nCand]...)
 }
 
+// LookupBatch performs one Lookup per leaf cell, invoking emit(i, hit) for
+// each with res holding leaf i's references (res is reset before every
+// lookup). Instead of re-descending from the root for every probe, the walk
+// resumes at the deepest node on the path shared with the previous leaf:
+// the shared key prefix is the shared node path, because trie edges consume
+// fixed key chunks. Feeding leaves in ascending id order (Z-order) makes
+// consecutive probes near-neighbours in the trie, so most lookups touch
+// only the last one or two nodes of the previous path — the cell-sorted
+// join's fast path. Correctness does not depend on the input order.
+func (t *Trie) LookupBatch(leaves []cellid.ID, res *Result, emit func(i int, hit bool)) {
+	// stack[d] is the node whose entries the walk reads after consuming d
+	// key chunks; stack[0] is the face root. 32 covers the deepest possible
+	// path (fanout 4: 30 chunks of 2 bits).
+	var stack [32]uint64
+	prevFace := -1     // face of the last walked leaf, -1 before any walk
+	var prevKey uint64 // post-skip key of the last walked leaf
+	prevDepth := 0     // chunks consumed when that walk ended
+	for i, leaf := range leaves {
+		res.Reset()
+		face := leaf.Face()
+		root := t.roots[face]
+		if root == 0 {
+			emit(i, false)
+			continue
+		}
+		key := leaf.PathBits() << 4
+		skip := t.rootSkip[face]
+		if (key^t.rootPrefix[face])>>(64-skip) != 0 {
+			// Prefix mismatch: no walk happened, the previous path is
+			// still intact for the next leaf.
+			emit(i, false)
+			continue
+		}
+		key <<= skip
+		d := 0
+		if face == prevFace {
+			d = bits.LeadingZeros64(key^prevKey) / int(t.bits)
+			if d > prevDepth {
+				d = prevDepth
+			}
+		} else {
+			stack[0] = root
+		}
+		cur := stack[d]
+		k := key << (uint(d) * t.bits)
+		hit := false
+	walk:
+		for {
+			idx := k >> (64 - t.bits)
+			k <<= t.bits
+			entry := t.nodes[cur*uint64(t.fanout)+idx]
+			switch entry & tagMask {
+			case tagChild:
+				if entry == 0 {
+					break walk // sentinel: false hit
+				}
+				cur = entry >> 2
+				d++
+				stack[d] = cur
+			case tagOne:
+				res.addPayload(uint32(entry >> 2))
+				hit = true
+				break walk
+			case tagTwo:
+				res.addPayload(uint32(entry >> 2 & payloadMax))
+				res.addPayload(uint32(entry >> 33))
+				hit = true
+				break walk
+			default: // tagOffset
+				t.readTable(uint32(entry>>2), res)
+				hit = true
+				break walk
+			}
+		}
+		prevFace, prevKey, prevDepth = face, key, d
+		emit(i, hit)
+	}
+}
+
 // LookupCounting behaves like Lookup but also returns the number of node
 // accesses performed, for the cost model c_avg = ⌈k_avg/log2(f)⌉ × node
 // access cost (paper §II).

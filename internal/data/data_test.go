@@ -125,9 +125,9 @@ func loopToRing(loop []vertexID) geom.Ring {
 
 func TestGeneratePolygonsPresets(t *testing.T) {
 	cases := []struct {
-		name    string
-		gen     func() (*PolygonSet, error)
-		wantN   int
+		name       string
+		gen        func() (*PolygonSet, error)
+		wantN      int
 		allowFewer bool
 	}{
 		{"boroughs", func() (*PolygonSet, error) { return Boroughs(42) }, 5, false},

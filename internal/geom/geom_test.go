@@ -30,14 +30,14 @@ func TestSegmentsIntersect(t *testing.T) {
 		a, b, c, d Point
 		want       bool
 	}{
-		{Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0}, true},   // proper cross
-		{Point{0, 0}, Point{1, 1}, Point{2, 2}, Point{3, 3}, false},  // collinear disjoint
-		{Point{0, 0}, Point{2, 2}, Point{1, 1}, Point{3, 3}, true},   // collinear overlap
-		{Point{0, 0}, Point{1, 0}, Point{1, 0}, Point{2, 5}, true},   // shared endpoint
-		{Point{0, 0}, Point{2, 0}, Point{1, 0}, Point{1, 5}, true},   // T junction
-		{Point{0, 0}, Point{2, 0}, Point{0, 1}, Point{2, 1}, false},  // parallel
-		{Point{0, 0}, Point{0, 0}, Point{0, 0}, Point{1, 1}, true},   // degenerate on segment
-		{Point{5, 5}, Point{5, 5}, Point{0, 0}, Point{1, 1}, false},  // degenerate off segment
+		{Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0}, true},    // proper cross
+		{Point{0, 0}, Point{1, 1}, Point{2, 2}, Point{3, 3}, false},   // collinear disjoint
+		{Point{0, 0}, Point{2, 2}, Point{1, 1}, Point{3, 3}, true},    // collinear overlap
+		{Point{0, 0}, Point{1, 0}, Point{1, 0}, Point{2, 5}, true},    // shared endpoint
+		{Point{0, 0}, Point{2, 0}, Point{1, 0}, Point{1, 5}, true},    // T junction
+		{Point{0, 0}, Point{2, 0}, Point{0, 1}, Point{2, 1}, false},   // parallel
+		{Point{0, 0}, Point{0, 0}, Point{0, 0}, Point{1, 1}, true},    // degenerate on segment
+		{Point{5, 5}, Point{5, 5}, Point{0, 0}, Point{1, 1}, false},   // degenerate off segment
 		{Point{0, 0}, Point{10, 1}, Point{5, 0}, Point{5, -5}, false}, // near miss
 	}
 	for i, c := range cases {
@@ -113,16 +113,16 @@ func TestSegmentIntersectsRect(t *testing.T) {
 		a, b Point
 		want bool
 	}{
-		{Point{1, 1}, Point{2, 2}, true},     // fully inside
-		{Point{-5, 5}, Point{15, 5}, true},   // crosses through
-		{Point{-5, -5}, Point{-1, -1}, false},// outside
-		{Point{-5, 0}, Point{5, -5}, false},  // clips corner region but misses
-		{Point{-1, 5}, Point{5, 5}, true},    // one endpoint inside
-		{Point{0, -5}, Point{0, 15}, true},   // runs along left edge
-		{Point{-5, 10}, Point{15, 10}, true}, // runs along top edge
-		{Point{10, 10}, Point{20, 20}, true}, // touches corner
-		{Point{9, 12}, Point{12, 9}, false},  // diagonal just missing top-right corner
-		{Point{-1, 9}, Point{9, -1}, true},   // diagonal cutting corner
+		{Point{1, 1}, Point{2, 2}, true},      // fully inside
+		{Point{-5, 5}, Point{15, 5}, true},    // crosses through
+		{Point{-5, -5}, Point{-1, -1}, false}, // outside
+		{Point{-5, 0}, Point{5, -5}, false},   // clips corner region but misses
+		{Point{-1, 5}, Point{5, 5}, true},     // one endpoint inside
+		{Point{0, -5}, Point{0, 15}, true},    // runs along left edge
+		{Point{-5, 10}, Point{15, 10}, true},  // runs along top edge
+		{Point{10, 10}, Point{20, 20}, true},  // touches corner
+		{Point{9, 12}, Point{12, 9}, false},   // diagonal just missing top-right corner
+		{Point{-1, 9}, Point{9, -1}, true},    // diagonal cutting corner
 	}
 	for i, c := range cases {
 		if got := SegmentIntersectsRect(c.a, c.b, r); got != c.want {
@@ -217,13 +217,13 @@ func TestRelateRect(t *testing.T) {
 	}{
 		{Rect{Point{1, 1}, Point{2, 2}}, Contained},
 		{Rect{Point{-2, -2}, Point{-1, -1}}, Disjoint},
-		{Rect{Point{-1, -1}, Point{1, 1}}, Intersects},   // crosses outer
+		{Rect{Point{-1, -1}, Point{1, 1}}, Intersects},     // crosses outer
 		{Rect{Point{4.5, 4.5}, Point{5.5, 5.5}}, Disjoint}, // inside hole
-		{Rect{Point{3, 3}, Point{5, 5}}, Intersects},     // crosses hole edge
-		{Rect{Point{-5, -5}, Point{15, 15}}, Intersects}, // contains polygon
+		{Rect{Point{3, 3}, Point{5, 5}}, Intersects},       // crosses hole edge
+		{Rect{Point{-5, -5}, Point{15, 15}}, Intersects},   // contains polygon
 		{Rect{Point{20, 20}, Point{30, 30}}, Disjoint},
 		{Rect{Point{3.5, 3.5}, Point{6.5, 6.5}}, Intersects}, // hole nested in rect
-		{Rect{Point{0, 0}, Point{10, 10}}, Intersects},   // exactly the outer ring
+		{Rect{Point{0, 0}, Point{10, 10}}, Intersects},       // exactly the outer ring
 	}
 	for i, c := range cases {
 		if got := pg.RelateRect(c.r); got != c.want {

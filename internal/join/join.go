@@ -1,9 +1,19 @@
-// Package join implements the point-in-polygon-set join executors measured
-// in the paper's evaluation: the ACT approximate join (no refinement phase
-// at all), the ACT exact join (candidates refined with point-in-polygon
-// tests), the R-tree baseline (MBR stabbing without refinement, §III), and
-// the R-tree exact join. A parallel driver shards a point stream over
-// worker goroutines with per-worker counters (Figure 4).
+// Package join implements the streaming point-in-polygon-set join engine.
+// Four executors reproduce the paper's evaluation: the ACT approximate join
+// (no refinement phase at all), the ACT exact join (candidates refined with
+// point-in-polygon tests), the R-tree baseline (MBR stabbing without
+// refinement, §III), and the R-tree exact join. A parallel driver shards a
+// point stream over worker goroutines (Figure 4).
+//
+// Output is pluggable: joiners emit (point, polygon, class) pairs into a
+// Sink, so one executor serves per-polygon aggregation (CountSink),
+// materialized joins (PairSink), and streaming consumers (FuncSink).
+//
+// The ACT joiners probe the trie in cell-sorted order: each chunk's points
+// are sorted by leaf cell id (Z-order) so consecutive probes share trie
+// path prefixes, which Trie.LookupBatch exploits by resuming each walk at
+// the deepest shared node. Emitted pairs carry original stream positions,
+// so the reordering is invisible to sinks.
 package join
 
 import (
@@ -22,12 +32,66 @@ import (
 )
 
 // Scratch holds per-worker reusable buffers so the hot path allocates
-// nothing.
+// nothing after the first chunk.
 type Scratch struct {
 	res    core.Result
 	buf    []uint32
 	leaves []cellid.ID
 	pts    []geom.Point
+	keys   []uint64    // packed (cell, index) sort keys, cell-sorted
+	tmp    []uint64    // radix ping-pong buffer
+	sorted []cellid.ID // the keys' leaves, ready for LookupBatch
+}
+
+// idxBits is the number of low key bits that carry the chunk-local point
+// index instead of cell bits. The dropped cell bits select quadrants below
+// grid level 22 (cells under ~10 m), too deep to affect probe locality, and
+// the packing caps JoinChunk batches at 2^idxBits points.
+const idxBits = 16
+
+// sortByCell sorts the chunk's probes by leaf cell id, filling s.keys with
+// packed (cell high bits | chunk-local index) keys and s.sorted with the
+// leaves in that order. Cell ids sort in Z-order, so consecutive probes are
+// spatial neighbours sharing long trie path prefixes — exactly what
+// LookupBatch exploits. An LSD radix sort that skips bytes constant across
+// the chunk (for city-scale data, most of the key) keeps the sort far
+// cheaper than a comparison sort; stability plus the unique index bits make
+// equal-cell probes keep stream order.
+func (s *Scratch) sortByCell() {
+	s.keys = s.keys[:0]
+	var diff uint64
+	first := uint64(s.leaves[0]) &^ (1<<idxBits - 1)
+	for i, leaf := range s.leaves {
+		k := uint64(leaf)&^(1<<idxBits-1) | uint64(i)
+		diff |= k ^ first
+		s.keys = append(s.keys, k)
+	}
+	s.tmp = append(s.tmp[:0], s.keys...)
+	src, dst := s.keys, s.tmp
+	for shift := uint(idxBits); shift < 64; shift += 8 {
+		if (diff>>shift)&0xFF == 0 {
+			continue
+		}
+		var count [256]int
+		for _, k := range src {
+			count[(k>>shift)&0xFF]++
+		}
+		sum := 0
+		for b := range count {
+			count[b], sum = sum, sum+count[b]
+		}
+		for _, k := range src {
+			b := (k >> shift) & 0xFF
+			dst[count[b]] = k
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	s.keys, s.tmp = src, dst
+	s.sorted = s.sorted[:0]
+	for _, k := range s.keys {
+		s.sorted = append(s.sorted, s.leaves[k&(1<<idxBits-1)])
+	}
 }
 
 // ChunkStats aggregates hit counts for a batch of points.
@@ -44,13 +108,27 @@ func (c *ChunkStats) add(o ChunkStats) {
 }
 
 // Joiner is a point→polygon-set join executor. JoinChunk processes a batch
-// of points, incrementing counts[polygonID] for every reported pair, and is
-// safe for concurrent use with distinct counts and scratch.
+// of points, emitting one pair per reported (point, polygon) match with
+// point indices offset by base, and is safe for concurrent use with
+// distinct emitters and scratch.
 type Joiner interface {
 	// Name identifies the joiner in reports.
 	Name() string
-	// JoinChunk joins points against the polygon set.
-	JoinChunk(points []geo.LatLng, counts []uint64, s *Scratch) ChunkStats
+	// JoinChunk joins points against the polygon set, emitting pairs whose
+	// Point field is base plus the point's chunk-local index.
+	JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) ChunkStats
+}
+
+// emitResult streams one lookup's references to the emitter.
+func emitResult(em Emitter, point int, res *core.Result, st *ChunkStats) {
+	for _, id := range res.True {
+		em.Emit(point, id, TrueHit)
+	}
+	for _, id := range res.Candidates {
+		em.Emit(point, id, Candidate)
+	}
+	st.TrueHits += int64(len(res.True))
+	st.CandidateHits += int64(len(res.Candidates))
 }
 
 // ACT is the approximate joiner of the paper: a trie lookup per point, all
@@ -58,30 +136,50 @@ type Joiner interface {
 type ACT struct {
 	Grid grid.Grid
 	Trie *core.Trie
+	// Unsorted disables the cell-sorted batch fast path, probing points in
+	// arrival order. Exists to quantify the benefit of sorting; production
+	// use should leave it false.
+	Unsorted bool
 }
 
 // Name implements Joiner.
 func (j *ACT) Name() string { return "act" }
 
 // JoinChunk implements Joiner.
-func (j *ACT) JoinChunk(points []geo.LatLng, counts []uint64, s *Scratch) ChunkStats {
+func (j *ACT) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) ChunkStats {
 	var st ChunkStats
-	s.leaves = grid.LeafCells(j.Grid, points, s.leaves[:0])
-	for _, leaf := range s.leaves {
-		s.res.Reset()
-		if !j.Trie.Lookup(leaf, &s.res) {
-			st.Misses++
-			continue
-		}
-		for _, id := range s.res.True {
-			counts[id]++
-		}
-		for _, id := range s.res.Candidates {
-			counts[id]++
-		}
-		st.TrueHits += int64(len(s.res.True))
-		st.CandidateHits += int64(len(s.res.Candidates))
+	if len(points) == 0 {
+		return st
 	}
+	// The packed sort keys carry idxBits of point index; split oversized
+	// batches (the engine's chunks are always far smaller).
+	if len(points) > 1<<idxBits && !j.Unsorted {
+		for lo := 0; lo < len(points); lo += 1 << idxBits {
+			hi := min(lo+1<<idxBits, len(points))
+			st.add(j.JoinChunk(points[lo:hi], base+lo, em, s))
+		}
+		return st
+	}
+	s.leaves = grid.LeafCells(j.Grid, points, s.leaves[:0])
+	if j.Unsorted {
+		for i, leaf := range s.leaves {
+			s.res.Reset()
+			if !j.Trie.Lookup(leaf, &s.res) {
+				st.Misses++
+				continue
+			}
+			emitResult(em, base+i, &s.res, &st)
+		}
+		return st
+	}
+	s.sortByCell()
+	j.Trie.LookupBatch(s.sorted, &s.res, func(k int, hit bool) {
+		if !hit {
+			st.Misses++
+			return
+		}
+		emitResult(em, base+int(s.keys[k]&(1<<idxBits-1)), &s.res, &st)
+	})
 	return st
 }
 
@@ -93,31 +191,43 @@ type ACTExact struct {
 	Trie *core.Trie
 	// Polygons holds the grid-projected polygons indexed by polygon id.
 	Polygons []*geom.Polygon
+	// Unsorted disables the cell-sorted batch fast path.
+	Unsorted bool
 }
 
 // Name implements Joiner.
 func (j *ACTExact) Name() string { return "act-exact" }
 
 // JoinChunk implements Joiner.
-func (j *ACTExact) JoinChunk(points []geo.LatLng, counts []uint64, s *Scratch) ChunkStats {
+func (j *ACTExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) ChunkStats {
 	var st ChunkStats
+	if len(points) == 0 {
+		return st
+	}
+	if len(points) > 1<<idxBits && !j.Unsorted {
+		for lo := 0; lo < len(points); lo += 1 << idxBits {
+			hi := min(lo+1<<idxBits, len(points))
+			st.add(j.JoinChunk(points[lo:hi], base+lo, em, s))
+		}
+		return st
+	}
 	s.leaves = grid.LeafCells(j.Grid, points, s.leaves[:0])
 	s.pts = grid.ProjectAll(j.Grid, points, s.pts[:0])
-	for i, leaf := range s.leaves {
-		pt := s.pts[i]
-		s.res.Reset()
-		if !j.Trie.Lookup(leaf, &s.res) {
+	// refine emits chunk-local point i's references, testing candidates.
+	refine := func(i int, hit bool) {
+		if !hit {
 			st.Misses++
-			continue
+			return
 		}
 		for _, id := range s.res.True {
-			counts[id]++
+			em.Emit(base+i, id, TrueHit)
 		}
 		st.TrueHits += int64(len(s.res.True))
 		matched := len(s.res.True) > 0
+		pt := s.pts[i]
 		for _, id := range s.res.Candidates {
 			if j.Polygons[id].ContainsPoint(pt) {
-				counts[id]++
+				em.Emit(base+i, id, Candidate)
 				st.CandidateHits++
 				matched = true
 			}
@@ -126,6 +236,17 @@ func (j *ACTExact) JoinChunk(points []geo.LatLng, counts []uint64, s *Scratch) C
 			st.Misses++
 		}
 	}
+	if j.Unsorted {
+		for i, leaf := range s.leaves {
+			s.res.Reset()
+			refine(i, j.Trie.Lookup(leaf, &s.res))
+		}
+		return st
+	}
+	s.sortByCell()
+	j.Trie.LookupBatch(s.sorted, &s.res, func(k int, hit bool) {
+		refine(int(s.keys[k]&(1<<idxBits-1)), hit)
+	})
 	return st
 }
 
@@ -141,17 +262,17 @@ type RTree struct {
 func (j *RTree) Name() string { return "rtree" }
 
 // JoinChunk implements Joiner.
-func (j *RTree) JoinChunk(points []geo.LatLng, counts []uint64, s *Scratch) ChunkStats {
+func (j *RTree) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) ChunkStats {
 	var st ChunkStats
 	s.pts = grid.ProjectAll(j.Grid, points, s.pts[:0])
-	for _, pt := range s.pts {
+	for i, pt := range s.pts {
 		s.buf = j.Tree.QueryPoint(pt, s.buf[:0])
 		if len(s.buf) == 0 {
 			st.Misses++
 			continue
 		}
 		for _, id := range s.buf {
-			counts[id]++
+			em.Emit(base+i, id, Candidate)
 		}
 		st.CandidateHits += int64(len(s.buf))
 	}
@@ -171,15 +292,15 @@ type RTreeExact struct {
 func (j *RTreeExact) Name() string { return "rtree-exact" }
 
 // JoinChunk implements Joiner.
-func (j *RTreeExact) JoinChunk(points []geo.LatLng, counts []uint64, s *Scratch) ChunkStats {
+func (j *RTreeExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) ChunkStats {
 	var st ChunkStats
 	s.pts = grid.ProjectAll(j.Grid, points, s.pts[:0])
-	for _, pt := range s.pts {
+	for i, pt := range s.pts {
 		s.buf = j.Tree.QueryPoint(pt, s.buf[:0])
 		matched := false
 		for _, id := range s.buf {
 			if j.Polygons[id].ContainsPoint(pt) {
-				counts[id]++
+				em.Emit(base+i, id, Candidate)
 				st.CandidateHits++
 				matched = true
 			}
@@ -215,61 +336,69 @@ func (s Stats) String() string {
 }
 
 // chunkSize is the unit of work a worker claims at a time: large enough to
-// amortize the atomic claim, small enough to balance skewed point batches.
+// amortize the atomic claim and make cell-sorting pay, small enough to
+// balance skewed point batches.
 const chunkSize = 4096
 
-// Run executes the join over the points with the given number of worker
-// goroutines and returns per-polygon counts ("count the number of points
-// per polygon", §III). numPolygons sizes the counter array; threads ≤ 0
+// RunSink is the streaming join engine: it shards the point stream into
+// chunks, drives the joiner over them with the given number of worker
+// goroutines, and delivers every emitted pair to the sink. threads ≤ 0
 // selects GOMAXPROCS.
-func Run(j Joiner, points []geo.LatLng, numPolygons, threads int) ([]uint64, Stats) {
+func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
 	var total ChunkStats
-	counts := make([]uint64, numPolygons)
 	if threads == 1 {
+		em := sink.NewEmitter()
+		fl, _ := em.(chunkFlusher)
 		s := &Scratch{}
 		for lo := 0; lo < len(points); lo += chunkSize {
-			hi := lo + chunkSize
-			if hi > len(points) {
-				hi = len(points)
+			hi := min(lo+chunkSize, len(points))
+			total.add(j.JoinChunk(points[lo:hi], lo, em, s))
+			if fl != nil {
+				fl.flushChunk()
 			}
-			total.add(j.JoinChunk(points[lo:hi], counts, s))
 		}
+		sink.Merge(em)
 	} else {
+		emitters := make([]Emitter, threads)
+		for w := range emitters {
+			emitters[w] = sink.NewEmitter()
+		}
 		var next atomic.Int64
 		var mu sync.Mutex
 		var wg sync.WaitGroup
 		for w := 0; w < threads; w++ {
 			wg.Add(1)
-			go func() {
+			go func(em Emitter) {
 				defer wg.Done()
+				fl, _ := em.(chunkFlusher)
 				s := &Scratch{}
-				local := make([]uint64, numPolygons)
 				var st ChunkStats
 				for {
 					lo := int(next.Add(chunkSize)) - chunkSize
 					if lo >= len(points) {
 						break
 					}
-					hi := lo + chunkSize
-					if hi > len(points) {
-						hi = len(points)
+					hi := min(lo+chunkSize, len(points))
+					st.add(j.JoinChunk(points[lo:hi], lo, em, s))
+					if fl != nil {
+						fl.flushChunk()
 					}
-					st.add(j.JoinChunk(points[lo:hi], local, s))
 				}
 				mu.Lock()
-				for i, c := range local {
-					counts[i] += c
-				}
 				total.add(st)
 				mu.Unlock()
-			}()
+			}(emitters[w])
 		}
 		wg.Wait()
+		for _, em := range emitters {
+			sink.Merge(em)
+		}
 	}
+	sink.Finish()
 	elapsed := time.Since(start)
 	stats := Stats{
 		Joiner:        j.Name(),
@@ -283,5 +412,15 @@ func Run(j Joiner, points []geo.LatLng, numPolygons, threads int) ([]uint64, Sta
 	if elapsed > 0 {
 		stats.ThroughputMPts = float64(len(points)) / elapsed.Seconds() / 1e6
 	}
-	return counts, stats
+	return stats
+}
+
+// Run executes the join and returns per-polygon counts ("count the number
+// of points per polygon", §III) — a thin wrapper over RunSink with a
+// CountSink. numPolygons sizes the counter array; threads ≤ 0 selects
+// GOMAXPROCS.
+func Run(j Joiner, points []geo.LatLng, numPolygons, threads int) ([]uint64, Stats) {
+	sink := NewCountSink(numPolygons)
+	stats := RunSink(j, points, sink, threads)
+	return sink.Counts, stats
 }

@@ -1,0 +1,203 @@
+package join
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+)
+
+// Class labels a join pair with the certainty the index established for it.
+type Class uint8
+
+const (
+	// TrueHit marks a pair whose point is certainly inside the polygon
+	// (the point's leaf cell is an interior cell; no geometry was tested).
+	TrueHit Class = iota
+	// Candidate marks a pair reported from a boundary cell or an MBR stab:
+	// the point is inside or within the precision bound of the polygon.
+	// Exact joiners refine candidates before emitting, so their Candidate
+	// pairs are also truly inside — the class then records that the pair
+	// needed a point-in-polygon test.
+	Candidate
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case TrueHit:
+		return "true"
+	case Candidate:
+		return "candidate"
+	default:
+		return fmt.Sprintf("Class(%d)", uint8(c))
+	}
+}
+
+// Pair is one join output tuple: the position of the point in the input
+// stream, the polygon it matched, and the certainty class of the match.
+type Pair struct {
+	Point   int
+	Polygon uint32
+	Class   Class
+}
+
+// Emitter receives the pairs produced by one worker. Implementations need
+// not be safe for concurrent use: the engine creates one emitter per worker
+// and never shares it across goroutines.
+type Emitter interface {
+	// Emit delivers one join pair. point is the index into the full input
+	// stream (chunk reordering is already undone by the joiner).
+	Emit(point int, polygon uint32, class Class)
+}
+
+// chunkFlusher is an optional Emitter extension: the engine calls
+// flushChunk after each processed chunk, letting sinks hand batches onward
+// (e.g. to a user callback) without per-pair synchronization.
+type chunkFlusher interface {
+	flushChunk()
+}
+
+// Sink is the output side of the join engine. The engine requests one
+// Emitter per worker before the run starts, drives each from exactly one
+// goroutine, and folds them back serially when all workers are done — so
+// only Emitter implementations see concurrency, and none of it is shared.
+type Sink interface {
+	// NewEmitter returns a fresh per-worker emitter. Called serially
+	// before the workers start.
+	NewEmitter() Emitter
+	// Merge folds a finished worker's emitter back into the sink. Called
+	// serially after all workers complete, once per emitter, in
+	// unspecified order.
+	Merge(Emitter)
+	// Finish is called once after the last Merge.
+	Finish()
+}
+
+// CountSink aggregates pairs into per-polygon counts — "count the number of
+// points per polygon" (§III), the aggregation the paper's evaluation
+// performs and the shape join.Run exposes.
+type CountSink struct {
+	// Counts is indexed by polygon id.
+	Counts []uint64
+}
+
+// NewCountSink returns a count sink for numPolygons polygons.
+func NewCountSink(numPolygons int) *CountSink {
+	return &CountSink{Counts: make([]uint64, numPolygons)}
+}
+
+type countEmitter struct {
+	counts []uint64
+}
+
+func (e *countEmitter) Emit(_ int, polygon uint32, _ Class) { e.counts[polygon]++ }
+
+// NewEmitter implements Sink.
+func (s *CountSink) NewEmitter() Emitter {
+	return &countEmitter{counts: make([]uint64, len(s.Counts))}
+}
+
+// Merge implements Sink.
+func (s *CountSink) Merge(e Emitter) {
+	for i, c := range e.(*countEmitter).counts {
+		s.Counts[i] += c
+	}
+}
+
+// Finish implements Sink.
+func (s *CountSink) Finish() {}
+
+// PairSink materializes the join: every pair, sorted by point index (ties
+// by polygon id, then class) so the output is deterministic regardless of
+// the worker count.
+type PairSink struct {
+	Pairs []Pair
+}
+
+type pairEmitter struct {
+	pairs []Pair
+}
+
+func (e *pairEmitter) Emit(point int, polygon uint32, class Class) {
+	e.pairs = append(e.pairs, Pair{Point: point, Polygon: polygon, Class: class})
+}
+
+// NewEmitter implements Sink.
+func (s *PairSink) NewEmitter() Emitter { return &pairEmitter{} }
+
+// Merge implements Sink.
+func (s *PairSink) Merge(e Emitter) {
+	s.Pairs = append(s.Pairs, e.(*pairEmitter).pairs...)
+}
+
+// Finish implements Sink.
+func (s *PairSink) Finish() {
+	slices.SortFunc(s.Pairs, comparePairs)
+}
+
+func comparePairs(a, b Pair) int {
+	switch {
+	case a.Point != b.Point:
+		if a.Point < b.Point {
+			return -1
+		}
+		return 1
+	case a.Polygon != b.Polygon:
+		if a.Polygon < b.Polygon {
+			return -1
+		}
+		return 1
+	case a.Class != b.Class:
+		if a.Class < b.Class {
+			return -1
+		}
+		return 1
+	default:
+		return 0
+	}
+}
+
+// FuncSink streams every pair to Fn as it is produced, chunk by chunk. The
+// sink serializes delivery: Fn is never invoked concurrently, so it may
+// write to an io.Writer or other unsynchronized state. Within one chunk
+// pairs arrive in nondecreasing point order; across chunks the order
+// follows worker progress, not stream order (single-threaded runs are fully
+// stream-ordered).
+type FuncSink struct {
+	Fn func(Pair)
+
+	mu sync.Mutex
+}
+
+type funcEmitter struct {
+	sink *FuncSink
+	buf  []Pair
+}
+
+func (e *funcEmitter) Emit(point int, polygon uint32, class Class) {
+	e.buf = append(e.buf, Pair{Point: point, Polygon: polygon, Class: class})
+}
+
+func (e *funcEmitter) flushChunk() {
+	if len(e.buf) == 0 {
+		return
+	}
+	// Joiners may emit in cell-sorted probe order; restore stream order
+	// within the chunk before it reaches the consumer.
+	slices.SortFunc(e.buf, comparePairs)
+	e.sink.mu.Lock()
+	for _, p := range e.buf {
+		e.sink.Fn(p)
+	}
+	e.sink.mu.Unlock()
+	e.buf = e.buf[:0]
+}
+
+// NewEmitter implements Sink.
+func (s *FuncSink) NewEmitter() Emitter { return &funcEmitter{sink: s} }
+
+// Merge implements Sink (flushes any pairs of a final partial chunk).
+func (s *FuncSink) Merge(e Emitter) { e.(*funcEmitter).flushChunk() }
+
+// Finish implements Sink.
+func (s *FuncSink) Finish() {}

@@ -1,0 +1,229 @@
+package join
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+)
+
+// countsFromPairs folds a pair list into per-polygon counts.
+func countsFromPairs(pairs []Pair, n int) []uint64 {
+	counts := make([]uint64, n)
+	for _, p := range pairs {
+		counts[p.Polygon]++
+	}
+	return counts
+}
+
+// TestPairSinkMatchesCounts: the pair stream, aggregated, must equal the
+// CountSink output for every joiner, sorted and unsorted, serial and
+// parallel.
+func TestPairSinkMatchesCounts(t *testing.T) {
+	set, pts := testData(t)
+	p := buildPipeline(t, set, 15)
+	joiners := []Joiner{
+		&ACT{Grid: p.g, Trie: p.trie},
+		&ACT{Grid: p.g, Trie: p.trie, Unsorted: true},
+		&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected},
+		&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected, Unsorted: true},
+		&RTree{Grid: p.g, Tree: p.tree},
+		&RTreeExact{Grid: p.g, Tree: p.tree, Polygons: p.projected},
+	}
+	for _, j := range joiners {
+		counts, cst := Run(j, pts, p.n, 1)
+		for _, threads := range []int{1, 4} {
+			sink := &PairSink{}
+			pst := RunSink(j, pts, sink, threads)
+			if pst.Pairs() != cst.Pairs() || pst.Misses != cst.Misses {
+				t.Fatalf("%s/%dT: pair stats %+v, count stats %+v", j.Name(), threads, pst, cst)
+			}
+			got := countsFromPairs(sink.Pairs, p.n)
+			for i := range counts {
+				if counts[i] != got[i] {
+					t.Fatalf("%s/%dT polygon %d: count %d, pairs %d", j.Name(), threads, i, counts[i], got[i])
+				}
+			}
+			if int64(len(sink.Pairs)) != pst.Pairs() {
+				t.Fatalf("%s/%dT: %d pairs materialized, stats say %d", j.Name(), threads, len(sink.Pairs), pst.Pairs())
+			}
+			// Point indices must be valid stream positions.
+			for _, pr := range sink.Pairs {
+				if pr.Point < 0 || pr.Point >= len(pts) {
+					t.Fatalf("%s/%dT: pair with out-of-range point %d", j.Name(), threads, pr.Point)
+				}
+			}
+			if !sort.SliceIsSorted(sink.Pairs, func(a, b int) bool {
+				return comparePairs(sink.Pairs[a], sink.Pairs[b]) < 0
+			}) {
+				t.Fatalf("%s/%dT: pairs not sorted", j.Name(), threads)
+			}
+		}
+	}
+}
+
+// TestPairsDeterministicAcrossThreads: PairSink output is identical no
+// matter how many workers produced it.
+func TestPairsDeterministicAcrossThreads(t *testing.T) {
+	set, pts := testData(t)
+	p := buildPipeline(t, set, 15)
+	j := &ACT{Grid: p.g, Trie: p.trie}
+	serial := &PairSink{}
+	RunSink(j, pts, serial, 1)
+	parallel := &PairSink{}
+	RunSink(j, pts, parallel, 8)
+	if len(serial.Pairs) != len(parallel.Pairs) {
+		t.Fatalf("pair counts differ: %d vs %d", len(serial.Pairs), len(parallel.Pairs))
+	}
+	for i := range serial.Pairs {
+		if serial.Pairs[i] != parallel.Pairs[i] {
+			t.Fatalf("pair %d differs: %+v vs %+v", i, serial.Pairs[i], parallel.Pairs[i])
+		}
+	}
+}
+
+// TestSortedMatchesUnsorted: the cell-sorted batch path is a pure
+// optimization — its pair set must be identical to arrival-order probing.
+func TestSortedMatchesUnsorted(t *testing.T) {
+	set, pts := testData(t)
+	p := buildPipeline(t, set, 15)
+	for _, pair := range [][2]Joiner{
+		{&ACT{Grid: p.g, Trie: p.trie}, &ACT{Grid: p.g, Trie: p.trie, Unsorted: true}},
+		{
+			&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected},
+			&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected, Unsorted: true},
+		},
+	} {
+		sorted, unsorted := &PairSink{}, &PairSink{}
+		sst := RunSink(pair[0], pts, sorted, 2)
+		ust := RunSink(pair[1], pts, unsorted, 2)
+		if sst.Pairs() != ust.Pairs() || sst.TrueHits != ust.TrueHits || sst.Misses != ust.Misses {
+			t.Fatalf("%s: sorted stats %+v, unsorted stats %+v", pair[0].Name(), sst, ust)
+		}
+		for i := range sorted.Pairs {
+			if sorted.Pairs[i] != unsorted.Pairs[i] {
+				t.Fatalf("%s pair %d: sorted %+v, unsorted %+v", pair[0].Name(), i, sorted.Pairs[i], unsorted.Pairs[i])
+			}
+		}
+	}
+}
+
+// TestFuncSinkStreamsEverything: the callback sink must deliver exactly the
+// PairSink pair multiset, serialized (no concurrent invocations), with
+// nondecreasing point order within each delivered chunk run.
+func TestFuncSinkStreamsEverything(t *testing.T) {
+	set, pts := testData(t)
+	p := buildPipeline(t, set, 30)
+	j := &ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected}
+	want := &PairSink{}
+	RunSink(j, pts, want, 1)
+	for _, threads := range []int{1, 4} {
+		var got []Pair
+		inFn := false
+		sink := &FuncSink{Fn: func(pr Pair) {
+			if inFn {
+				t.Fatal("Fn invoked concurrently")
+			}
+			inFn = true
+			got = append(got, pr)
+			inFn = false
+		}}
+		st := RunSink(j, pts, sink, threads)
+		if int64(len(got)) != st.Pairs() {
+			t.Fatalf("%dT: streamed %d pairs, stats say %d", threads, len(got), st.Pairs())
+		}
+		if threads == 1 {
+			// Single-threaded streaming is fully stream-ordered.
+			for i := 1; i < len(got); i++ {
+				if got[i].Point < got[i-1].Point {
+					t.Fatalf("1T: stream order broken at %d: %+v after %+v", i, got[i], got[i-1])
+				}
+			}
+		}
+		sortPairs(got)
+		for i := range want.Pairs {
+			if got[i] != want.Pairs[i] {
+				t.Fatalf("%dT pair %d: %+v, want %+v", threads, i, got[i], want.Pairs[i])
+			}
+		}
+	}
+}
+
+func sortPairs(pairs []Pair) {
+	sort.Slice(pairs, func(i, j int) bool { return comparePairs(pairs[i], pairs[j]) < 0 })
+}
+
+// TestExactPairsMatchGroundTruth: pair emission from the ACT exact joiner
+// must agree pair-for-pair with the R-tree filter-and-refine ground truth
+// on a random workload.
+func TestExactPairsMatchGroundTruth(t *testing.T) {
+	set, pts := testData(t)
+	p := buildPipeline(t, set, 15)
+	actSink, rtSink := &PairSink{}, &PairSink{}
+	RunSink(&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected}, pts, actSink, 4)
+	RunSink(&RTreeExact{Grid: p.g, Tree: p.tree, Polygons: p.projected}, pts, rtSink, 4)
+	if len(actSink.Pairs) != len(rtSink.Pairs) {
+		t.Fatalf("pair counts differ: act-exact %d, rtree-exact %d", len(actSink.Pairs), len(rtSink.Pairs))
+	}
+	// Classes differ (ACT knows true hits), so compare (point, polygon)
+	// tuples only; both are sorted on exactly that prefix.
+	for i := range actSink.Pairs {
+		a, b := actSink.Pairs[i], rtSink.Pairs[i]
+		if a.Point != b.Point || a.Polygon != b.Polygon {
+			t.Fatalf("pair %d differs: act-exact %+v, rtree-exact %+v", i, a, b)
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if TrueHit.String() != "true" || Candidate.String() != "candidate" {
+		t.Errorf("class strings: %q, %q", TrueHit, Candidate)
+	}
+	if Class(9).String() == "" {
+		t.Error("unknown class should still print")
+	}
+}
+
+// BenchmarkChunkSortedVsUnsorted compares the cell-sorted batch probe path
+// against arrival-order probing on the uniform-points workload — the
+// acceptance gate for the batch fast path. The polygon set is census-scale
+// so the trie exceeds the CPU caches, as in the paper's evaluation: the
+// sorted path turns the probe stream's random node accesses into
+// near-sequential ones.
+func BenchmarkChunkSortedVsUnsorted(b *testing.B) {
+	set, err := data.CensusBlocks(11, 2000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := buildPipeline(b, set, 4)
+	b.Logf("trie: %.1f MB", float64(p.trie.ComputeStats().TotalBytes)/1e6)
+	pts, err := data.GeneratePoints(data.PointConfig{N: 400_000, Seed: 12})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name string
+		j    Joiner
+	}{
+		{"sorted", &ACT{Grid: p.g, Trie: p.trie}},
+		{"unsorted", &ACT{Grid: p.g, Trie: p.trie, Unsorted: true}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			sink := NewCountSink(p.n)
+			em := sink.NewEmitter()
+			s := &Scratch{}
+			const chunk = chunkSize
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := 0
+			for done < b.N {
+				lo := done % (len(pts) - chunk)
+				n := min(chunk, b.N-done)
+				bc.j.JoinChunk(pts[lo:lo+n], lo, em, s)
+				done += n
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mpts/s")
+		})
+	}
+}

@@ -31,20 +31,60 @@ func (m JoinMode) String() string {
 	}
 }
 
-// JoinStats reports the outcome of a Join run: counts per hit class,
+// JoinStats reports the outcome of a join run: counts per hit class,
 // wall-clock time, and throughput in million points per second.
 type JoinStats = join.Stats
 
+// Pair is one join output tuple: Point is the index into the input point
+// slice, Polygon the matched polygon id, and Class the certainty of the
+// match.
+type Pair = join.Pair
+
+// Class labels a join pair with the certainty the index established.
+type Class = join.Class
+
+const (
+	// TrueHit marks a pair whose point is certainly inside the polygon.
+	TrueHit = join.TrueHit
+	// Candidate marks a pair within the precision bound of the polygon
+	// (in Exact mode: a pair that needed — and passed — refinement).
+	Candidate = join.Candidate
+)
+
+// joiner selects the join executor for the mode. All executors probe the
+// trie in cell-sorted batches (the engine's fast path).
+func (ix *Index) joiner(mode JoinMode) join.Joiner {
+	if mode == Exact {
+		return &join.ACTExact{Grid: ix.grid, Trie: ix.trie, Polygons: ix.projected}
+	}
+	return &join.ACT{Grid: ix.grid, Trie: ix.trie}
+}
+
 // Join counts, for every polygon, the points matching it — the aggregation
 // the paper's evaluation performs. threads ≤ 0 uses GOMAXPROCS. The
-// returned slice is indexed by polygon id.
+// returned slice is indexed by polygon id. It is a thin wrapper over the
+// streaming engine with a counting sink.
 func (ix *Index) Join(points []LatLng, mode JoinMode, threads int) ([]uint64, JoinStats) {
-	var j join.Joiner
-	switch mode {
-	case Exact:
-		j = &join.ACTExact{Grid: ix.grid, Trie: ix.trie, Polygons: ix.projected}
-	default:
-		j = &join.ACT{Grid: ix.grid, Trie: ix.trie}
-	}
-	return join.Run(j, points, ix.NumPolygons(), threads)
+	sink := join.NewCountSink(ix.NumPolygons())
+	stats := join.RunSink(ix.joiner(mode), points, sink, threads)
+	return sink.Counts, stats
+}
+
+// JoinStream runs the join and streams every pair to fn as it is produced.
+// Delivery is serialized — fn is never invoked concurrently, so it may
+// write to an encoder, socket, or other unsynchronized state. With
+// threads == 1 pairs arrive in nondecreasing Point order; with more
+// workers, order is nondecreasing within each engine chunk but interleaved
+// across chunks. threads ≤ 0 uses GOMAXPROCS.
+func (ix *Index) JoinStream(points []LatLng, mode JoinMode, threads int, fn func(Pair)) JoinStats {
+	return join.RunSink(ix.joiner(mode), points, &join.FuncSink{Fn: fn}, threads)
+}
+
+// Pairs materializes the join: every (point, polygon, class) tuple, sorted
+// by point index (ties by polygon id), deterministic regardless of the
+// thread count. threads ≤ 0 uses GOMAXPROCS.
+func (ix *Index) Pairs(points []LatLng, mode JoinMode, threads int) ([]Pair, JoinStats) {
+	sink := &join.PairSink{}
+	stats := join.RunSink(ix.joiner(mode), points, sink, threads)
+	return sink.Pairs, stats
 }

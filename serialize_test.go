@@ -79,6 +79,51 @@ func TestIndexSerializationRoundTrip(t *testing.T) {
 	}
 }
 
+// TestJoinEngineAfterRoundTrip runs the streaming join engine through a
+// deserialized index and demands results identical to the original — for
+// both grids, closing the CubeFaceGrid gap: the engine's cell-sorted batch
+// path walks root skips and prefixes reconstructed by ReadTrie, and exact
+// mode exercises the deserialized projected polygons.
+func TestJoinEngineAfterRoundTrip(t *testing.T) {
+	for _, gk := range []GridKind{PlanarGrid, CubeFaceGrid} {
+		idx, set := buildTestIndex(t, gk)
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			t.Fatalf("%v: %v", gk, err)
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatalf("%v: %v", gk, err)
+		}
+		pts, err := data.GeneratePoints(data.PointConfig{N: 30000, Seed: 203, Polygons: set})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []JoinMode{Approximate, Exact} {
+			origPairs, ost := idx.Pairs(pts, mode, 2)
+			loadPairs, lst := loaded.Pairs(pts, mode, 2)
+			if ost.Pairs() != lst.Pairs() || ost.Misses != lst.Misses {
+				t.Fatalf("%v/%v: stats diverge: %+v vs %+v", gk, mode, ost, lst)
+			}
+			if len(origPairs) != len(loadPairs) {
+				t.Fatalf("%v/%v: %d pairs vs %d after round trip", gk, mode, len(origPairs), len(loadPairs))
+			}
+			for i := range origPairs {
+				if origPairs[i] != loadPairs[i] {
+					t.Fatalf("%v/%v: pair %d diverges: %+v vs %+v", gk, mode, i, origPairs[i], loadPairs[i])
+				}
+			}
+			origCounts, _ := idx.Join(pts, mode, 1)
+			loadCounts, _ := loaded.Join(pts, mode, 4)
+			for i := range origCounts {
+				if origCounts[i] != loadCounts[i] {
+					t.Fatalf("%v/%v: polygon %d count %d vs %d", gk, mode, i, origCounts[i], loadCounts[i])
+				}
+			}
+		}
+	}
+}
+
 func TestIndexSerializationCorruption(t *testing.T) {
 	idx, _ := buildTestIndex(t, PlanarGrid)
 	var buf bytes.Buffer
