@@ -21,7 +21,7 @@
 //
 // # Quick start
 //
-//	idx, err := act.BuildIndex(polygons, act.Options{PrecisionMeters: 4})
+//	idx, err := act.New(polygons, act.WithPrecision(4))
 //	if err != nil { ... }
 //	var res act.Result
 //	if idx.Lookup(act.LatLng{Lat: 40.7580, Lng: -73.9855}, &res) {
@@ -135,9 +135,11 @@ type BuildStats struct {
 func (s BuildStats) TotalBytes() int64 { return s.TrieBytes + s.TableBytes }
 
 // Index is an immutable point-in-polygon-set index. It is safe for
-// concurrent lookups.
+// concurrent lookups. For zero-downtime replacement under live traffic,
+// hold it in a [Swappable].
 type Index struct {
 	grid      grid.Grid
+	kind      GridKind
 	trie      *core.Trie
 	precision float64
 	stats     BuildStats
@@ -152,7 +154,15 @@ var ErrNoPolygons = errors.New("act: no polygons")
 // BuildIndex computes polygon coverings with the requested precision,
 // merges them, and loads them into an Adaptive Cell Trie. Polygon ids in
 // lookup results are indices into polygons.
+//
+// BuildIndex is the v1 constructor, kept as a thin compatibility wrapper;
+// new code should prefer [New] with functional options.
 func BuildIndex(polygons []*Polygon, opts Options) (*Index, error) {
+	return buildIndex(polygons, opts)
+}
+
+// buildIndex is the shared build pipeline behind New and BuildIndex.
+func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 	if len(polygons) == 0 {
 		return nil, ErrNoPolygons
 	}
@@ -253,6 +263,7 @@ func BuildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 	ts := trie.ComputeStats()
 	return &Index{
 		grid:      g,
+		kind:      opts.Grid,
 		trie:      trie,
 		precision: opts.PrecisionMeters,
 		projected: projected,
@@ -311,6 +322,14 @@ func (ix *Index) Find(ll LatLng) []uint32 {
 	return out
 }
 
+// AppendMatches appends the ids of all polygons matching the point
+// approximately (true hits and candidates alike) to dst and returns the
+// extended slice. It is the zero-allocation variant of Find: reusing dst
+// across calls makes the per-point cost pure trie work.
+func (ix *Index) AppendMatches(ll LatLng, dst []uint32) []uint32 {
+	return ix.trie.AppendMatches(grid.LeafCell(ix.grid, ll), dst)
+}
+
 // Contains reports whether the point is (exactly) inside the polygon with
 // the given id.
 func (ix *Index) Contains(ll LatLng, polygonID uint32) bool {
@@ -332,6 +351,10 @@ func (ix *Index) Stats() BuildStats { return ix.stats }
 
 // GridName returns the name of the underlying grid.
 func (ix *Index) GridName() string { return ix.grid.Name() }
+
+// GridKind returns the kind of the underlying grid, as selected at build
+// time (and persisted across WriteTo/ReadIndex).
+func (ix *Index) GridKind() GridKind { return ix.kind }
 
 // CellLevelForPrecision returns the shallowest grid level whose cells near
 // the given latitude have a diagonal of at most meters — useful to estimate

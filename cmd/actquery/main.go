@@ -4,8 +4,9 @@
 //	actgen -dataset neighborhoods -o n.geojson
 //	echo "40.7580 -73.9855" | actquery -polygons n.geojson -precision 4
 //
-// Output per point: the matching polygon ids, split into true hits and
-// candidates (or refined exactly with -exact).
+// Output per point: the matching polygon ids (true hits and candidates
+// alike, via the zero-allocation AppendMatches fast path), or the
+// true/candidate split refined exactly with -exact.
 package main
 
 import (
@@ -55,7 +56,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	idx, err := act.BuildIndex(polys, act.Options{PrecisionMeters: *precision, Grid: gk})
+	idx, err := act.New(polys, act.WithPrecision(*precision), act.WithGrid(gk))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "actquery: build: %v\n", err)
 		os.Exit(1)
@@ -70,6 +71,7 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	var res act.Result
+	var ids []uint32 // reused across lines: AppendMatches never allocates
 	lineNo := 0
 	for in.Scan() {
 		lineNo++
@@ -88,17 +90,20 @@ func main() {
 			continue
 		}
 		ll := act.LatLng{Lat: lat, Lng: lng}
-		var hit bool
 		if *exact {
-			hit = idx.LookupExact(ll, &res)
-		} else {
-			hit = idx.Lookup(ll, &res)
+			if !idx.LookupExact(ll, &res) {
+				fmt.Fprintf(out, "%.6f %.6f -> no match\n", lat, lng)
+				continue
+			}
+			fmt.Fprintf(out, "%.6f %.6f -> true=%v candidates=%v\n", lat, lng, res.True, res.Candidates)
+			continue
 		}
-		if !hit {
+		ids = idx.AppendMatches(ll, ids[:0])
+		if len(ids) == 0 {
 			fmt.Fprintf(out, "%.6f %.6f -> no match\n", lat, lng)
 			continue
 		}
-		fmt.Fprintf(out, "%.6f %.6f -> true=%v candidates=%v\n", lat, lng, res.True, res.Candidates)
+		fmt.Fprintf(out, "%.6f %.6f -> ids=%v\n", lat, lng, ids)
 	}
 	if err := in.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "actquery: stdin: %v\n", err)

@@ -5,59 +5,112 @@
 //	actgen -dataset neighborhoods -o n.geojson
 //	actserve -polygons n.geojson -precision 4 -addr :8080
 //
-//	GET /lookup?lat=40.758&lng=-73.9855          approximate lookup
-//	GET /lookup?lat=40.758&lng=-73.9855&exact=1  exact (refined) lookup
-//	POST /join                                   batch join, streamed as NDJSON
-//	GET /stats                                   index statistics
-//	GET /healthz                                 liveness
+//	GET  /lookup?lat=40.758&lng=-73.9855          approximate lookup
+//	GET  /lookup?lat=40.758&lng=-73.9855&exact=1  exact (refined) lookup
+//	POST /join                                    batch join, streamed as NDJSON
+//	POST /reload                                  swap in a new polygon set
+//	GET  /stats                                   index statistics
+//	GET  /healthz                                 liveness
 //
 // POST /join accepts {"points":[{"lat":..,"lng":..},...],"exact":bool,
 // "threads":n} and streams one {"point","polygon","class"} object per join
-// pair followed by a {"stats":{...}} trailer — the deployment shape for
-// bulk scoring and materialized joins over the same immutable index.
+// pair followed by a {"stats":{...}} trailer. The join runs under the
+// request context, so a disconnected client aborts it promptly.
 //
-// Responses are JSON. The index is immutable after startup, so the
-// handlers are trivially safe for concurrent use.
+// POST /reload accepts {"polygons":"path"} or {"index":"path"} (with
+// optional "precision" and "grid" overrides), builds or deserializes the
+// replacement in the background, and swaps it in atomically: lookups and
+// joins keep serving the old index until the swap, with zero downtime. It
+// reads server-local files and replaces the live index, so protect it with
+// -reload-token (Authorization: Bearer) unless the listener is trusted.
+//
+// The index is held in an act.Swappable; handlers load it once per
+// request, so every request sees one consistent index. On SIGINT/SIGTERM
+// the server stops accepting connections and drains in-flight requests
+// (including streaming NDJSON joins) before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"github.com/actindex/act"
-	"github.com/actindex/act/internal/geojson"
 )
 
 func main() {
-	polyFile := flag.String("polygons", "", "GeoJSON file with the polygon set (required)")
+	polyFile := flag.String("polygons", "", "GeoJSON file with the polygon set")
+	indexFile := flag.String("index", "", "serialized index file (alternative to -polygons)")
 	precision := flag.Float64("precision", 4, "precision bound ε in meters")
+	gridFlag := flag.String("grid", "planar", "hierarchical grid: planar | cubeface")
 	addr := flag.String("addr", ":8080", "listen address")
+	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+	reloadToken := flag.String("reload-token", "", "bearer token required by POST /reload (empty: no auth; only safe on trusted listeners)")
 	flag.Parse()
 
-	if *polyFile == "" {
-		fmt.Fprintln(os.Stderr, "actserve: -polygons is required")
+	if (*polyFile == "") == (*indexFile == "") {
+		fmt.Fprintln(os.Stderr, "actserve: exactly one of -polygons and -index is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	f, err := os.Open(*polyFile)
+	gk, err := parseGridKind(*gridFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actserve: %v\n", err)
+		os.Exit(2)
+	}
+
+	var idx *act.Index
+	if *indexFile != "" {
+		idx, err = loadIndexFile(*indexFile)
+	} else {
+		idx, err = buildFromGeoJSON(*polyFile, *precision, gk)
+	}
 	if err != nil {
 		log.Fatalf("actserve: %v", err)
-	}
-	polys, err := geojson.ReadPolygons(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("actserve: %v", err)
-	}
-	idx, err := act.BuildIndex(polys, act.Options{PrecisionMeters: *precision})
-	if err != nil {
-		log.Fatalf("actserve: build: %v", err)
 	}
 	st := idx.Stats()
 	log.Printf("actserve: %d polygons, %d cells, %.1f MB, ε=%.1fm, listening on %s",
-		st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6, *precision, *addr)
+		st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6, idx.PrecisionMeters(), *addr)
 
-	log.Fatal(http.ListenAndServe(*addr, NewServer(idx)))
+	// Reload defaults follow what is actually being served: for -index,
+	// the loaded index's own precision and grid (the -precision/-grid
+	// flags only parameterize builds), so a plain {"polygons":...} reload
+	// cannot silently change the service's precision guarantee.
+	defaults := BuildDefaults{Precision: *precision, Grid: gk}
+	if *indexFile != "" {
+		defaults = BuildDefaults{Precision: idx.PrecisionMeters(), Grid: idx.GridKind()}
+	}
+	indexes := act.NewSwappable(idx)
+	handler := NewServer(indexes, defaults)
+	handler.ReloadToken = *reloadToken
+	srv := &http.Server{Addr: *addr, Handler: handler}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("actserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("actserve: signal received, draining in-flight requests (max %s)", *drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("actserve: shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("actserve: %v", err)
+	}
+	log.Printf("actserve: drained, exiting")
 }

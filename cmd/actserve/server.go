@@ -2,37 +2,62 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"crypto/subtle"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
 
 	"github.com/actindex/act"
+	"github.com/actindex/act/internal/geojson"
 )
 
-// Server is the HTTP API over an immutable index. It is exported (within
-// this main package) for httptest-based testing.
+// BuildDefaults are the server's index-build parameters, used when a
+// reload request does not override them.
+type BuildDefaults struct {
+	Precision float64
+	Grid      act.GridKind
+}
+
+// Server is the HTTP API over a hot-swappable index: every handler loads
+// the current index from the Swappable once per request, and POST /reload
+// builds or deserializes a replacement and swaps it in under live traffic.
+// It is exported (within this main package) for httptest-based testing.
 type Server struct {
-	idx *act.Index
-	mux *http.ServeMux
+	indexes  *act.Swappable
+	defaults BuildDefaults
+	// ReloadToken, when non-empty, gates POST /reload behind an
+	// "Authorization: Bearer <token>" header. The endpoint reads
+	// server-local files and replaces the live index, so on anything but a
+	// loopback or otherwise trusted listener it must be set (or /reload
+	// fronted by real access control).
+	ReloadToken string
+	mux         *http.ServeMux
+	// reloadMu serializes reloads: one in-flight rebuild at a time, while
+	// lookups and joins keep serving the current index.
+	reloadMu sync.Mutex
 	// results are pooled: lookups are allocation-free, so the handler's
 	// only steady-state allocations are the JSON encoder's.
 	pool sync.Pool
 }
 
-// NewServer wires the routes.
-func NewServer(idx *act.Index) *Server {
+// NewServer wires the routes around the swappable index holder.
+func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
 	s := &Server{
-		idx: idx,
-		mux: http.NewServeMux(),
+		indexes:  indexes,
+		defaults: defaults,
+		mux:      http.NewServeMux(),
 		pool: sync.Pool{
 			New: func() any { return &act.Result{} },
 		},
 	}
 	s.mux.HandleFunc("GET /lookup", s.handleLookup)
 	s.mux.HandleFunc("POST /join", s.handleJoin)
+	s.mux.HandleFunc("POST /reload", s.handleReload)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -41,6 +66,43 @@ func NewServer(idx *act.Index) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// parseGridKind maps the wire/flag spelling of a grid to its kind. The
+// empty string selects the default planar grid.
+func parseGridKind(name string) (act.GridKind, error) {
+	switch name {
+	case "", "planar":
+		return act.PlanarGrid, nil
+	case "cubeface":
+		return act.CubeFaceGrid, nil
+	default:
+		return 0, fmt.Errorf("unknown grid %q (want planar or cubeface)", name)
+	}
+}
+
+// buildFromGeoJSON reads a polygon file and builds a fresh index.
+func buildFromGeoJSON(path string, precision float64, gk act.GridKind) (*act.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	polys, err := geojson.ReadPolygons(f)
+	if err != nil {
+		return nil, err
+	}
+	return act.New(polys, act.WithPrecision(precision), act.WithGrid(gk))
+}
+
+// loadIndexFile deserializes an index written with Index.WriteTo.
+func loadIndexFile(path string) (*act.Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return act.ReadIndex(f)
 }
 
 // lookupResponse is the JSON shape of a lookup.
@@ -70,18 +132,19 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	}
 	exact := q.Get("exact") == "1" || q.Get("exact") == "true"
 
+	idx := s.indexes.Load()
 	res := s.pool.Get().(*act.Result)
 	defer s.pool.Put(res)
 	var matched bool
 	if exact {
-		matched = s.idx.LookupExact(ll, res)
+		matched = idx.LookupExact(ll, res)
 	} else {
-		matched = s.idx.Lookup(ll, res)
+		matched = idx.Lookup(ll, res)
 	}
 	resp := lookupResponse{
 		Lat: lat, Lng: lng, Matched: matched,
 		True: res.True, Candidates: res.Candidates,
-		Epsilon: s.idx.PrecisionMeters(), Exact: exact,
+		Epsilon: idx.PrecisionMeters(), Exact: exact,
 	}
 	writeJSON(w, resp)
 }
@@ -133,7 +196,9 @@ type joinTrailer struct {
 // handleJoin streams the join of a posted point batch as NDJSON: one
 // {"point","polygon","class"} object per pair, then a {"stats"} trailer.
 // Pairs are emitted as the engine produces them, so the response starts
-// before the join finishes.
+// before the join finishes. The join runs under the request context: when
+// the client disconnects (or a write fails), the engine's workers abort
+// instead of joining the rest of the batch into the void.
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBody)).Decode(&req); err != nil {
@@ -166,23 +231,22 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriterSize(w, 1<<16)
 	enc := json.NewEncoder(bw)
-	// JoinStream serializes fn, so the encoder needs no extra locking.
-	// Once the client is gone (write error or cancelled request), stop
-	// encoding; the join itself still runs to completion, but without the
-	// per-pair serialization work.
-	ctx := r.Context()
+	// JoinStreamContext serializes fn, so the encoder needs no extra
+	// locking. A failed write cancels the context, which aborts the join
+	// itself — as does the request context when the client disconnects.
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	idx := s.indexes.Load()
 	var writeErr error
-	stats := s.idx.JoinStream(pts, mode, threads, func(p act.Pair) {
+	stats, err := idx.JoinStreamContext(ctx, pts, mode, threads, func(p act.Pair) {
 		if writeErr != nil {
 			return
 		}
-		if err := ctx.Err(); err != nil {
-			writeErr = err
-			return
+		if writeErr = enc.Encode(joinPair{Point: p.Point, Polygon: p.Polygon, Class: p.Class.String()}); writeErr != nil {
+			cancel()
 		}
-		writeErr = enc.Encode(joinPair{Point: p.Point, Polygon: p.Polygon, Class: p.Class.String()})
 	})
-	if writeErr != nil {
+	if err != nil || writeErr != nil {
 		return
 	}
 	var trailer joinTrailer
@@ -197,6 +261,100 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	_ = bw.Flush()
 }
 
+// reloadRequest is the JSON body of POST /reload: the source of the
+// replacement index — either a GeoJSON polygon file to build from, or a
+// serialized index file (Index.WriteTo) to deserialize — plus optional
+// build-parameter overrides.
+type reloadRequest struct {
+	// Polygons is a server-local GeoJSON file path to build from.
+	Polygons string `json:"polygons"`
+	// Index is a server-local serialized-index file path to load. Exactly
+	// one of Polygons and Index must be set.
+	Index string `json:"index"`
+	// Precision overrides the server's build precision (meters). Ignored
+	// when Index is set.
+	Precision float64 `json:"precision"`
+	// Grid overrides the server's grid: "planar" or "cubeface". Ignored
+	// when Index is set.
+	Grid string `json:"grid"`
+}
+
+// reloadResponse reports the swapped-in index.
+type reloadResponse struct {
+	Generation  uint64  `json:"generation"`
+	NumPolygons int     `json:"numPolygons"`
+	Cells       int     `json:"indexedCells"`
+	Epsilon     float64 `json:"epsilonMeters"`
+	Grid        string  `json:"grid"`
+}
+
+// handleReload builds or deserializes a replacement index and swaps it in
+// atomically. The rebuild happens on this handler's goroutine while every
+// other request keeps serving the current index; in-flight requests that
+// already loaded the old index finish on it. Only one reload runs at a
+// time — a concurrent attempt gets 409.
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if s.ReloadToken != "" &&
+		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.ReloadToken)) != 1 {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	var req reloadRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if (req.Polygons == "") == (req.Index == "") {
+		http.Error(w, `need exactly one of "polygons" and "index"`, http.StatusBadRequest)
+		return
+	}
+	gk := s.defaults.Grid
+	if req.Grid != "" {
+		var err error
+		if gk, err = parseGridKind(req.Grid); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	if req.Precision < 0 {
+		http.Error(w, fmt.Sprintf("negative precision %v", req.Precision), http.StatusBadRequest)
+		return
+	}
+	precision := s.defaults.Precision
+	if req.Precision > 0 {
+		precision = req.Precision
+	}
+
+	if !s.reloadMu.TryLock() {
+		http.Error(w, "reload already in progress", http.StatusConflict)
+		return
+	}
+	defer s.reloadMu.Unlock()
+
+	var (
+		idx *act.Index
+		err error
+	)
+	if req.Index != "" {
+		idx, err = loadIndexFile(req.Index)
+	} else {
+		idx, err = buildFromGeoJSON(req.Polygons, precision, gk)
+	}
+	if err != nil {
+		http.Error(w, "reload failed: "+err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.indexes.Swap(idx)
+	st := idx.Stats()
+	writeJSON(w, reloadResponse{
+		Generation:  s.indexes.Generation(),
+		NumPolygons: st.NumPolygons,
+		Cells:       st.IndexedCells,
+		Epsilon:     idx.PrecisionMeters(),
+		Grid:        idx.GridName(),
+	})
+}
+
 // statsResponse is the JSON shape of /stats.
 type statsResponse struct {
 	NumPolygons             int     `json:"numPolygons"`
@@ -206,18 +364,25 @@ type statsResponse struct {
 	PrecisionMeters         float64 `json:"precisionMeters"`
 	AchievedPrecisionMeters float64 `json:"achievedPrecisionMeters"`
 	Grid                    string  `json:"grid"`
+	// Generation counts index swaps: 1 is the index the server started
+	// with, each successful /reload increments it.
+	Generation uint64 `json:"generation"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.idx.Stats()
+	// Load the index and its generation as one atomic pair, so a racing
+	// /reload cannot make /stats report generation g+1 with g's numbers.
+	idx, gen := s.indexes.LoadGeneration()
+	st := idx.Stats()
 	writeJSON(w, statsResponse{
 		NumPolygons:             st.NumPolygons,
 		IndexedCells:            st.IndexedCells,
 		TrieBytes:               st.TrieBytes,
 		TableBytes:              st.TableBytes,
-		PrecisionMeters:         s.idx.PrecisionMeters(),
+		PrecisionMeters:         idx.PrecisionMeters(),
 		AchievedPrecisionMeters: st.AchievedPrecisionMeters,
-		Grid:                    s.idx.GridName(),
+		Grid:                    idx.GridName(),
+		Generation:              gen,
 	})
 }
 

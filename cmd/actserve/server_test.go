@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"github.com/actindex/act"
@@ -18,11 +21,11 @@ func testServer(t *testing.T) (*Server, *act.Index) {
 		{Lat: 40.76, Lng: -73.96},
 		{Lat: 40.76, Lng: -74.02},
 	}}
-	idx, err := act.BuildIndex([]*act.Polygon{zone}, act.Options{PrecisionMeters: 10})
+	idx, err := act.New([]*act.Polygon{zone}, act.WithPrecision(10))
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewServer(idx), idx
+	return NewServer(act.NewSwappable(idx), BuildDefaults{Precision: 10}), idx
 }
 
 func get(t *testing.T, s *Server, path string) *httptest.ResponseRecorder {
@@ -170,6 +173,168 @@ func TestJoinValidation(t *testing.T) {
 	// GET on /join is not routed.
 	if rec := get(t, s, "/join"); rec.Code == http.StatusOK {
 		t.Error("GET /join should not succeed")
+	}
+}
+
+// writeZoneGeoJSON writes a one-polygon GeoJSON file: a rectangle around
+// (41.5, -74.0), i.e. the area the original test zone misses.
+func writeZoneGeoJSON(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "zones.geojson")
+	gj := `{"type":"Polygon","coordinates":[[[-74.05,41.45],[-73.95,41.45],[-73.95,41.55],[-74.05,41.55],[-74.05,41.45]]]}`
+	if err := os.WriteFile(path, []byte(gj), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func postReload(t *testing.T, s *Server, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	req := httptest.NewRequest(http.MethodPost, "/reload", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+// TestReloadUnderTraffic is the zero-downtime property: lookups keep
+// succeeding on the old index while POST /reload builds and swaps in a new
+// polygon set, and immediately after the swap the new set answers.
+func TestReloadUnderTraffic(t *testing.T) {
+	s, _ := testServer(t)
+	path := writeZoneGeoJSON(t)
+
+	// Background lookups on the original zone's hit point: every response
+	// must be valid, before, during, and after the swap.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := get(t, s, "/lookup?lat=40.73&lng=-73.99")
+				if rec.Code != http.StatusOK {
+					t.Errorf("lookup during reload: status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+
+	rec := postReload(t, s, `{"polygons":"`+path+`","precision":15}`)
+	close(stop)
+	wg.Wait()
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body)
+	}
+	var resp reloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 2 || resp.NumPolygons != 1 || resp.Epsilon != 15 {
+		t.Errorf("reload response = %+v", resp)
+	}
+
+	// The new polygon set serves: the old zone is gone, the new one hits.
+	var lr lookupResponse
+	if err := json.Unmarshal(get(t, s, "/lookup?lat=41.5&lng=-74.0").Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Matched {
+		t.Errorf("new zone lookup = %+v", lr)
+	}
+	if err := json.Unmarshal(get(t, s, "/lookup?lat=40.73&lng=-73.99").Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Matched {
+		t.Errorf("old zone still matches after reload: %+v", lr)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != 2 || st.PrecisionMeters != 15 {
+		t.Errorf("stats after reload = %+v", st)
+	}
+}
+
+// TestReloadFromIndexFile round-trips a serialized index through /reload.
+func TestReloadFromIndexFile(t *testing.T) {
+	s, idx := testServer(t)
+	path := filepath.Join(t.TempDir(), "index.actx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec := postReload(t, s, `{"index":"`+path+`"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body)
+	}
+	var resp reloadResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Generation != 2 || resp.NumPolygons != 1 || resp.Grid != "planar" {
+		t.Errorf("reload response = %+v", resp)
+	}
+}
+
+func TestReloadValidation(t *testing.T) {
+	s, _ := testServer(t)
+	for _, body := range []string{
+		``,
+		`not json`,
+		`{}`,
+		`{"polygons":"a","index":"b"}`,
+		`{"polygons":"x","grid":"dodecahedron"}`,
+		`{"polygons":"x","precision":-5}`,
+	} {
+		if rec := postReload(t, s, body); rec.Code != http.StatusBadRequest {
+			t.Errorf("body %q: status %d, want 400", body, rec.Code)
+		}
+	}
+	// A well-formed request for a missing file fails the build, not the
+	// request parse.
+	if rec := postReload(t, s, `{"polygons":"/does/not/exist.geojson"}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("missing file: status %d, want 422", rec.Code)
+	}
+}
+
+// TestReloadToken gates the admin endpoint behind the bearer token.
+func TestReloadToken(t *testing.T) {
+	s, _ := testServer(t)
+	s.ReloadToken = "s3cret"
+	path := writeZoneGeoJSON(t)
+	body := `{"polygons":"` + path + `"}`
+
+	for _, auth := range []string{"", "Bearer wrong", "s3cret"} {
+		req := httptest.NewRequest(http.MethodPost, "/reload", strings.NewReader(body))
+		if auth != "" {
+			req.Header.Set("Authorization", auth)
+		}
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != http.StatusUnauthorized {
+			t.Errorf("auth %q: status %d, want 401", auth, rec.Code)
+		}
+	}
+	req := httptest.NewRequest(http.MethodPost, "/reload", strings.NewReader(body))
+	req.Header.Set("Authorization", "Bearer s3cret")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Errorf("valid token: status %d: %s", rec.Code, rec.Body)
 	}
 }
 

@@ -1,0 +1,60 @@
+package act_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/actindex/act"
+)
+
+// ExampleNew builds an index with functional options and answers a point
+// query — the v2 shape of the package's quick start.
+func ExampleNew() {
+	midtown := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.745, Lng: -74.000},
+		{Lat: 40.745, Lng: -73.970},
+		{Lat: 40.770, Lng: -73.970},
+		{Lat: 40.770, Lng: -74.000},
+	}}
+	idx, err := act.New([]*act.Polygon{midtown},
+		act.WithPrecision(4),         // ε: false positives are within 4 m
+		act.WithGrid(act.PlanarGrid)) // the default, spelled out
+	if err != nil {
+		log.Fatal(err)
+	}
+	var res act.Result
+	if idx.Lookup(act.LatLng{Lat: 40.7580, Lng: -73.9855}, &res) {
+		fmt.Println("true hits:", res.True)
+	}
+	// Output: true hits: [0]
+}
+
+// ExampleSwappable replaces a served polygon set under (simulated) live
+// traffic: readers Load per request, an operator Swaps in the replacement.
+func ExampleSwappable() {
+	build := func(outer []act.LatLng) *act.Index {
+		idx, err := act.New([]*act.Polygon{{Outer: outer}}, act.WithPrecision(10))
+		if err != nil {
+			log.Fatal(err)
+		}
+		return idx
+	}
+	manhattan := build([]act.LatLng{
+		{Lat: 40.70, Lng: -74.02}, {Lat: 40.70, Lng: -73.96},
+		{Lat: 40.76, Lng: -73.96}, {Lat: 40.76, Lng: -74.02},
+	})
+	newark := build([]act.LatLng{
+		{Lat: 40.70, Lng: -74.20}, {Lat: 40.70, Lng: -74.14},
+		{Lat: 40.76, Lng: -74.14}, {Lat: 40.76, Lng: -74.20},
+	})
+
+	indexes := act.NewSwappable(manhattan)
+	ll := act.LatLng{Lat: 40.73, Lng: -73.99} // in the Manhattan zone
+	fmt.Printf("gen %d: matched=%v\n", indexes.Generation(), len(indexes.Load().Find(ll)) > 0)
+
+	indexes.Swap(newark) // zero-downtime polygon-set update
+	fmt.Printf("gen %d: matched=%v\n", indexes.Generation(), len(indexes.Load().Find(ll)) > 0)
+	// Output:
+	// gen 1: matched=true
+	// gen 2: matched=false
+}

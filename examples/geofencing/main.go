@@ -49,7 +49,7 @@ func main() {
 	// GPS fixes are good to ~5 m under open sky; a 15 m bound keeps
 	// zone decisions well within sensor noise while keeping the index
 	// small (paper §I).
-	idx, err := act.BuildIndex(set.Polygons, act.Options{PrecisionMeters: 15})
+	idx, err := act.New(set.Polygons, act.WithPrecision(15))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -38,7 +38,7 @@ func main() {
 
 	fmt.Println("ε [m]   queries   matches   false-pos   max FP dist   within ε")
 	for _, eps := range []float64{60, 15, 4} {
-		idx, err := act.BuildIndex(set.Polygons, act.Options{PrecisionMeters: eps})
+		idx, err := act.New(set.Polygons, act.WithPrecision(eps))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -36,9 +36,7 @@ func main() {
 
 	// Build with a 4 m precision bound: any reported match is either
 	// certainly inside or within 4 m of the polygon.
-	idx, err := act.BuildIndex([]*act.Polygon{midtown, downtown}, act.Options{
-		PrecisionMeters: 4,
-	})
+	idx, err := act.New([]*act.Polygon{midtown, downtown}, act.WithPrecision(4))
 	if err != nil {
 		log.Fatal(err)
 	}

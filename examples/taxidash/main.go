@@ -22,7 +22,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	idx, err := act.BuildIndex(set.Polygons, act.Options{PrecisionMeters: 4})
+	idx, err := act.New(set.Polygons, act.WithPrecision(4))
 	if err != nil {
 		log.Fatal(err)
 	}

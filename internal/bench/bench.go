@@ -163,7 +163,7 @@ func MeasureJoin(j join.Joiner, points []geo.LatLng, numPolygons, threads, reps 
 func BuildIndexes(set *data.PolygonSet, precisions []float64, gk act.GridKind) (map[float64]*act.Index, error) {
 	out := make(map[float64]*act.Index, len(precisions))
 	for _, eps := range precisions {
-		idx, err := act.BuildIndex(set.Polygons, act.Options{PrecisionMeters: eps, Grid: gk})
+		idx, err := act.New(set.Polygons, act.WithPrecision(eps), act.WithGrid(gk))
 		if err != nil {
 			return nil, fmt.Errorf("bench: %s at %.0f m: %w", set.Name, eps, err)
 		}

@@ -333,15 +333,16 @@ func (b *builder) internRefs(refs []supercover.Ref) (uint32, error) {
 	return uint32(off), nil
 }
 
-// Lookup finds the covering cell containing the query point's leaf cell and
-// appends its polygon references to res. It reports whether any cell
-// matched. The walk is comparison-free: each step extracts the next key
-// bits and jumps, exactly as in the paper.
-func (t *Trie) Lookup(leaf cellid.ID, res *Result) bool {
+// walk descends from leaf's face root to the terminal entry covering it.
+// It returns 0 — the sentinel, never a terminal entry's value since all
+// terminal tags are nonzero — when no covering cell matches (false hit).
+// The walk is comparison-free: each step extracts the next key bits and
+// jumps, exactly as in the paper.
+func (t *Trie) walk(leaf cellid.ID) uint64 {
 	face := leaf.Face()
 	cur := t.roots[face]
 	if cur == 0 {
-		return false
+		return 0
 	}
 	key := leaf.PathBits() << 4
 	// Path-compressed root: one comparison replaces the walk through the
@@ -349,30 +350,65 @@ func (t *Trie) Lookup(leaf cellid.ID, res *Result) bool {
 	// so skip=0 degenerates to comparing 0 with 0.)
 	skip := t.rootSkip[face]
 	if (key^t.rootPrefix[face])>>(64-skip) != 0 {
-		return false
+		return 0
 	}
 	key <<= skip
 	for {
 		idx := key >> (64 - t.bits)
 		key <<= t.bits
 		entry := t.nodes[cur*uint64(t.fanout)+idx]
-		switch entry & tagMask {
-		case tagChild:
-			if entry == 0 {
-				return false // sentinel: false hit
-			}
-			cur = entry >> 2
-		case tagOne:
-			res.addPayload(uint32(entry >> 2))
-			return true
-		case tagTwo:
-			res.addPayload(uint32(entry >> 2 & payloadMax))
-			res.addPayload(uint32(entry >> 33))
-			return true
-		default: // tagOffset
-			t.readTable(uint32(entry>>2), res)
-			return true
+		if entry&tagMask != tagChild {
+			return entry
 		}
+		if entry == 0 {
+			return 0 // sentinel: false hit
+		}
+		cur = entry >> 2
+	}
+}
+
+// Lookup finds the covering cell containing the query point's leaf cell and
+// appends its polygon references to res. It reports whether any cell
+// matched.
+func (t *Trie) Lookup(leaf cellid.ID, res *Result) bool {
+	entry := t.walk(leaf)
+	switch entry & tagMask {
+	case tagChild: // only the sentinel carries this tag here
+		return false
+	case tagOne:
+		res.addPayload(uint32(entry >> 2))
+	case tagTwo:
+		res.addPayload(uint32(entry >> 2 & payloadMax))
+		res.addPayload(uint32(entry >> 33))
+	default: // tagOffset
+		t.readTable(uint32(entry>>2), res)
+	}
+	return true
+}
+
+// AppendMatches appends the ids of every polygon referenced by the covering
+// cell containing leaf (true hits and candidates alike, in entry order) to
+// dst and returns the extended slice. It is the allocation-free variant of
+// Lookup for callers that do not need the hit-class split: with a reused
+// dst, the walk touches only the node arena and the lookup table.
+func (t *Trie) AppendMatches(leaf cellid.ID, dst []uint32) []uint32 {
+	entry := t.walk(leaf)
+	switch entry & tagMask {
+	case tagChild: // only the sentinel carries this tag here
+		return dst
+	case tagOne:
+		return append(dst, uint32(entry>>2)>>1)
+	case tagTwo:
+		return append(dst, uint32(entry>>2&payloadMax)>>1, uint32(entry>>33)>>1)
+	default: // tagOffset
+		off := uint32(entry >> 2)
+		nTrue := t.table[off]
+		off++
+		dst = append(dst, t.table[off:off+nTrue]...)
+		off += nTrue
+		nCand := t.table[off]
+		off++
+		return append(dst, t.table[off:off+nCand]...)
 	}
 }
 

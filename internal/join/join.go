@@ -17,6 +17,7 @@
 package join
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -343,20 +344,35 @@ const chunkSize = 4096
 // RunSink is the streaming join engine: it shards the point stream into
 // chunks, drives the joiner over them with the given number of worker
 // goroutines, and delivers every emitted pair to the sink. threads ≤ 0
-// selects GOMAXPROCS.
+// selects GOMAXPROCS. It is RunSinkContext with a background context.
 func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
+	stats, _ := RunSinkContext(context.Background(), j, points, sink, threads)
+	return stats
+}
+
+// RunSinkContext is RunSink with cancellation: every worker checks the
+// context before claiming its next chunk, so a cancelled context aborts the
+// join within one chunk's worth of work per worker. On cancellation the
+// pairs already emitted are still merged into the sink, the returned stats
+// cover only the chunks actually joined, and the error is ctx.Err(). A
+// cancellation that lands after the last chunk was already joined is not an
+// error: the join is complete, so the error is nil — completed work is
+// never discarded.
+func RunSinkContext(ctx context.Context, j Joiner, points []geo.LatLng, sink Sink, threads int) (Stats, error) {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
 	var total ChunkStats
+	joined := 0
 	if threads == 1 {
 		em := sink.NewEmitter()
 		fl, _ := em.(chunkFlusher)
 		s := &Scratch{}
-		for lo := 0; lo < len(points); lo += chunkSize {
+		for lo := 0; lo < len(points) && ctx.Err() == nil; lo += chunkSize {
 			hi := min(lo+chunkSize, len(points))
 			total.add(j.JoinChunk(points[lo:hi], lo, em, s))
+			joined += hi - lo
 			if fl != nil {
 				fl.flushChunk()
 			}
@@ -367,7 +383,7 @@ func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
 		for w := range emitters {
 			emitters[w] = sink.NewEmitter()
 		}
-		var next atomic.Int64
+		var next, nJoined atomic.Int64
 		var mu sync.Mutex
 		var wg sync.WaitGroup
 		for w := 0; w < threads; w++ {
@@ -377,13 +393,14 @@ func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
 				fl, _ := em.(chunkFlusher)
 				s := &Scratch{}
 				var st ChunkStats
-				for {
+				for ctx.Err() == nil {
 					lo := int(next.Add(chunkSize)) - chunkSize
 					if lo >= len(points) {
 						break
 					}
 					hi := min(lo+chunkSize, len(points))
 					st.add(j.JoinChunk(points[lo:hi], lo, em, s))
+					nJoined.Add(int64(hi - lo))
 					if fl != nil {
 						fl.flushChunk()
 					}
@@ -394,6 +411,7 @@ func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
 			}(emitters[w])
 		}
 		wg.Wait()
+		joined = int(nJoined.Load())
 		for _, em := range emitters {
 			sink.Merge(em)
 		}
@@ -402,7 +420,7 @@ func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
 	elapsed := time.Since(start)
 	stats := Stats{
 		Joiner:        j.Name(),
-		Points:        len(points),
+		Points:        joined,
 		Threads:       threads,
 		TrueHits:      total.TrueHits,
 		CandidateHits: total.CandidateHits,
@@ -410,9 +428,12 @@ func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
 		Elapsed:       elapsed,
 	}
 	if elapsed > 0 {
-		stats.ThroughputMPts = float64(len(points)) / elapsed.Seconds() / 1e6
+		stats.ThroughputMPts = float64(joined) / elapsed.Seconds() / 1e6
 	}
-	return stats
+	if joined == len(points) {
+		return stats, nil
+	}
+	return stats, ctx.Err()
 }
 
 // Run executes the join and returns per-polygon counts ("count the number

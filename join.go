@@ -1,6 +1,7 @@
 package act
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/actindex/act/internal/join"
@@ -65,9 +66,22 @@ func (ix *Index) joiner(mode JoinMode) join.Joiner {
 // returned slice is indexed by polygon id. It is a thin wrapper over the
 // streaming engine with a counting sink.
 func (ix *Index) Join(points []LatLng, mode JoinMode, threads int) ([]uint64, JoinStats) {
+	counts, stats, _ := ix.JoinContext(context.Background(), points, mode, threads)
+	return counts, stats
+}
+
+// JoinContext is Join with cancellation: the engine's workers check ctx
+// before claiming each chunk of points, so a cancelled context (a
+// disconnected client, a deadline) aborts the join within one chunk per
+// worker instead of running a census-scale input to completion. On
+// cancellation the counts cover only the chunks joined so far, stats.Points
+// reports how many points those were, and the error is ctx.Err(). A
+// cancellation landing after the last chunk was already joined is not an
+// error: the join is complete, so the error is nil.
+func (ix *Index) JoinContext(ctx context.Context, points []LatLng, mode JoinMode, threads int) ([]uint64, JoinStats, error) {
 	sink := join.NewCountSink(ix.NumPolygons())
-	stats := join.RunSink(ix.joiner(mode), points, sink, threads)
-	return sink.Counts, stats
+	stats, err := join.RunSinkContext(ctx, ix.joiner(mode), points, sink, threads)
+	return sink.Counts, stats, err
 }
 
 // JoinStream runs the join and streams every pair to fn as it is produced.
@@ -77,14 +91,31 @@ func (ix *Index) Join(points []LatLng, mode JoinMode, threads int) ([]uint64, Jo
 // workers, order is nondecreasing within each engine chunk but interleaved
 // across chunks. threads ≤ 0 uses GOMAXPROCS.
 func (ix *Index) JoinStream(points []LatLng, mode JoinMode, threads int, fn func(Pair)) JoinStats {
-	return join.RunSink(ix.joiner(mode), points, &join.FuncSink{Fn: fn}, threads)
+	stats, _ := ix.JoinStreamContext(context.Background(), points, mode, threads, fn)
+	return stats
+}
+
+// JoinStreamContext is JoinStream with cancellation, for serving streamed
+// joins to clients that may disconnect: cancel ctx and the workers stop
+// claiming chunks, fn stops receiving pairs after at most one chunk per
+// worker, and the call returns ctx.Err().
+func (ix *Index) JoinStreamContext(ctx context.Context, points []LatLng, mode JoinMode, threads int, fn func(Pair)) (JoinStats, error) {
+	return join.RunSinkContext(ctx, ix.joiner(mode), points, &join.FuncSink{Fn: fn}, threads)
 }
 
 // Pairs materializes the join: every (point, polygon, class) tuple, sorted
 // by point index (ties by polygon id), deterministic regardless of the
 // thread count. threads ≤ 0 uses GOMAXPROCS.
 func (ix *Index) Pairs(points []LatLng, mode JoinMode, threads int) ([]Pair, JoinStats) {
+	pairs, stats, _ := ix.PairsContext(context.Background(), points, mode, threads)
+	return pairs, stats
+}
+
+// PairsContext is Pairs with cancellation. On cancellation the returned
+// pairs cover only the chunks joined before the context fired (still sorted
+// and deterministic for a given cut) and the error is ctx.Err().
+func (ix *Index) PairsContext(ctx context.Context, points []LatLng, mode JoinMode, threads int) ([]Pair, JoinStats, error) {
 	sink := &join.PairSink{}
-	stats := join.RunSink(ix.joiner(mode), points, sink, threads)
-	return sink.Pairs, stats
+	stats, err := join.RunSinkContext(ctx, ix.joiner(mode), points, sink, threads)
+	return sink.Pairs, stats, err
 }

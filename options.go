@@ -1,0 +1,62 @@
+package act
+
+// Option configures New. Options are applied in order, so later options
+// override earlier ones.
+type Option func(*Options)
+
+// WithPrecision sets the precision bound ε in meters: the maximum distance
+// between the partners of a false-positive join pair. Every index needs a
+// precision; New fails without one.
+func WithPrecision(meters float64) Option {
+	return func(o *Options) { o.PrecisionMeters = meters }
+}
+
+// WithGrid selects the hierarchical grid underlying the index (default
+// PlanarGrid).
+func WithGrid(k GridKind) Option {
+	return func(o *Options) { o.Grid = k }
+}
+
+// WithFanout sets the trie fanout: 4, 16, 64, or 256 (default 256, the
+// paper's choice and the best lookup latency).
+func WithFanout(n int) Option {
+	return func(o *Options) { o.Fanout = n }
+}
+
+// WithMaxCellsPerPolygon bounds each polygon's covering size. Refinement
+// then happens best-first and the index may deliver only
+// Stats().AchievedPrecisionMeters instead of ε (memory-constrained mode).
+func WithMaxCellsPerPolygon(n int) Option {
+	return func(o *Options) { o.MaxCellsPerPolygon = n }
+}
+
+// WithQuerySample supplies a sample of observed query points. Combined with
+// WithMaxCellsPerPolygon it enables adaptive refinement: the cell budget
+// concentrates where queries actually land. Ignored without a cell budget.
+func WithQuerySample(points []LatLng) Option {
+	return func(o *Options) { o.QuerySamplePoints = points }
+}
+
+// WithBuildWorkers bounds the goroutines used to compute per-polygon
+// coverings (default GOMAXPROCS).
+func WithBuildWorkers(n int) Option {
+	return func(o *Options) { o.BuildWorkers = n }
+}
+
+// New builds an index over the polygon set, configured by functional
+// options. It is the primary constructor of the v2 API; BuildIndex remains
+// as a compatibility wrapper over the same build pipeline.
+//
+//	idx, err := act.New(polygons,
+//		act.WithPrecision(4),
+//		act.WithGrid(act.CubeFaceGrid),
+//		act.WithFanout(256))
+//
+// Polygon ids in lookup results are indices into polygons.
+func New(polygons []*Polygon, opts ...Option) (*Index, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return buildIndex(polygons, o)
+}

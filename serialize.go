@@ -41,13 +41,17 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if _, err := bw.WriteString(indexMagic); err != nil {
 		return bc.n, err
 	}
-	var gk uint32
-	if ix.grid.Name() == "cubeface" {
-		gk = uint32(CubeFaceGrid)
+	// The grid kind is carried on the Index since build (or load) time;
+	// persist it directly instead of reverse-inferring it from the grid's
+	// name string.
+	switch ix.kind {
+	case PlanarGrid, CubeFaceGrid:
+	default:
+		return bc.n, fmt.Errorf("act: cannot serialize unknown grid kind %v", ix.kind)
 	}
 	header := []any{
 		uint32(indexVersion),
-		gk,
+		uint32(ix.kind),
 		ix.precision,
 		ix.stats.AchievedPrecisionMeters,
 		uint64(ix.stats.IndexedCells),
@@ -128,7 +132,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	default:
 		return nil, fmt.Errorf("act: unknown grid kind %d", gk)
 	}
-	ix := &Index{grid: g}
+	ix := &Index{grid: g, kind: GridKind(gk)}
 	var cells, numPolys uint64
 	if err := read(&ix.precision); err != nil {
 		return nil, err

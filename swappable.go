@@ -1,0 +1,59 @@
+package act
+
+import "sync/atomic"
+
+// Swappable is an atomic holder for the live Index of a long-running
+// service. Serving goroutines Load the current index per request while an
+// operator goroutine builds (or deserializes) a replacement and Swaps it in
+// — polygon-set updates without a restart and without blocking a single
+// lookup. All methods are safe for concurrent use.
+//
+// Each Swap advances a generation counter, so operators can verify which
+// polygon set a process is serving. The index and its generation are
+// published together; use LoadGeneration to observe the pair consistently.
+type Swappable struct {
+	cur atomic.Pointer[swapState]
+}
+
+// swapState pairs an index with its generation so both swing atomically.
+type swapState struct {
+	idx *Index
+	gen uint64
+}
+
+// NewSwappable returns a holder serving idx at generation 1.
+func NewSwappable(idx *Index) *Swappable {
+	s := &Swappable{}
+	s.cur.Store(&swapState{idx: idx, gen: 1})
+	return s
+}
+
+// Load returns the index currently being served. Callers should Load once
+// per request and use the returned index for the whole request, so a
+// concurrent Swap cannot change semantics mid-request.
+func (s *Swappable) Load() *Index { return s.cur.Load().idx }
+
+// Swap atomically replaces the served index with idx, advances the
+// generation, and returns the previous index. In-flight requests that
+// loaded the old index keep using it; it is garbage-collected once the last
+// of them finishes.
+func (s *Swappable) Swap(idx *Index) *Index {
+	for {
+		old := s.cur.Load()
+		if s.cur.CompareAndSwap(old, &swapState{idx: idx, gen: old.gen + 1}) {
+			return old.idx
+		}
+	}
+}
+
+// Generation returns the generation of the index currently being served:
+// 1 for the initial index, incremented by every Swap.
+func (s *Swappable) Generation() uint64 { return s.cur.Load().gen }
+
+// LoadGeneration returns the served index together with the generation it
+// was installed at. Unlike calling Load and Generation separately — which a
+// concurrent Swap can interleave — the pair is read atomically.
+func (s *Swappable) LoadGeneration() (*Index, uint64) {
+	st := s.cur.Load()
+	return st.idx, st.gen
+}

@@ -1,0 +1,243 @@
+package act
+
+import (
+	"bytes"
+	"context"
+	"slices"
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+)
+
+// v2TestIndex builds a small polygon set and point batch shared by the
+// v2-surface tests.
+func v2TestIndex(t *testing.T, numPoints int, opts ...Option) (*Index, []LatLng) {
+	t.Helper()
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "v2", NumRegions: 12, Lattice: 64, Seed: 301, BoundaryJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := New(set.Polygons, append([]Option{WithPrecision(15)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := data.GeneratePoints(data.PointConfig{N: numPoints, Seed: 302})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx, pts
+}
+
+// TestNewMatchesBuildIndex pins the functional-option constructor to the
+// compatibility wrapper: the same parameters must yield the same index.
+func TestNewMatchesBuildIndex(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "newopts", NumRegions: 8, Lattice: 64, Seed: 303, BoundaryJitter: 0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := New(set.Polygons,
+		WithPrecision(20), WithGrid(CubeFaceGrid), WithFanout(64), WithBuildWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := BuildIndex(set.Polygons, Options{
+		PrecisionMeters: 20, Grid: CubeFaceGrid, Fanout: 64, BuildWorkers: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Stats().IndexedCells != v1.Stats().IndexedCells ||
+		v2.Stats().TrieNodes != v1.Stats().TrieNodes ||
+		v2.GridKind() != CubeFaceGrid {
+		t.Errorf("New stats %+v != BuildIndex stats %+v", v2.Stats(), v1.Stats())
+	}
+	pts, err := data.GeneratePoints(data.PointConfig{N: 5000, Seed: 304})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r1, r2 Result
+	for _, ll := range pts {
+		h1, h2 := v1.Lookup(ll, &r1), v2.Lookup(ll, &r2)
+		if h1 != h2 || !slices.Equal(r1.True, r2.True) || !slices.Equal(r1.Candidates, r2.Candidates) {
+			t.Fatalf("lookup diverges at %v: %v/%v vs %v/%v", ll, r1.True, r1.Candidates, r2.True, r2.Candidates)
+		}
+	}
+	// Missing precision and bad options still fail through New.
+	if _, err := New(set.Polygons); err == nil {
+		t.Error("New without WithPrecision should fail")
+	}
+	if _, err := New(set.Polygons, WithPrecision(10), WithFanout(7)); err == nil {
+		t.Error("New with invalid fanout should fail")
+	}
+	if _, err := New(set.Polygons, WithPrecision(10), WithGrid(GridKind(9))); err == nil {
+		t.Error("New with unknown grid should fail")
+	}
+}
+
+// TestGridKindRoundTrip checks the satellite fix: the grid kind is carried
+// on the Index and persisted directly, not inferred from the grid's name.
+func TestGridKindRoundTrip(t *testing.T) {
+	for _, gk := range []GridKind{PlanarGrid, CubeFaceGrid} {
+		idx, _ := v2TestIndex(t, 1, WithGrid(gk))
+		if idx.GridKind() != gk {
+			t.Fatalf("GridKind = %v, want %v", idx.GridKind(), gk)
+		}
+		var buf bytes.Buffer
+		if _, err := idx.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := ReadIndex(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if loaded.GridKind() != gk {
+			t.Errorf("loaded GridKind = %v, want %v", loaded.GridKind(), gk)
+		}
+	}
+	// An index holding an unknown kind refuses to serialize rather than
+	// silently writing a kind the reader would misinterpret.
+	idx, _ := v2TestIndex(t, 1)
+	idx.kind = GridKind(9)
+	if _, err := idx.WriteTo(&bytes.Buffer{}); err == nil {
+		t.Error("WriteTo with unknown grid kind should fail")
+	}
+}
+
+// TestLookupBatchParity pins the batch API to per-point Lookup: identical
+// results in input order, through the cell-sorted fast path.
+func TestLookupBatchParity(t *testing.T) {
+	idx, pts := v2TestIndex(t, 20000)
+	results, err := idx.LookupBatch(context.Background(), pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(pts) {
+		t.Fatalf("got %d results for %d points", len(results), len(pts))
+	}
+	var res Result
+	for i, ll := range pts {
+		idx.Lookup(ll, &res)
+		if !slices.Equal(results[i].True, res.True) || !slices.Equal(results[i].Candidates, res.Candidates) {
+			t.Fatalf("point %d: batch %v/%v, lookup %v/%v",
+				i, results[i].True, results[i].Candidates, res.True, res.Candidates)
+		}
+	}
+}
+
+// TestLookupBatchEdgeCases covers the empty batch, an all-miss batch, and a
+// pre-cancelled context.
+func TestLookupBatchEdgeCases(t *testing.T) {
+	idx, _ := v2TestIndex(t, 1)
+	results, err := idx.LookupBatch(context.Background(), nil)
+	if err != nil || len(results) != 0 {
+		t.Errorf("empty batch: %v, %v", results, err)
+	}
+	// Points far outside the NYC-like bound: every result must be empty.
+	miss := make([]LatLng, 5000)
+	for i := range miss {
+		miss[i] = LatLng{Lat: -33.86 + float64(i%100)*0.001, Lng: 151.21}
+	}
+	results, err = idx.LookupBatch(context.Background(), miss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Total() != 0 {
+			t.Fatalf("all-miss batch: point %d matched %v/%v", i, r.True, r.Candidates)
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := idx.LookupBatch(ctx, miss); err != context.Canceled {
+		t.Errorf("cancelled LookupBatch: err = %v", err)
+	}
+}
+
+// TestJoinContextCancellation cancels a join mid-run: the engine must stop
+// claiming chunks and return ctx.Err() well before the census-scale input
+// is exhausted.
+func TestJoinContextCancellation(t *testing.T) {
+	idx, pts := v2TestIndex(t, 1<<18)
+	ctx, cancel := context.WithCancel(context.Background())
+	pairs := 0
+	stats, err := idx.JoinStreamContext(ctx, pts, Approximate, 1, func(Pair) {
+		pairs++
+		cancel() // abort as soon as the first chunk starts delivering
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if stats.Points >= len(pts) {
+		t.Errorf("joined all %d points despite cancellation", stats.Points)
+	}
+	if pairs == 0 {
+		t.Error("expected at least one pair before cancellation")
+	}
+
+	// A pre-cancelled context joins nothing, across all variants.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	counts, stats, err := idx.JoinContext(ctx2, pts, Approximate, 4)
+	if err != context.Canceled || stats.Points != 0 {
+		t.Errorf("JoinContext pre-cancelled: err=%v points=%d", err, stats.Points)
+	}
+	for id, c := range counts {
+		if c != 0 {
+			t.Fatalf("polygon %d counted %d pairs under pre-cancelled context", id, c)
+		}
+	}
+	ps, stats, err := idx.PairsContext(ctx2, pts, Exact, 2)
+	if err != context.Canceled || len(ps) != 0 || stats.Points != 0 {
+		t.Errorf("PairsContext pre-cancelled: err=%v pairs=%d points=%d", err, len(ps), stats.Points)
+	}
+}
+
+// TestJoinContextComplete checks the uncancelled context path is identical
+// to the v1 API.
+func TestJoinContextComplete(t *testing.T) {
+	idx, pts := v2TestIndex(t, 20000)
+	c1, s1 := idx.Join(pts, Approximate, 2)
+	c2, s2, err := idx.JoinContext(context.Background(), pts, Approximate, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !slices.Equal(c1, c2) || s1.Pairs() != s2.Pairs() || s2.Points != len(pts) {
+		t.Errorf("JoinContext diverges from Join: %v vs %v", s1, s2)
+	}
+}
+
+// TestAppendMatches pins the zero-allocation variant to Find.
+func TestAppendMatches(t *testing.T) {
+	idx, pts := v2TestIndex(t, 10000)
+	var dst []uint32
+	matched := 0
+	for _, ll := range pts {
+		dst = idx.AppendMatches(ll, dst[:0])
+		want := idx.Find(ll)
+		got := slices.Clone(dst)
+		slices.Sort(got)
+		slices.Sort(want)
+		if !slices.Equal(got, want) {
+			t.Fatalf("AppendMatches %v != Find %v at %v", got, want, ll)
+		}
+		if len(dst) > 0 {
+			matched++
+		}
+	}
+	if matched == 0 {
+		t.Fatal("test batch never matched; pick different seeds")
+	}
+	// Zero allocations once dst has warmed up.
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, ll := range pts[:256] {
+			dst = idx.AppendMatches(ll, dst[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendMatches allocates %.1f per 256-point run", allocs)
+	}
+}
