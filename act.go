@@ -42,6 +42,7 @@ import (
 	"github.com/actindex/act/internal/cover"
 	"github.com/actindex/act/internal/geo"
 	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 	"github.com/actindex/act/internal/supercover"
 )
@@ -57,6 +58,12 @@ type Polygon = geo.Polygon
 // indices into the slice passed to BuildIndex. Reuse one Result across
 // lookups to avoid allocation.
 type Result = core.Result
+
+// Match is one polygon reference of a lookup with its hit class: Exact
+// reports a true hit (the point is certainly inside), unset Exact a
+// candidate within the precision bound that exact joins refine against real
+// geometry.
+type Match = core.Match
 
 // GridKind selects the hierarchical grid underlying the index.
 type GridKind int
@@ -110,6 +117,12 @@ type Options struct {
 	// parallelized over polygons; the super-covering merge is serial,
 	// matching the paper's build pipeline.
 	BuildWorkers int
+	// SkipGeometryStore drops the exact polygon geometry after the covering
+	// is built, halving memory for approximate-only deployments. The index
+	// then cannot refine candidates: exact context-aware joins report
+	// ErrNoGeometry, and LookupExact plus the error-less join wrappers
+	// panic with it.
+	SkipGeometryStore bool
 }
 
 // BuildStats reports the cost and shape of a built index — the quantities
@@ -143,9 +156,11 @@ type Index struct {
 	trie      *core.Trie
 	precision float64
 	stats     BuildStats
-	// projected holds the grid-space polygons for exact refinement,
-	// indexed by polygon id.
-	projected []*geom.Polygon
+	// store holds the grid-space polygon geometry for exact refinement,
+	// indexed by polygon id and bbox-pre-filtered through an R-tree. It is
+	// nil for approximate-only indexes (built with WithGeometryStore(false)
+	// or loaded from a file without a geometry section).
+	store *geostore.Store
 }
 
 // ErrNoPolygons is returned when BuildIndex is called with no polygons.
@@ -250,14 +265,20 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 	}
 	insertDur := time.Since(start)
 
-	// Projected polygons for exact refinement.
-	projected := make([]*geom.Polygon, len(polygons))
-	for i, p := range polygons {
-		_, pp, err := grid.ProjectPolygon(g, p)
-		if err != nil {
-			return nil, fmt.Errorf("act: projecting polygon %d: %w", i, err)
+	// Exact geometry for candidate refinement, unless the caller opted out.
+	var store *geostore.Store
+	if !opts.SkipGeometryStore {
+		projected := make([]*geom.Polygon, len(polygons))
+		for i, p := range polygons {
+			_, pp, err := grid.ProjectPolygon(g, p)
+			if err != nil {
+				return nil, fmt.Errorf("act: projecting polygon %d: %w", i, err)
+			}
+			projected[i] = pp
 		}
-		projected[i] = pp
+		if store, err = geostore.New(projected); err != nil {
+			return nil, err
+		}
 	}
 
 	ts := trie.ComputeStats()
@@ -266,7 +287,7 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 		kind:      opts.Grid,
 		trie:      trie,
 		precision: opts.PrecisionMeters,
-		projected: projected,
+		store:     store,
 		stats: BuildStats{
 			NumPolygons:             len(polygons),
 			IndexedCells:            sc.NumCells(),
@@ -290,20 +311,24 @@ func (ix *Index) Lookup(ll LatLng, res *Result) bool {
 	return ix.trie.Lookup(grid.LeafCell(ix.grid, ll), res)
 }
 
-// LookupExact behaves like Lookup but refines every candidate with an exact
-// point-in-polygon test, moving confirmed candidates into res.True and
-// dropping the rest. After LookupExact, res.Candidates is always empty and
-// res.True holds exactly the polygons containing the point.
+// LookupExact behaves like Lookup but refines every candidate with a robust
+// point-in-polygon test against the geometry store, moving confirmed
+// candidates into res.True and dropping the rest. After LookupExact,
+// res.Candidates is always empty and res.True holds exactly the polygons
+// containing the point (boundary points count as inside: the closed-polygon
+// convention). Like the other exact entry points, it refuses to run on an
+// index without a geometry store: it panics with ErrNoGeometry, because an
+// unrefined result would silently violate the exactness postcondition.
+// Check HasGeometry first when the index's provenance is uncertain.
 func (ix *Index) LookupExact(ll LatLng, res *Result) bool {
+	if ix.store == nil {
+		panic(ErrNoGeometry)
+	}
 	if !ix.Lookup(ll, res) {
 		return false
 	}
 	_, pt := ix.grid.Project(ll)
-	for _, id := range res.Candidates {
-		if ix.projected[id].ContainsPoint(pt) {
-			res.True = append(res.True, id)
-		}
-	}
+	res.True = ix.store.Resolve(pt, res.Candidates, res.True)
 	res.Candidates = res.Candidates[:0]
 	return len(res.True) > 0
 }
@@ -325,26 +350,44 @@ func (ix *Index) Find(ll LatLng) []uint32 {
 // AppendMatches appends the ids of all polygons matching the point
 // approximately (true hits and candidates alike) to dst and returns the
 // extended slice. It is the zero-allocation variant of Find: reusing dst
-// across calls makes the per-point cost pure trie work.
+// across calls makes the per-point cost pure trie work. The two hit classes
+// are deliberately conflated; callers that need the distinction use
+// AppendRefs at the same cost.
 func (ix *Index) AppendMatches(ll LatLng, dst []uint32) []uint32 {
 	return ix.trie.AppendMatches(grid.LeafCell(ix.grid, ll), dst)
 }
 
+// AppendRefs appends every polygon reference matching the point to dst —
+// true hits with Match.Exact set, candidates without — and returns the
+// extended slice. Like AppendMatches it allocates nothing with a reused dst,
+// so hot paths can keep the true-hit/candidate distinction without paying
+// for a Result.
+func (ix *Index) AppendRefs(ll LatLng, dst []Match) []Match {
+	return ix.trie.AppendRefs(grid.LeafCell(ix.grid, ll), dst)
+}
+
 // Contains reports whether the point is (exactly) inside the polygon with
-// the given id.
+// the given id, under the closed-polygon convention (boundary points are
+// inside). It requires the geometry store; without one it reports false.
 func (ix *Index) Contains(ll LatLng, polygonID uint32) bool {
-	if int(polygonID) >= len(ix.projected) {
+	if ix.store == nil {
 		return false
 	}
 	_, pt := ix.grid.Project(ll)
-	return ix.projected[polygonID].ContainsPoint(pt)
+	return ix.store.Contains(polygonID, pt)
 }
+
+// HasGeometry reports whether the index carries the exact polygon geometry
+// needed to refine candidates. Indexes built with WithGeometryStore(false)
+// and index files saved without a geometry section serve approximate
+// lookups only.
+func (ix *Index) HasGeometry() bool { return ix.store != nil }
 
 // PrecisionMeters returns the configured precision bound ε.
 func (ix *Index) PrecisionMeters() float64 { return ix.precision }
 
 // NumPolygons returns the number of indexed polygons.
-func (ix *Index) NumPolygons() int { return len(ix.projected) }
+func (ix *Index) NumPolygons() int { return ix.stats.NumPolygons }
 
 // Stats returns build statistics (Table I quantities).
 func (ix *Index) Stats() BuildStats { return ix.stats }

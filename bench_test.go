@@ -292,7 +292,7 @@ func BenchmarkAblationInterior(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			benchmarkJoin(b, &join.ACTExact{Grid: p.Grid, Trie: p.Trie, Polygons: p.Projected},
+			benchmarkJoin(b, &join.ACTExact{Grid: p.Grid, Trie: p.Trie, Store: p.Store},
 				pts, len(set.Polygons))
 		})
 	}

@@ -4,6 +4,8 @@
 //	actbench -experiment table1           # Table I: index metrics
 //	actbench -experiment fig3             # Fig. 3: single-threaded throughput
 //	actbench -experiment fig4             # Fig. 4: thread scalability
+//	actbench -experiment exact            # approximate vs exact joins:
+//	                                      # true-hit ratio + refinement cost
 //	actbench -experiment ablation         # design-choice ablations
 //	actbench -experiment all              # everything
 //
@@ -30,7 +32,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | ablation | all")
+	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | exact | ablation | all")
 	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
 	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
@@ -78,9 +80,9 @@ func main() {
 		}
 	}
 	// measured experiments additionally dump their records as
-	// BENCH_<name>.json so the throughput trajectory is diffable across
+	// BENCH_<file>.json so the throughput trajectory is diffable across
 	// changes without scraping the human-readable tables.
-	measured := func(name string, f func() ([]bench.Record, error)) {
+	measured := func(name, file string, f func() ([]bench.Record, error)) {
 		run(name, func() error {
 			records, err := f()
 			if err != nil {
@@ -89,16 +91,20 @@ func main() {
 			if *jsonOut == "" {
 				return nil
 			}
-			return writeRecords(*jsonOut, name, cfg, records)
+			return writeRecords(*jsonOut, file, cfg, records)
 		})
 	}
 	run("table1", func() error { return bench.RunTableI(w, cfg) })
-	measured("fig3", func() ([]bench.Record, error) { return bench.RunFig3(w, cfg) })
-	measured("fig4", func() ([]bench.Record, error) { return bench.RunFig4(w, cfg, threads) })
+	measured("fig3", "fig3", func() ([]bench.Record, error) { return bench.RunFig3(w, cfg) })
+	measured("fig4", "fig4", func() ([]bench.Record, error) { return bench.RunFig4(w, cfg, threads) })
+	// The exact experiment's records land in BENCH_3.json: the refinement
+	// subsystem's tracked artefact (true-hit ratio and refinement overhead
+	// per precision).
+	measured("exact", "3", func() ([]bench.Record, error) { return bench.RunExact(w, cfg) })
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
-	case "table1", "fig3", "fig4", "ablation", "all":
+	case "table1", "fig3", "fig4", "exact", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

@@ -4,9 +4,10 @@
 //	actgen -dataset neighborhoods -o n.geojson
 //	echo "40.7580 -73.9855" | actquery -polygons n.geojson -precision 4
 //
-// Output per point: the matching polygon ids (true hits and candidates
-// alike, via the zero-allocation AppendMatches fast path), or the
-// true/candidate split refined exactly with -exact.
+// Output per point: the matching polygon ids split by hit class (true hits
+// are certainly inside, candidates are within the precision bound ε — the
+// zero-allocation AppendRefs fast path), or the candidates resolved against
+// real geometry with -exact.
 package main
 
 import (
@@ -71,7 +72,11 @@ func main() {
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
 	var res act.Result
-	var ids []uint32 // reused across lines: AppendMatches never allocates
+	// Reused across lines: AppendRefs never allocates, and the true/
+	// candidate split is carried per reference so the two classes are never
+	// conflated in the output.
+	var refs []act.Match
+	var trues, cands []uint32
 	lineNo := 0
 	for in.Scan() {
 		lineNo++
@@ -98,12 +103,20 @@ func main() {
 			fmt.Fprintf(out, "%.6f %.6f -> true=%v candidates=%v\n", lat, lng, res.True, res.Candidates)
 			continue
 		}
-		ids = idx.AppendMatches(ll, ids[:0])
-		if len(ids) == 0 {
+		refs = idx.AppendRefs(ll, refs[:0])
+		if len(refs) == 0 {
 			fmt.Fprintf(out, "%.6f %.6f -> no match\n", lat, lng)
 			continue
 		}
-		fmt.Fprintf(out, "%.6f %.6f -> ids=%v\n", lat, lng, ids)
+		trues, cands = trues[:0], cands[:0]
+		for _, m := range refs {
+			if m.Exact {
+				trues = append(trues, m.ID)
+			} else {
+				cands = append(cands, m.ID)
+			}
+		}
+		fmt.Fprintf(out, "%.6f %.6f -> true=%v candidates=%v\n", lat, lng, trues, cands)
 	}
 	if err := in.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "actquery: stdin: %v\n", err)

@@ -133,6 +133,10 @@ func (s *Server) handleLookup(w http.ResponseWriter, r *http.Request) {
 	exact := q.Get("exact") == "1" || q.Get("exact") == "true"
 
 	idx := s.indexes.Load()
+	if exact && !idx.HasGeometry() {
+		http.Error(w, "index has no geometry store, cannot serve exact lookups", http.StatusUnprocessableEntity)
+		return
+	}
 	res := s.pool.Get().(*act.Result)
 	defer s.pool.Put(res)
 	var matched bool
@@ -156,7 +160,9 @@ type joinRequest struct {
 		Lat float64 `json:"lat"`
 		Lng float64 `json:"lng"`
 	} `json:"points"`
-	// Exact refines candidates with exact geometry before emitting.
+	// Exact refines candidates with exact geometry before emitting. The
+	// ?exact=1 query parameter sets the same switch, so streaming clients
+	// can pick the join semantics without touching the body.
 	Exact bool `json:"exact"`
 	// Threads bounds the join workers. Values outside [1, GOMAXPROCS] are
 	// clamped so a single request cannot monopolize (or over-subscribe)
@@ -196,14 +202,20 @@ type joinTrailer struct {
 // handleJoin streams the join of a posted point batch as NDJSON: one
 // {"point","polygon","class"} object per pair, then a {"stats"} trailer.
 // Pairs are emitted as the engine produces them, so the response starts
-// before the join finishes. The join runs under the request context: when
-// the client disconnects (or a write fails), the engine's workers abort
-// instead of joining the rest of the batch into the void.
+// before the join finishes. With ?exact=1 (or "exact": true in the body)
+// candidates are refined against the geometry store before emission, so
+// every streamed pair is truly inside — a "candidate" class then records
+// that the pair needed refinement. The join runs under the request context:
+// when the client disconnects (or a write fails), the engine's workers
+// abort instead of joining the rest of the batch into the void.
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBody)).Decode(&req); err != nil {
 		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
 		return
+	}
+	if q := r.URL.Query().Get("exact"); q == "1" || q == "true" {
+		req.Exact = true
 	}
 	if len(req.Points) == 0 {
 		http.Error(w, `need a non-empty "points" array`, http.StatusBadRequest)
@@ -226,6 +238,11 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if req.Exact {
 		mode = act.Exact
 	}
+	idx := s.indexes.Load()
+	if req.Exact && !idx.HasGeometry() {
+		http.Error(w, "index has no geometry store, cannot serve exact joins", http.StatusUnprocessableEntity)
+		return
+	}
 	threads := min(max(req.Threads, 1), runtime.GOMAXPROCS(0))
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
@@ -236,7 +253,6 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	// itself — as does the request context when the client disconnects.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
-	idx := s.indexes.Load()
 	var writeErr error
 	stats, err := idx.JoinStreamContext(ctx, pts, mode, threads, func(p act.Pair) {
 		if writeErr != nil {
@@ -364,6 +380,9 @@ type statsResponse struct {
 	PrecisionMeters         float64 `json:"precisionMeters"`
 	AchievedPrecisionMeters float64 `json:"achievedPrecisionMeters"`
 	Grid                    string  `json:"grid"`
+	// HasGeometry reports whether the live index can refine candidates
+	// (serve ?exact=1 lookups and exact joins).
+	HasGeometry bool `json:"hasGeometry"`
 	// Generation counts index swaps: 1 is the index the server started
 	// with, each successful /reload increments it.
 	Generation uint64 `json:"generation"`
@@ -382,6 +401,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		PrecisionMeters:         idx.PrecisionMeters(),
 		AchievedPrecisionMeters: st.AchievedPrecisionMeters,
 		Grid:                    idx.GridName(),
+		HasGeometry:             idx.HasGeometry(),
 		Generation:              gen,
 	})
 }

@@ -158,6 +158,72 @@ func TestJoinBatch(t *testing.T) {
 	}
 }
 
+// TestJoinExactQueryParam drives the exact switch through ?exact=1 instead
+// of the body field: every emitted pair must be truly inside, and the
+// point on the zone edge must survive refinement (boundary counts inside).
+func TestJoinExactQueryParam(t *testing.T) {
+	s, _ := testServer(t)
+	// One point deep inside, one outside but within a boundary cell's
+	// reach is not constructible reliably here — instead use a point
+	// exactly on the zone's edge, which approximate mode reports as a
+	// candidate and exact mode must keep (closed-polygon convention).
+	body := `{"points":[{"lat":40.73,"lng":-73.99},{"lat":40.70,"lng":-73.99}]}`
+	req := httptest.NewRequest(http.MethodPost, "/join?exact=1", strings.NewReader(body))
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body)
+	}
+	lines := strings.Split(strings.TrimSpace(rec.Body.String()), "\n")
+	if len(lines) != 3 { // 2 pairs + trailer
+		t.Fatalf("got %d NDJSON lines: %q", len(lines), rec.Body.String())
+	}
+	var tr joinTrailer
+	if err := json.Unmarshal([]byte(lines[2]), &tr); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Stats.Pairs != 2 || tr.Stats.Misses != 0 {
+		t.Errorf("trailer stats = %+v", tr.Stats)
+	}
+}
+
+// TestExactRejectedWithoutGeometry swaps in an approximate-only index:
+// exact lookups and joins must fail loudly with 422, approximate ones keep
+// serving, and /stats reports hasGeometry=false.
+func TestExactRejectedWithoutGeometry(t *testing.T) {
+	s, _ := testServer(t)
+	zone := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.70, Lng: -74.02},
+		{Lat: 40.70, Lng: -73.96},
+		{Lat: 40.76, Lng: -73.96},
+	}}
+	noGeo, err := act.New([]*act.Polygon{zone}, act.WithPrecision(10), act.WithGeometryStore(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.indexes.Swap(noGeo)
+	if rec := get(t, s, "/lookup?lat=40.73&lng=-73.99&exact=1"); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("exact lookup status %d, want 422", rec.Code)
+	}
+	if rec := get(t, s, "/lookup?lat=40.72&lng=-73.98"); rec.Code != http.StatusOK {
+		t.Errorf("approximate lookup status %d, want 200", rec.Code)
+	}
+	if rec := postJoin(t, s, `{"points":[{"lat":40.73,"lng":-73.99}],"exact":true}`); rec.Code != http.StatusUnprocessableEntity {
+		t.Errorf("exact join status %d, want 422", rec.Code)
+	}
+	if rec := postJoin(t, s, `{"points":[{"lat":40.73,"lng":-73.99}]}`); rec.Code != http.StatusOK {
+		t.Errorf("approximate join status %d, want 200", rec.Code)
+	}
+	var resp statsResponse
+	rec := get(t, s, "/stats")
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.HasGeometry {
+		t.Error("stats report hasGeometry=true for an approximate-only index")
+	}
+}
+
 func TestJoinValidation(t *testing.T) {
 	s, _ := testServer(t)
 	for _, body := range []string{

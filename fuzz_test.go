@@ -1,0 +1,106 @@
+package act
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// fuzzSeedIndexes builds tiny deterministic indexes (three hand-made
+// polygons, coarse precision, a few kilobytes serialized) whose byte
+// streams seed the deserialization fuzzer: version 2 with geometry,
+// version 2 approximate-only, and a synthesized version-1 legacy file.
+func fuzzSeedIndexes(t testing.TB) [][]byte {
+	t.Helper()
+	polys := []*Polygon{
+		{Outer: []LatLng{{Lat: 40.70, Lng: -74.00}, {Lat: 40.70, Lng: -73.97}, {Lat: 40.73, Lng: -73.97}}},
+		{Outer: []LatLng{{Lat: 40.71, Lng: -73.99}, {Lat: 40.71, Lng: -73.95}, {Lat: 40.75, Lng: -73.95}, {Lat: 40.75, Lng: -73.99}},
+			Holes: [][]LatLng{{{Lat: 40.72, Lng: -73.97}, {Lat: 40.72, Lng: -73.96}, {Lat: 40.73, Lng: -73.96}}}},
+		{Outer: []LatLng{{Lat: 40.80, Lng: -73.96}, {Lat: 40.80, Lng: -73.93}, {Lat: 40.82, Lng: -73.95}}},
+	}
+	var seeds [][]byte
+	for _, gk := range []GridKind{PlanarGrid, CubeFaceGrid} {
+		idx, err := New(polys, WithPrecision(2000), WithGrid(gk), WithFanout(16))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var withGeo bytes.Buffer
+		if _, err := idx.WriteTo(&withGeo); err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, withGeo.Bytes())
+		noGeo := *idx
+		noGeo.store = nil
+		var approx bytes.Buffer
+		if _, err := noGeo.WriteTo(&approx); err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, approx.Bytes())
+		seeds = append(seeds, buildV1Bytes(t, idx))
+	}
+	return seeds
+}
+
+// FuzzDeserialize feeds arbitrary bytes to ReadIndex: it must reject
+// corruption with an error — never panic, never over-allocate on lying
+// length fields — and any stream it does accept must re-serialize into a
+// stream it accepts again, byte-identically (serialize → deserialize →
+// serialize is a fixed point).
+func FuzzDeserialize(f *testing.F) {
+	for _, seed := range fuzzSeedIndexes(f) {
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+		f.Add(seed[:len(seed)-3])
+	}
+	f.Add([]byte("ACTX"))
+	f.Add([]byte("not an index at all"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		ix, err := ReadIndex(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if _, err := ix.WriteTo(&b1); err != nil {
+			t.Fatalf("accepted index fails to serialize: %v", err)
+		}
+		ix2, err := ReadIndex(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("own serialization rejected: %v", err)
+		}
+		var b2 bytes.Buffer
+		if _, err := ix2.WriteTo(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("serialize → deserialize → serialize is not byte-identical")
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzDeserialize. It only runs when ACT_WRITE_FUZZ_CORPUS=1
+// is set, so `go test` stays read-only:
+//
+//	ACT_WRITE_FUZZ_CORPUS=1 go test -run TestWriteFuzzCorpus .
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("ACT_WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("set ACT_WRITE_FUZZ_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzDeserialize")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := fuzzSeedIndexes(t)
+	seeds = append(seeds, seeds[0][:len(seeds[0])/2], []byte("ACTX"), []byte("garbage"))
+	for i, seed := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus entries to %s", len(seeds), dir)
+}

@@ -126,6 +126,20 @@ type Record struct {
 	Points     int     `json:"points"`
 	Pairs      int64   `json:"pairs"`
 	MPtsPerSec float64 `json:"throughputMPts"`
+	// Refinement accounting, filled only by the exact experiment (nil
+	// otherwise, so fig3/fig4 records stay unchanged): TrueHits is the
+	// number of pairs resolved from interior cells without touching
+	// geometry, CandidateHits the pairs that went through point-in-polygon
+	// refinement, TrueHitRatio their share of all emitted pairs, and
+	// RefineOverheadX how many times slower the exact join ran than the
+	// approximate join on the same index and points (1.0 = free). Pointers
+	// rather than omitempty scalars: a measured zero (e.g. every pair
+	// needed refinement ⇒ trueHits 0) must stay distinguishable from "not
+	// measured" in the diffable BENCH_3.json trajectory.
+	TrueHits        *int64   `json:"trueHits,omitempty"`
+	CandidateHits   *int64   `json:"candidateHits,omitempty"`
+	TrueHitRatio    *float64 `json:"trueHitRatio,omitempty"`
+	RefineOverheadX *float64 `json:"refineOverheadX,omitempty"`
 }
 
 // record converts join stats into a Record.

@@ -10,6 +10,7 @@ import (
 	"github.com/actindex/act/internal/cover"
 	"github.com/actindex/act/internal/data"
 	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 	"github.com/actindex/act/internal/join"
 	"github.com/actindex/act/internal/supercover"
@@ -156,6 +157,7 @@ type RawPipeline struct {
 	Grid      grid.Grid
 	Trie      *core.Trie
 	Projected []*geom.Polygon
+	Store     *geostore.Store
 	CellCount int
 	BuildTime time.Duration
 }
@@ -200,9 +202,17 @@ func RawBuild(set *data.PolygonSet, opts RawOptions) (*RawPipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	// BuildTime covers the covering→merge→trie pipeline only; the geometry
+	// store is refinement infrastructure built outside the timed window so
+	// ablations that never refine report comparable build numbers.
+	buildTime := time.Since(start)
+	store, err := geostore.New(projected)
+	if err != nil {
+		return nil, err
+	}
 	return &RawPipeline{
-		Grid: g, Trie: trie, Projected: projected,
-		CellCount: sc.NumCells(), BuildTime: time.Since(start),
+		Grid: g, Trie: trie, Projected: projected, Store: store,
+		CellCount: sc.NumCells(), BuildTime: buildTime,
 	}, nil
 }
 
@@ -262,7 +272,7 @@ func RunAblations(w io.Writer, cfg Config) error {
 			return err
 		}
 		approx := MeasureJoin(&join.ACT{Grid: p.Grid, Trie: p.Trie}, pts, n, 1, 1)
-		exact := MeasureJoin(&join.ACTExact{Grid: p.Grid, Trie: p.Trie, Polygons: p.Projected}, pts, n, 1, 3)
+		exact := MeasureJoin(&join.ACTExact{Grid: p.Grid, Trie: p.Trie, Store: p.Store}, pts, n, 1, 3)
 		share := 0.0
 		if tot := approx.Pairs(); tot > 0 {
 			share = float64(approx.TrueHits) / float64(tot)

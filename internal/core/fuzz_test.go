@@ -1,0 +1,104 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/cover"
+	"github.com/actindex/act/internal/supercover"
+)
+
+// fuzzTrieBytes serializes a small deterministic trie — inlined payloads,
+// a 3-reference lookup-table run, and multiple depths — as the fuzzer's
+// well-formed seed.
+func fuzzTrieBytes(tb testing.TB, fanout int) []byte {
+	tb.Helper()
+	base := cellid.FromFace(0)
+	c1 := base.Child(0).Child(1).Child(2)
+	c2 := base.Child(0).Child(3)
+	c3 := base.Child(1).Child(2).Child(3).Child(0)
+	c4 := base.Child(2)
+	c5 := base.Child(3).Child(3).Child(3)
+	var scb supercover.Builder
+	for id, cov := range []*cover.Covering{
+		{Interior: []cellid.ID{c1, c4}, Boundary: []cellid.ID{c2}},
+		{Interior: []cellid.ID{c3}, Boundary: []cellid.ID{c1, c5}},
+		{Boundary: []cellid.ID{c1, c2, c5}},
+	} {
+		if err := scb.Add(uint32(id), cov); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	trie, err := Build(scb.Build(), Config{Fanout: fanout})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := trie.WriteTo(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzReadTrie feeds arbitrary bytes to ReadTrie: corruption must surface
+// as an error — never a panic or an absurd allocation — and accepted tries
+// must round-trip byte-identically through WriteTo.
+func FuzzReadTrie(f *testing.F) {
+	for _, fanout := range []int{4, 64, 256} {
+		seed := fuzzTrieBytes(f, fanout)
+		f.Add(seed)
+		f.Add(seed[:len(seed)/2])
+	}
+	f.Add([]byte("ACTT"))
+	f.Add([]byte("junk"))
+	f.Fuzz(func(t *testing.T, input []byte) {
+		trie, err := ReadTrie(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		var b1 bytes.Buffer
+		if _, err := trie.WriteTo(&b1); err != nil {
+			t.Fatalf("accepted trie fails to serialize: %v", err)
+		}
+		trie2, err := ReadTrie(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("own serialization rejected: %v", err)
+		}
+		var b2 bytes.Buffer
+		if _, err := trie2.WriteTo(&b2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+			t.Fatal("serialize → deserialize → serialize is not byte-identical")
+		}
+	})
+}
+
+// TestWriteFuzzCorpus regenerates the checked-in seed corpus under
+// testdata/fuzz/FuzzReadTrie when ACT_WRITE_FUZZ_CORPUS=1 is set.
+func TestWriteFuzzCorpus(t *testing.T) {
+	if os.Getenv("ACT_WRITE_FUZZ_CORPUS") != "1" {
+		t.Skip("set ACT_WRITE_FUZZ_CORPUS=1 to regenerate the fuzz seed corpus")
+	}
+	dir := filepath.Join("testdata", "fuzz", "FuzzReadTrie")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	seeds := [][]byte{
+		fuzzTrieBytes(t, 4), fuzzTrieBytes(t, 64), fuzzTrieBytes(t, 256),
+		fuzzTrieBytes(t, 256)[:40], []byte("ACTT"), []byte("junk"),
+	}
+	for i, seed := range seeds {
+		name := filepath.Join(dir, fmt.Sprintf("seed-%02d", i))
+		body := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed)) + ")\n"
+		if err := os.WriteFile(name, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Logf("wrote %d corpus entries to %s", len(seeds), dir)
+}

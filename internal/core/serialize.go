@@ -126,40 +126,46 @@ func writeU32s(w io.Writer, words []uint32) error {
 	return nil
 }
 
-func readU64s(r io.Reader, words []uint64) error {
+// readU64s reads count words, growing the result as bytes actually arrive
+// rather than trusting count up front: a corrupted length field then fails
+// with an EOF after the real data runs out instead of attempting a
+// multi-gigabyte allocation.
+func readU64s(r io.Reader, count uint64) ([]uint64, error) {
 	var buf [8 * 8192]byte
-	for len(words) > 0 {
-		n := len(words)
-		if n > 8192 {
-			n = 8192
+	words := make([]uint64, 0, min(count, 8192))
+	for remaining := count; remaining > 0; {
+		n := uint64(8192)
+		if n > remaining {
+			n = remaining
 		}
 		if _, err := io.ReadFull(r, buf[:n*8]); err != nil {
-			return err
+			return nil, err
 		}
-		for i := 0; i < n; i++ {
-			words[i] = binary.LittleEndian.Uint64(buf[i*8:])
+		for i := uint64(0); i < n; i++ {
+			words = append(words, binary.LittleEndian.Uint64(buf[i*8:]))
 		}
-		words = words[n:]
+		remaining -= n
 	}
-	return nil
+	return words, nil
 }
 
-func readU32s(r io.Reader, words []uint32) error {
+func readU32s(r io.Reader, count uint64) ([]uint32, error) {
 	var buf [4 * 8192]byte
-	for len(words) > 0 {
-		n := len(words)
-		if n > 8192 {
-			n = 8192
+	words := make([]uint32, 0, min(count, 8192))
+	for remaining := count; remaining > 0; {
+		n := uint64(8192)
+		if n > remaining {
+			n = remaining
 		}
 		if _, err := io.ReadFull(r, buf[:n*4]); err != nil {
-			return err
+			return nil, err
 		}
-		for i := 0; i < n; i++ {
-			words[i] = binary.LittleEndian.Uint32(buf[i*4:])
+		for i := uint64(0); i < n; i++ {
+			words = append(words, binary.LittleEndian.Uint32(buf[i*4:]))
 		}
-		words = words[n:]
+		remaining -= n
 	}
-	return nil
+	return words, nil
 }
 
 func skipsToU64(s [cellid.NumFaces]uint) [cellid.NumFaces]uint64 {
@@ -185,9 +191,80 @@ func (h *hashingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
+// validateStructure checks the node arena's referential integrity so that a
+// deserialized trie can never walk out of bounds or loop: the builder
+// allocates children strictly after their parents, so every child pointer
+// must be forward (eliminating cycles) and in range, and every lookup-table
+// offset must select a well-formed [numTrue, true…, numCand, cand…] run.
+// The checksum already rejects accidental corruption; this guards the walk
+// itself, so even a file with a forged checksum cannot crash lookups. While
+// scanning it also records the largest polygon id any entry can emit (see
+// MaxPolygonRef), so the enclosing index can cross-check its header's
+// polygon count against what lookups will actually return.
+func (t *Trie) validateStructure(numNodes uint64) error {
+	tableLen := uint64(len(t.table))
+	trackRef := func(id uint32) {
+		if !t.hasRefs || id > t.maxRef {
+			t.maxRef = id
+		}
+		t.hasRefs = true
+	}
+	for i := uint64(1); i < numNodes; i++ {
+		base := i * uint64(t.fanout)
+		for k := uint64(0); k < uint64(t.fanout); k++ {
+			e := t.nodes[base+k]
+			switch e & tagMask {
+			case tagChild:
+				if e == 0 {
+					continue // sentinel: false hit
+				}
+				if c := e >> 2; c <= i || c >= numNodes {
+					return fmt.Errorf("core: node %d entry %d: child %d out of order or range", i, k, e>>2)
+				}
+			case tagOne:
+				trackRef(uint32(e>>2) >> 1)
+			case tagTwo:
+				trackRef(uint32(e>>2&payloadMax) >> 1)
+				trackRef(uint32(e>>33) >> 1)
+			case tagOffset:
+				off := e >> 2
+				if off >= tableLen {
+					return fmt.Errorf("core: node %d entry %d: table offset %d out of range", i, k, off)
+				}
+				nTrue := uint64(t.table[off])
+				if off+1+nTrue >= tableLen {
+					return fmt.Errorf("core: node %d entry %d: true-hit run overflows table", i, k)
+				}
+				nCand := uint64(t.table[off+1+nTrue])
+				if off+2+nTrue+nCand > tableLen {
+					return fmt.Errorf("core: node %d entry %d: candidate run overflows table", i, k)
+				}
+				for _, id := range t.table[off+1 : off+1+nTrue] {
+					trackRef(id)
+				}
+				for _, id := range t.table[off+2+nTrue : off+2+nTrue+nCand] {
+					trackRef(id)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// MaxPolygonRef returns the largest polygon id a lookup on this trie can
+// return, and whether the trie holds any references at all. It is computed
+// by ReadTrie's structural validation, so it is only meaningful on
+// deserialized tries.
+func (t *Trie) MaxPolygonRef() (uint32, bool) { return t.maxRef, t.hasRefs }
+
 // ReadTrie deserializes a trie written by WriteTo, verifying the checksum.
 func ReadTrie(r io.Reader) (*Trie, error) {
 	crc := crc64.New(crcTable)
+	// When r is already a *bufio.Reader with a buffer at least this big
+	// (act.ReadIndex passes one), NewReaderSize returns it unchanged — the
+	// trie blob consumes exactly its own bytes and the enclosing stream
+	// (e.g. a trailing geometry section) can continue after it. Keep the
+	// size in sync with act.ReadIndex.
 	raw := bufio.NewReaderSize(r, 1<<20)
 	br := &hashingReader{r: raw, crc: crc}
 	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
@@ -241,10 +318,11 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 	if nodesLen%uint64(fanout) != 0 || nodesLen > 1<<34 {
 		return nil, fmt.Errorf("core: implausible node arena length %d", nodesLen)
 	}
-	t.nodes = make([]uint64, nodesLen)
-	if err := readU64s(br, t.nodes); err != nil {
+	nodes, err := readU64s(br, nodesLen)
+	if err != nil {
 		return nil, err
 	}
+	t.nodes = nodes
 	numNodes := nodesLen / uint64(fanout)
 	for _, root := range t.roots {
 		if root >= numNodes && numNodes > 0 || (numNodes == 0 && root != 0) {
@@ -255,11 +333,21 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 	if err := read(&tableLen); err != nil {
 		return nil, err
 	}
-	if tableLen > 1<<33 {
+	// The builder caps the table at payloadMax words (ErrTableLimit) so
+	// every offset fits the entry's 31-bit payload; accepting more here
+	// would let a forged file hide table runs above 2^32 that the lookup
+	// paths — which truncate offsets to uint32 — would never see, reading
+	// (and potentially overrunning) a different cell than the one
+	// validateStructure checked.
+	if tableLen > payloadMax {
 		return nil, fmt.Errorf("core: implausible table length %d", tableLen)
 	}
-	t.table = make([]uint32, tableLen)
-	if err := readU32s(br, t.table); err != nil {
+	table, err := readU32s(br, tableLen)
+	if err != nil {
+		return nil, err
+	}
+	t.table = table
+	if err := t.validateStructure(numNodes); err != nil {
 		return nil, err
 	}
 	want := crc.Sum64()

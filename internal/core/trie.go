@@ -88,6 +88,10 @@ type Trie struct {
 	// table is the lookup table for reference sets with three or more
 	// polygons, encoded as [numTrue, true…, numCand, cand…] runs.
 	table []uint32
+	// maxRef and hasRefs record the largest polygon id any entry can emit;
+	// computed by ReadTrie's structural validation (see MaxPolygonRef).
+	maxRef  uint32
+	hasRefs bool
 }
 
 // Result receives the polygon references of a lookup. Reuse one Result
@@ -389,8 +393,11 @@ func (t *Trie) Lookup(leaf cellid.ID, res *Result) bool {
 // AppendMatches appends the ids of every polygon referenced by the covering
 // cell containing leaf (true hits and candidates alike, in entry order) to
 // dst and returns the extended slice. It is the allocation-free variant of
-// Lookup for callers that do not need the hit-class split: with a reused
-// dst, the walk touches only the node arena and the lookup table.
+// Lookup for callers that deliberately do not need the hit-class split —
+// with a reused dst, the walk touches only the node arena and the lookup
+// table. Callers that must distinguish true hits from candidates (anything
+// feeding exact refinement, precision accounting, or user-facing class
+// labels) use AppendRefs, which carries the class bit at the same cost.
 func (t *Trie) AppendMatches(leaf cellid.ID, dst []uint32) []uint32 {
 	entry := t.walk(leaf)
 	switch entry & tagMask {
@@ -410,6 +417,51 @@ func (t *Trie) AppendMatches(leaf cellid.ID, dst []uint32) []uint32 {
 		off++
 		return append(dst, t.table[off:off+nCand]...)
 	}
+}
+
+// Match is one polygon reference of a lookup with its hit class: Exact
+// reports whether the reference came from an interior cell (a true hit —
+// the point is certainly inside) as opposed to a boundary cell (a candidate
+// that exact joins must refine against real geometry).
+type Match struct {
+	ID    uint32
+	Exact bool
+}
+
+// AppendRefs appends every polygon reference of the covering cell containing
+// leaf to dst — true hits with Exact set, candidates without — and returns
+// the extended slice. Like AppendMatches it is allocation-free with a reused
+// dst; unlike AppendMatches it preserves the true-hit/candidate distinction,
+// so callers never have to conflate the two classes to stay off the heap.
+func (t *Trie) AppendRefs(leaf cellid.ID, dst []Match) []Match {
+	entry := t.walk(leaf)
+	switch entry & tagMask {
+	case tagChild: // only the sentinel carries this tag here
+		return dst
+	case tagOne:
+		return appendPayload(dst, uint32(entry>>2))
+	case tagTwo:
+		return appendPayload(appendPayload(dst, uint32(entry>>2&payloadMax)), uint32(entry>>33))
+	default: // tagOffset
+		off := uint32(entry >> 2)
+		nTrue := t.table[off]
+		off++
+		for _, id := range t.table[off : off+nTrue] {
+			dst = append(dst, Match{ID: id, Exact: true})
+		}
+		off += nTrue
+		nCand := t.table[off]
+		off++
+		for _, id := range t.table[off : off+nCand] {
+			dst = append(dst, Match{ID: id})
+		}
+		return dst
+	}
+}
+
+// appendPayload decodes one 31-bit payload into a Match.
+func appendPayload(dst []Match, p uint32) []Match {
+	return append(dst, Match{ID: p >> 1, Exact: p&1 != 0})
 }
 
 // addPayload decodes one 31-bit payload into the result.

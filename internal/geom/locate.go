@@ -1,0 +1,137 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+)
+
+// Location classifies a point against a ring or polygon. Unlike the fast
+// even-odd ContainsPoint — whose behaviour on boundary points is explicitly
+// unspecified — Locate-based predicates certify every answer, so the exact
+// refinement layer can rely on a fixed boundary convention.
+type Location int
+
+const (
+	// PointOutside means the point is strictly outside.
+	PointOutside Location = iota
+	// PointOnBoundary means the point lies exactly on an edge or vertex.
+	PointOnBoundary
+	// PointInside means the point is strictly inside.
+	PointInside
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	switch l {
+	case PointOutside:
+		return "outside"
+	case PointOnBoundary:
+		return "boundary"
+	case PointInside:
+		return "inside"
+	default:
+		return "Location(?)"
+	}
+}
+
+// orientSignExact returns the exact sign of Orient(a, b, c): the certified
+// floating-point filter first (OrientSign decides all but near-degenerate
+// inputs), then an exact rational determinant for the ambiguous remainder.
+// All finite float64 coordinates convert to big.Rat losslessly, so the
+// fallback never guesses.
+func orientSignExact(a, b, c Point) int {
+	if s, ok := OrientSign(a, b, c); ok {
+		return s
+	}
+	bax := new(big.Rat).Sub(rat(b.X), rat(a.X))
+	cay := new(big.Rat).Sub(rat(c.Y), rat(a.Y))
+	bay := new(big.Rat).Sub(rat(b.Y), rat(a.Y))
+	cax := new(big.Rat).Sub(rat(c.X), rat(a.X))
+	det := bax.Mul(bax, cay)
+	det.Sub(det, bay.Mul(bay, cax))
+	return det.Sign()
+}
+
+func rat(f float64) *big.Rat { return new(big.Rat).SetFloat64(f) }
+
+// Locate classifies p against the ring: strictly inside (even-odd rule),
+// exactly on an edge or vertex, or strictly outside. The crossing test uses
+// certified orientation signs with an exact rational fallback, so the result
+// is correct for every finite input, including points on horizontal edges,
+// on vertices, and collinear with edges.
+func (rg Ring) Locate(p Point) Location {
+	if math.IsNaN(p.X) || math.IsNaN(p.Y) || math.IsInf(p.X, 0) || math.IsInf(p.Y, 0) {
+		return PointOutside
+	}
+	inside := false
+	n := len(rg)
+	a := rg[n-1]
+	for i := 0; i < n; i++ {
+		b := rg[i]
+		if p == a || p == b {
+			return PointOnBoundary
+		}
+		// spans: the edge's half-open y-interval contains p.Y, so the edge
+		// either crosses the rightward ray from p or carries p itself.
+		spans := (a.Y > p.Y) != (b.Y > p.Y)
+		inBox := math.Min(a.X, b.X) <= p.X && p.X <= math.Max(a.X, b.X) &&
+			math.Min(a.Y, b.Y) <= p.Y && p.Y <= math.Max(a.Y, b.Y)
+		if spans || inBox {
+			s := orientSignExact(a, b, p)
+			if s == 0 && inBox {
+				return PointOnBoundary
+			}
+			// The ray crosses iff p is strictly on the left of an upward
+			// edge or strictly on the right of a downward edge.
+			if spans && s != 0 && (b.Y > a.Y) == (s > 0) {
+				inside = !inside
+			}
+		}
+		a = b
+	}
+	if inside {
+		return PointInside
+	}
+	return PointOutside
+}
+
+// LocatePoint classifies p against the polygon under the closed-polygon
+// convention the exact refinement layer relies on:
+//
+//   - the outer ring's boundary belongs to the polygon;
+//   - hole boundaries belong to the polygon (a hole removes only its open
+//     interior);
+//   - everything strictly inside a hole is outside.
+//
+// Holes are assumed pairwise disjoint (a point strictly inside one hole is
+// classified without consulting the remaining holes' boundaries).
+func (pg *Polygon) LocatePoint(p Point) Location {
+	if !pg.Bound().Contains(p) {
+		return PointOutside
+	}
+	switch pg.Outer.Locate(p) {
+	case PointOutside:
+		return PointOutside
+	case PointOnBoundary:
+		return PointOnBoundary
+	}
+	for _, h := range pg.Holes {
+		switch h.Locate(p) {
+		case PointOnBoundary:
+			return PointOnBoundary
+		case PointInside:
+			return PointOutside
+		}
+	}
+	return PointInside
+}
+
+// ContainsPointExact reports whether p belongs to the polygon as a closed
+// point set: strictly inside, or exactly on any ring boundary. This is the
+// predicate candidate refinement uses — treating the boundary as inside
+// preserves the index's no-false-negative guarantee, because a cell-level
+// candidate whose point sits exactly on the polygon edge is genuinely within
+// distance zero of the polygon.
+func (pg *Polygon) ContainsPointExact(p Point) bool {
+	return pg.LocatePoint(p) != PointOutside
+}

@@ -1,0 +1,150 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestRingLocateEdgeCases pins the boundary convention the exact-join
+// refinement layer relies on, one degenerate input at a time: points
+// exactly on edges, on vertices, on horizontal and vertical edges, and
+// collinear with edges without touching them.
+func TestRingLocateEdgeCases(t *testing.T) {
+	// A non-convex ring with horizontal, vertical, and diagonal edges:
+	//
+	//	(0,0) → (4,0) → (4,2) → (2,2) → (2,4) → (0,4) → (0,0)
+	l := Ring{{0, 0}, {4, 0}, {4, 2}, {2, 2}, {2, 4}, {0, 4}}
+	tests := []struct {
+		name string
+		p    Point
+		want Location
+	}{
+		{"strictly inside", Point{1, 1}, PointInside},
+		{"strictly inside notch arm", Point{1, 3}, PointInside},
+		{"strictly outside", Point{5, 5}, PointOutside},
+		{"inside the notch", Point{3, 3}, PointOutside},
+		{"on bottom horizontal edge", Point{2, 0}, PointOnBoundary},
+		{"on top horizontal edge of notch", Point{3, 2}, PointOnBoundary},
+		{"on left vertical edge", Point{0, 2}, PointOnBoundary},
+		{"on right vertical edge", Point{4, 1}, PointOnBoundary},
+		{"on vertex", Point{4, 2}, PointOnBoundary},
+		{"on first vertex", Point{0, 0}, PointOnBoundary},
+		{"on reflex vertex", Point{2, 2}, PointOnBoundary},
+		{"collinear with bottom edge, right of it", Point{5, 0}, PointOutside},
+		{"collinear with bottom edge, left of it", Point{-1, 0}, PointOutside},
+		{"collinear with notch top, outside", Point{5, 2}, PointOutside},
+		{"collinear with left edge, above", Point{0, 5}, PointOutside},
+		{"ray through vertex at (2,2) level", Point{1, 2}, PointInside},
+		{"ray through two vertices", Point{-1, 2}, PointOutside},
+		{"just inside bottom edge", Point{2, 1e-12}, PointInside},
+		{"just outside bottom edge", Point{2, -1e-12}, PointOutside},
+		{"NaN", Point{math.NaN(), 1}, PointOutside},
+		{"+Inf", Point{math.Inf(1), 1}, PointOutside},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := l.Locate(tc.p); got != tc.want {
+				t.Errorf("Locate(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+}
+
+// TestPolygonLocateWithHoles pins the closed-polygon convention: outer
+// boundary inside, hole boundary inside, hole interior outside.
+func TestPolygonLocateWithHoles(t *testing.T) {
+	p, err := NewPolygon(
+		Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}},
+		Ring{{4, 4}, {6, 4}, {6, 6}, {4, 6}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name string
+		pt   Point
+		want Location
+	}{
+		{"inside outer, outside hole", Point{2, 2}, PointInside},
+		{"strictly inside hole", Point{5, 5}, PointOutside},
+		{"on outer edge", Point{5, 0}, PointOnBoundary},
+		{"on outer vertex", Point{10, 10}, PointOnBoundary},
+		{"on hole edge", Point{5, 4}, PointOnBoundary},
+		{"on hole vertex", Point{4, 4}, PointOnBoundary},
+		{"outside everything", Point{-1, 5}, PointOutside},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := p.LocatePoint(tc.pt); got != tc.want {
+				t.Errorf("LocatePoint(%v) = %v, want %v", tc.pt, got, tc.want)
+			}
+			wantContains := tc.want != PointOutside
+			if got := p.ContainsPointExact(tc.pt); got != wantContains {
+				t.Errorf("ContainsPointExact(%v) = %v, want %v", tc.pt, got, wantContains)
+			}
+		})
+	}
+}
+
+// TestLocateAgreesWithEvenOddOffBoundary: away from the boundary, the
+// robust predicate and the fast even-odd ContainsPoint must agree — Locate
+// exists to fix the boundary, not to change the interior.
+func TestLocateAgreesWithEvenOddOffBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		ring := make(Ring, 5+rng.Intn(10))
+		for i := range ring {
+			ang := (float64(i) + 0.8*rng.Float64()) / float64(len(ring)) * 2 * math.Pi
+			r := 0.3 + 0.7*rng.Float64()
+			ring[i] = Point{X: r * math.Cos(ang), Y: r * math.Sin(ang)}
+		}
+		for q := 0; q < 100; q++ {
+			p := Point{X: rng.Float64()*2.4 - 1.2, Y: rng.Float64()*2.4 - 1.2}
+			loc := ring.Locate(p)
+			if loc == PointOnBoundary {
+				continue // even-odd is unspecified there
+			}
+			if evenOdd := ring.ContainsPoint(p); evenOdd != (loc == PointInside) {
+				t.Fatalf("trial %d: ring %v point %v: even-odd=%v Locate=%v",
+					trial, ring, p, evenOdd, loc)
+			}
+		}
+	}
+}
+
+// TestOrientSignExactFallback drives orientSignExact into the uncertified
+// region: nearly-collinear triples whose float determinant cannot be
+// trusted must still get the mathematically right sign from the rational
+// fallback.
+func TestOrientSignExactFallback(t *testing.T) {
+	a := Point{0, 0}
+	b := Point{1e16, 1e16}
+	// c sits one ulp off the line y = x: the float filter cannot certify
+	// the tiny determinant, the exact path must.
+	above := Point{0.5, math.Nextafter(0.5, 1)}
+	below := Point{0.5, math.Nextafter(0.5, 0)}
+	on := Point{0.25, 0.25}
+	if s := orientSignExact(a, b, above); s != 1 {
+		t.Errorf("above the line: sign %d, want 1", s)
+	}
+	if s := orientSignExact(a, b, below); s != -1 {
+		t.Errorf("below the line: sign %d, want -1", s)
+	}
+	if s := orientSignExact(a, b, on); s != 0 {
+		t.Errorf("on the line: sign %d, want 0", s)
+	}
+	// The certified filter must agree with the exact path wherever it
+	// claims certainty.
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		p := Point{rng.NormFloat64(), rng.NormFloat64()}
+		q := Point{rng.NormFloat64(), rng.NormFloat64()}
+		r := Point{rng.NormFloat64(), rng.NormFloat64()}
+		if s, ok := OrientSign(p, q, r); ok {
+			if es := orientSignExact(p, q, r); es != s {
+				t.Fatalf("certified sign %d disagrees with exact %d for %v %v %v", s, es, p, q, r)
+			}
+		}
+	}
+}

@@ -1,0 +1,152 @@
+package geostore
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"github.com/actindex/act/internal/geom"
+)
+
+// starPolygon builds a random simple (star-shaped) polygon around a center:
+// vertices at increasing angles with random radii never self-intersect.
+func starPolygon(rng *rand.Rand, cx, cy, rMax float64, verts int) *geom.Polygon {
+	ring := make(geom.Ring, verts)
+	for i := range ring {
+		ang := (float64(i) + rng.Float64()*0.8) / float64(verts) * 2 * math.Pi
+		r := rMax * (0.3 + 0.7*rng.Float64())
+		ring[i] = geom.Point{X: cx + r*math.Cos(ang), Y: cy + r*math.Sin(ang)}
+	}
+	p, err := geom.NewPolygon(ring)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func randomStore(t testing.TB, seed int64, n int) *Store {
+	rng := rand.New(rand.NewSource(seed))
+	polys := make([]*geom.Polygon, n)
+	for i := range polys {
+		polys[i] = starPolygon(rng, rng.Float64(), rng.Float64(), 0.05+0.2*rng.Float64(), 4+rng.Intn(12))
+	}
+	s, err := New(polys)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+// TestResolveMatchesScan: resolving the full id universe must equal the
+// brute-force scan — the two refinement paths share one containment truth.
+func TestResolveMatchesScan(t *testing.T) {
+	s := randomStore(t, 1, 60)
+	all := make([]uint32, s.NumPolygons())
+	for i := range all {
+		all[i] = uint32(i)
+	}
+	rng := rand.New(rand.NewSource(2))
+	var got, want []uint32
+	for q := 0; q < 2000; q++ {
+		pt := geom.Point{X: rng.Float64()*1.4 - 0.2, Y: rng.Float64()*1.4 - 0.2}
+		got = s.Resolve(pt, all, got[:0])
+		want = s.ScanPoint(pt, want[:0])
+		sortU32(want)
+		sortU32(got)
+		if !equalU32(got, want) {
+			t.Fatalf("point %v: Resolve=%v ScanPoint=%v", pt, got, want)
+		}
+	}
+}
+
+func TestResolveSkipsOutOfRange(t *testing.T) {
+	s := randomStore(t, 3, 4)
+	out := s.Resolve(geom.Point{X: 0.5, Y: 0.5}, []uint32{999999}, nil)
+	if len(out) != 0 {
+		t.Fatalf("out-of-range id resolved: %v", out)
+	}
+	if s.Contains(999999, geom.Point{X: 0.5, Y: 0.5}) {
+		t.Fatal("out-of-range Contains reported true")
+	}
+	if s.Polygon(999999) != nil {
+		t.Fatal("out-of-range Polygon not nil")
+	}
+}
+
+// TestScanPointAppends pins the append contract: existing buf content is
+// preserved.
+func TestScanPointAppends(t *testing.T) {
+	s := randomStore(t, 4, 10)
+	c := s.polys[0].Bound().Center()
+	prefix := []uint32{7, 8}
+	out := s.ScanPoint(c, append([]uint32(nil), prefix...))
+	if len(out) < 2 || out[0] != 7 || out[1] != 8 {
+		t.Fatalf("prefix clobbered: %v", out)
+	}
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	s := randomStore(t, 5, 25)
+	var b1 bytes.Buffer
+	n, err := s.WriteTo(&b1)
+	if err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	if n != int64(b1.Len()) {
+		t.Fatalf("WriteTo reported %d bytes, wrote %d", n, b1.Len())
+	}
+	s2, err := Read(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	var b2 bytes.Buffer
+	if _, err := s2.WriteTo(&b2); err != nil {
+		t.Fatalf("re-WriteTo: %v", err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("serialize → deserialize → serialize is not byte-identical")
+	}
+	// The reloaded store answers identically.
+	rng := rand.New(rand.NewSource(6))
+	var a, b []uint32
+	for q := 0; q < 500; q++ {
+		pt := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		a = s.ScanPoint(pt, a[:0])
+		b = s2.ScanPoint(pt, b[:0])
+		sortU32(a)
+		sortU32(b)
+		if !equalU32(a, b) {
+			t.Fatalf("point %v: original=%v reloaded=%v", pt, a, b)
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	s := randomStore(t, 7, 8)
+	var b bytes.Buffer
+	if _, err := s.WriteTo(&b); err != nil {
+		t.Fatal(err)
+	}
+	good := b.Bytes()
+	// Flip one byte in the middle: the checksum must catch it.
+	corrupted := append([]byte(nil), good...)
+	corrupted[len(corrupted)/2] ^= 0xFF
+	if _, err := Read(bytes.NewReader(corrupted)); err == nil {
+		t.Fatal("corrupted store accepted")
+	}
+	// Truncations at every eighth byte must error, never panic.
+	for cut := 0; cut < len(good); cut += 8 {
+		if _, err := Read(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncated store (%d bytes) accepted", cut)
+		}
+	}
+	if _, err := Read(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func sortU32(s []uint32) { slices.Sort(s) }
+
+func equalU32(a, b []uint32) bool { return slices.Equal(a, b) }

@@ -28,6 +28,7 @@ import (
 	"github.com/actindex/act/internal/core"
 	"github.com/actindex/act/internal/geo"
 	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 	"github.com/actindex/act/internal/rtree"
 )
@@ -37,6 +38,7 @@ import (
 type Scratch struct {
 	res    core.Result
 	buf    []uint32
+	ref    []uint32 // refinement survivors (exact joiners)
 	leaves []cellid.ID
 	pts    []geom.Point
 	keys   []uint64    // packed (cell, index) sort keys, cell-sorted
@@ -184,14 +186,17 @@ func (j *ACT) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) C
 	return st
 }
 
-// ACTExact is the hybrid joiner for memory-constrained configurations
-// (paper §I): trie lookup first, then candidates — and only candidates —
-// are refined with an exact point-in-polygon test in grid space.
+// ACTExact is the exact-join executor: trie lookup first, true hits
+// emitted straight off the fast path, then candidates — and only candidates
+// — are resolved against the geometry store with robust point-in-polygon
+// tests (bbox pre-filtered, closed-polygon boundary convention). The
+// refinement runs on the worker's scratch buffers, so a chunk whose matches
+// are all true hits allocates nothing and never touches geometry.
 type ACTExact struct {
 	Grid grid.Grid
 	Trie *core.Trie
-	// Polygons holds the grid-projected polygons indexed by polygon id.
-	Polygons []*geom.Polygon
+	// Store resolves candidate matches; ids in trie results index into it.
+	Store *geostore.Store
 	// Unsorted disables the cell-sorted batch fast path.
 	Unsorted bool
 }
@@ -214,7 +219,8 @@ func (j *ACTExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scrat
 	}
 	s.leaves = grid.LeafCells(j.Grid, points, s.leaves[:0])
 	s.pts = grid.ProjectAll(j.Grid, points, s.pts[:0])
-	// refine emits chunk-local point i's references, testing candidates.
+	// refine emits chunk-local point i's references: true hits as-is, then
+	// only the candidates that survive the geometry store.
 	refine := func(i int, hit bool) {
 		if !hit {
 			st.Misses++
@@ -225,13 +231,13 @@ func (j *ACTExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scrat
 		}
 		st.TrueHits += int64(len(s.res.True))
 		matched := len(s.res.True) > 0
-		pt := s.pts[i]
-		for _, id := range s.res.Candidates {
-			if j.Polygons[id].ContainsPoint(pt) {
+		if len(s.res.Candidates) > 0 {
+			s.ref = j.Store.Resolve(s.pts[i], s.res.Candidates, s.ref[:0])
+			for _, id := range s.ref {
 				em.Emit(base+i, id, Candidate)
-				st.CandidateHits++
-				matched = true
 			}
+			st.CandidateHits += int64(len(s.ref))
+			matched = matched || len(s.ref) > 0
 		}
 		if !matched {
 			st.Misses++
@@ -281,7 +287,9 @@ func (j *RTree) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch)
 }
 
 // RTreeExact refines every R-tree candidate with an exact point-in-polygon
-// test: the classical filter-and-refine join, used as the ground truth.
+// test: the classical filter-and-refine join, used as the ground truth. It
+// applies the same closed-polygon boundary convention as ACTExact, so the
+// two joiners agree on every input, including boundary points.
 type RTreeExact struct {
 	Grid grid.Grid
 	Tree *rtree.Tree
@@ -300,7 +308,7 @@ func (j *RTreeExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scr
 		s.buf = j.Tree.QueryPoint(pt, s.buf[:0])
 		matched := false
 		for _, id := range s.buf {
-			if j.Polygons[id].ContainsPoint(pt) {
+			if j.Polygons[id].ContainsPointExact(pt) {
 				em.Emit(base+i, id, Candidate)
 				st.CandidateHits++
 				matched = true

@@ -8,6 +8,7 @@ import (
 	"github.com/actindex/act/internal/data"
 	"github.com/actindex/act/internal/geo"
 	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 	"github.com/actindex/act/internal/rtree"
 	"github.com/actindex/act/internal/supercover"
@@ -19,6 +20,7 @@ type pipeline struct {
 	trie      *core.Trie
 	tree      *rtree.Tree
 	projected []*geom.Polygon
+	store     *geostore.Store
 	n         int
 }
 
@@ -54,7 +56,11 @@ func buildPipeline(t testing.TB, set *data.PolygonSet, precision float64) *pipel
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &pipeline{g: g, trie: trie, tree: tree, projected: projected, n: len(set.Polygons)}
+	store, err := geostore.New(projected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &pipeline{g: g, trie: trie, tree: tree, projected: projected, store: store, n: len(set.Polygons)}
 }
 
 func testData(t testing.TB) (*data.PolygonSet, []geo.LatLng) {
@@ -76,7 +82,7 @@ func testData(t testing.TB) (*data.PolygonSet, []geo.LatLng) {
 func TestExactJoinersAgree(t *testing.T) {
 	set, pts := testData(t)
 	p := buildPipeline(t, set, 15)
-	actExact := &ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected}
+	actExact := &ACTExact{Grid: p.g, Trie: p.trie, Store: p.store}
 	rtExact := &RTreeExact{Grid: p.g, Tree: p.tree, Polygons: p.projected}
 	c1, s1 := Run(actExact, pts, p.n, 1)
 	c2, s2 := Run(rtExact, pts, p.n, 1)
@@ -97,7 +103,7 @@ func TestApproximateSupersetOfExact(t *testing.T) {
 	set, pts := testData(t)
 	p := buildPipeline(t, set, 15)
 	approx := &ACT{Grid: p.g, Trie: p.trie}
-	exact := &ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected}
+	exact := &ACTExact{Grid: p.g, Trie: p.trie, Store: p.store}
 	ca, sa := Run(approx, pts, p.n, 1)
 	ce, se := Run(exact, pts, p.n, 1)
 	for i := range ca {
@@ -134,7 +140,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 	p := buildPipeline(t, set, 30)
 	for _, j := range []Joiner{
 		&ACT{Grid: p.g, Trie: p.trie},
-		&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected},
+		&ACTExact{Grid: p.g, Trie: p.trie, Store: p.store},
 		&RTree{Grid: p.g, Tree: p.tree},
 		&RTreeExact{Grid: p.g, Tree: p.tree, Polygons: p.projected},
 	} {

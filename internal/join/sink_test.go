@@ -25,8 +25,8 @@ func TestPairSinkMatchesCounts(t *testing.T) {
 	joiners := []Joiner{
 		&ACT{Grid: p.g, Trie: p.trie},
 		&ACT{Grid: p.g, Trie: p.trie, Unsorted: true},
-		&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected},
-		&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected, Unsorted: true},
+		&ACTExact{Grid: p.g, Trie: p.trie, Store: p.store},
+		&ACTExact{Grid: p.g, Trie: p.trie, Store: p.store, Unsorted: true},
 		&RTree{Grid: p.g, Tree: p.tree},
 		&RTreeExact{Grid: p.g, Tree: p.tree, Polygons: p.projected},
 	}
@@ -90,8 +90,8 @@ func TestSortedMatchesUnsorted(t *testing.T) {
 	for _, pair := range [][2]Joiner{
 		{&ACT{Grid: p.g, Trie: p.trie}, &ACT{Grid: p.g, Trie: p.trie, Unsorted: true}},
 		{
-			&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected},
-			&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected, Unsorted: true},
+			&ACTExact{Grid: p.g, Trie: p.trie, Store: p.store},
+			&ACTExact{Grid: p.g, Trie: p.trie, Store: p.store, Unsorted: true},
 		},
 	} {
 		sorted, unsorted := &PairSink{}, &PairSink{}
@@ -114,7 +114,7 @@ func TestSortedMatchesUnsorted(t *testing.T) {
 func TestFuncSinkStreamsEverything(t *testing.T) {
 	set, pts := testData(t)
 	p := buildPipeline(t, set, 30)
-	j := &ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected}
+	j := &ACTExact{Grid: p.g, Trie: p.trie, Store: p.store}
 	want := &PairSink{}
 	RunSink(j, pts, want, 1)
 	for _, threads := range []int{1, 4} {
@@ -160,7 +160,7 @@ func TestExactPairsMatchGroundTruth(t *testing.T) {
 	set, pts := testData(t)
 	p := buildPipeline(t, set, 15)
 	actSink, rtSink := &PairSink{}, &PairSink{}
-	RunSink(&ACTExact{Grid: p.g, Trie: p.trie, Polygons: p.projected}, pts, actSink, 4)
+	RunSink(&ACTExact{Grid: p.g, Trie: p.trie, Store: p.store}, pts, actSink, 4)
 	RunSink(&RTreeExact{Grid: p.g, Tree: p.tree, Polygons: p.projected}, pts, rtSink, 4)
 	if len(actSink.Pairs) != len(rtSink.Pairs) {
 		t.Fatalf("pair counts differ: act-exact %d, rtree-exact %d", len(actSink.Pairs), len(rtSink.Pairs))

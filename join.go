@@ -2,10 +2,16 @@ package act
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"github.com/actindex/act/internal/join"
 )
+
+// ErrNoGeometry is reported by exact join modes on an index that carries no
+// geometry store (built with WithGeometryStore(false), or loaded from an
+// index file without a geometry section).
+var ErrNoGeometry = errors.New("act: index has no geometry store, cannot refine candidates")
 
 // JoinMode selects the join semantics.
 type JoinMode int
@@ -56,16 +62,38 @@ const (
 // trie in cell-sorted batches (the engine's fast path).
 func (ix *Index) joiner(mode JoinMode) join.Joiner {
 	if mode == Exact {
-		return &join.ACTExact{Grid: ix.grid, Trie: ix.trie, Polygons: ix.projected}
+		return &join.ACTExact{Grid: ix.grid, Trie: ix.trie, Store: ix.store}
 	}
 	return &join.ACT{Grid: ix.grid, Trie: ix.trie}
+}
+
+// checkMode rejects exact joins on an index that cannot refine.
+func (ix *Index) checkMode(mode JoinMode) error {
+	if mode == Exact && ix.store == nil {
+		return ErrNoGeometry
+	}
+	return nil
+}
+
+// mustMode is checkMode for the error-less v1 wrappers: requesting an exact
+// join from an index that cannot refine is a programming error, and
+// returning empty results would be indistinguishable from "no matches" — so
+// it panics instead. Error-aware callers use the Context variants (or
+// JoinExact), which report ErrNoGeometry.
+func (ix *Index) mustMode(mode JoinMode) {
+	if err := ix.checkMode(mode); err != nil {
+		panic(err)
+	}
 }
 
 // Join counts, for every polygon, the points matching it — the aggregation
 // the paper's evaluation performs. threads ≤ 0 uses GOMAXPROCS. The
 // returned slice is indexed by polygon id. It is a thin wrapper over the
-// streaming engine with a counting sink.
+// streaming engine with a counting sink. Exact mode on an index without a
+// geometry store panics (use JoinContext or JoinExact to get ErrNoGeometry
+// as an error instead).
 func (ix *Index) Join(points []LatLng, mode JoinMode, threads int) ([]uint64, JoinStats) {
+	ix.mustMode(mode)
 	counts, stats, _ := ix.JoinContext(context.Background(), points, mode, threads)
 	return counts, stats
 }
@@ -79,9 +107,24 @@ func (ix *Index) Join(points []LatLng, mode JoinMode, threads int) ([]uint64, Jo
 // cancellation landing after the last chunk was already joined is not an
 // error: the join is complete, so the error is nil.
 func (ix *Index) JoinContext(ctx context.Context, points []LatLng, mode JoinMode, threads int) ([]uint64, JoinStats, error) {
+	if err := ix.checkMode(mode); err != nil {
+		return nil, JoinStats{}, err
+	}
 	sink := join.NewCountSink(ix.NumPolygons())
 	stats, err := join.RunSinkContext(ctx, ix.joiner(mode), points, sink, threads)
 	return sink.Counts, stats, err
+}
+
+// JoinExact counts, for every polygon, the points exactly inside it: trie
+// lookups deliver true hits directly, and only the candidate matches are
+// refined against the geometry store with robust point-in-polygon tests
+// (bbox pre-filtered, boundary points inside). In the returned stats,
+// TrueHits counts pairs resolved without touching geometry and
+// CandidateHits pairs that needed — and survived — refinement; their ratio
+// is the refinement cost the precision bound buys off. threads ≤ 0 uses
+// GOMAXPROCS. Reports ErrNoGeometry when the index has no geometry store.
+func (ix *Index) JoinExact(ctx context.Context, points []LatLng, threads int) ([]uint64, JoinStats, error) {
+	return ix.JoinContext(ctx, points, Exact, threads)
 }
 
 // JoinStream runs the join and streams every pair to fn as it is produced.
@@ -89,8 +132,10 @@ func (ix *Index) JoinContext(ctx context.Context, points []LatLng, mode JoinMode
 // write to an encoder, socket, or other unsynchronized state. With
 // threads == 1 pairs arrive in nondecreasing Point order; with more
 // workers, order is nondecreasing within each engine chunk but interleaved
-// across chunks. threads ≤ 0 uses GOMAXPROCS.
+// across chunks. threads ≤ 0 uses GOMAXPROCS. Exact mode on an index
+// without a geometry store panics (use JoinStreamContext for the error).
 func (ix *Index) JoinStream(points []LatLng, mode JoinMode, threads int, fn func(Pair)) JoinStats {
+	ix.mustMode(mode)
 	stats, _ := ix.JoinStreamContext(context.Background(), points, mode, threads, fn)
 	return stats
 }
@@ -100,13 +145,18 @@ func (ix *Index) JoinStream(points []LatLng, mode JoinMode, threads int, fn func
 // claiming chunks, fn stops receiving pairs after at most one chunk per
 // worker, and the call returns ctx.Err().
 func (ix *Index) JoinStreamContext(ctx context.Context, points []LatLng, mode JoinMode, threads int, fn func(Pair)) (JoinStats, error) {
+	if err := ix.checkMode(mode); err != nil {
+		return JoinStats{}, err
+	}
 	return join.RunSinkContext(ctx, ix.joiner(mode), points, &join.FuncSink{Fn: fn}, threads)
 }
 
 // Pairs materializes the join: every (point, polygon, class) tuple, sorted
 // by point index (ties by polygon id), deterministic regardless of the
-// thread count. threads ≤ 0 uses GOMAXPROCS.
+// thread count. threads ≤ 0 uses GOMAXPROCS. Exact mode on an index
+// without a geometry store panics (use PairsContext for the error).
 func (ix *Index) Pairs(points []LatLng, mode JoinMode, threads int) ([]Pair, JoinStats) {
+	ix.mustMode(mode)
 	pairs, stats, _ := ix.PairsContext(context.Background(), points, mode, threads)
 	return pairs, stats
 }
@@ -115,6 +165,9 @@ func (ix *Index) Pairs(points []LatLng, mode JoinMode, threads int) ([]Pair, Joi
 // pairs cover only the chunks joined before the context fired (still sorted
 // and deterministic for a given cut) and the error is ctx.Err().
 func (ix *Index) PairsContext(ctx context.Context, points []LatLng, mode JoinMode, threads int) ([]Pair, JoinStats, error) {
+	if err := ix.checkMode(mode); err != nil {
+		return nil, JoinStats{}, err
+	}
 	sink := &join.PairSink{}
 	stats, err := join.RunSinkContext(ctx, ix.joiner(mode), points, sink, threads)
 	return sink.Pairs, stats, err

@@ -43,6 +43,17 @@ func WithBuildWorkers(n int) Option {
 	return func(o *Options) { o.BuildWorkers = n }
 }
 
+// WithGeometryStore controls whether the index keeps the exact polygon
+// geometry (default true). The geometry store backs candidate refinement —
+// LookupExact, JoinExact, Contains — at the cost of holding every ring in
+// memory alongside the trie. Passing false builds an approximate-only
+// index: lookups still honour the precision bound, but candidates can never
+// be resolved — exact context-aware joins report ErrNoGeometry, and
+// LookupExact plus the error-less join wrappers panic with it.
+func WithGeometryStore(on bool) Option {
+	return func(o *Options) { o.SkipGeometryStore = !on }
+}
+
 // New builds an index over the polygon set, configured by functional
 // options. It is the primary constructor of the v2 API; BuildIndex remains
 // as a compatibility wrapper over the same build pipeline.

@@ -8,16 +8,33 @@ import (
 
 	"github.com/actindex/act/internal/core"
 	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 )
 
-// Index serialization: a small header (grid kind, precision, summary
-// stats), the geographic polygons (so exact refinement works after
-// loading), then the trie blob (which carries its own checksum).
+// Index serialization, version 2 (little endian):
+//
+//	magic    "ACTX"           4 bytes
+//	version  uint32           currently 2
+//	gridKind uint32
+//	precision, achieved       2 × float64
+//	cells    uint64           indexed covering cells (stats)
+//	numPolys uint64           indexed polygon count (stats)
+//	hasGeom  uint32           1 when a geometry section follows the trie
+//	trie blob                 core.Trie.WriteTo (own magic, version, CRC)
+//	geometry section          geostore.Store.WriteTo (own magic, version,
+//	                          CRC) — present only when hasGeom == 1
+//
+// The geometry section is versioned and checksummed independently of the
+// header, so the exact-refinement geometry can evolve without breaking the
+// trie format. Version-1 files (which inlined raw projected rings between
+// the header and the trie) still load, with their geometry lifted into a
+// store; version-2 files written with WithGeometryStore(false) load in
+// approximate-only mode.
 
 const (
 	indexMagic   = "ACTX"
-	indexVersion = 1
+	indexVersion = 2
 )
 
 // byteCounter counts bytes flowing to the underlying writer.
@@ -33,7 +50,9 @@ func (b *byteCounter) Write(p []byte) (int, error) {
 }
 
 // WriteTo serializes the index so it can be loaded with ReadIndex without
-// rebuilding coverings. It implements io.WriterTo.
+// rebuilding coverings. It implements io.WriterTo. The byte stream is a pure
+// function of the index state: serialize → ReadIndex → serialize
+// round-trips bit-exactly.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	bc := &byteCounter{w: w}
 	bw := bufio.NewWriterSize(bc, 1<<20)
@@ -49,26 +68,21 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	default:
 		return bc.n, fmt.Errorf("act: cannot serialize unknown grid kind %v", ix.kind)
 	}
+	var hasGeom uint32
+	if ix.store != nil {
+		hasGeom = 1
+	}
 	header := []any{
 		uint32(indexVersion),
 		uint32(ix.kind),
 		ix.precision,
 		ix.stats.AchievedPrecisionMeters,
 		uint64(ix.stats.IndexedCells),
-		uint64(len(ix.projected)),
+		uint64(ix.stats.NumPolygons),
+		hasGeom,
 	}
 	for _, v := range header {
 		if err := write(v); err != nil {
-			return bc.n, err
-		}
-	}
-	// Geographic polygons are not stored in the index; re-derive them
-	// from the projected rings by unprojection? No — unprojection loses
-	// bits. The caller's polygons were validated at build time; store the
-	// projected (grid-space) rings directly: exact lookups operate on
-	// them, so the round trip is bit-exact for join semantics.
-	for _, p := range ix.projected {
-		if err := writeProjected(bw, write, p); err != nil {
 			return bc.n, err
 		}
 	}
@@ -78,32 +92,24 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if _, err := ix.trie.WriteTo(bc); err != nil {
 		return bc.n, err
 	}
+	if ix.store != nil {
+		if _, err := ix.store.WriteTo(bc); err != nil {
+			return bc.n, err
+		}
+	}
 	return bc.n, nil
 }
 
-func writeProjected(bw *bufio.Writer, write func(any) error, p *geom.Polygon) error {
-	if err := write(uint32(1 + len(p.Holes))); err != nil {
-		return err
-	}
-	rings := append([]geom.Ring{p.Outer}, p.Holes...)
-	for _, ring := range rings {
-		if err := write(uint32(len(ring))); err != nil {
-			return err
-		}
-		for _, v := range ring {
-			if err := write(v.X); err != nil {
-				return err
-			}
-			if err := write(v.Y); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-// ReadIndex loads an index serialized with WriteTo.
+// ReadIndex loads an index serialized with WriteTo. Version-1 files load
+// with their inline geometry lifted into a geometry store; version-2 files
+// without a geometry section load in approximate-only mode (HasGeometry
+// reports false and exact joins report ErrNoGeometry).
 func ReadIndex(r io.Reader) (*Index, error) {
+	// core.ReadTrie and geostore.Read each wrap their reader in
+	// bufio.NewReaderSize(r, 1<<20); passing an equally-sized *bufio.Reader
+	// makes those wraps alias THIS reader, so no bytes are read ahead into
+	// a private buffer and lost between the trie and geometry sections.
+	// Keep the three buffer sizes in sync.
 	br := bufio.NewReaderSize(r, 1<<20)
 	read := func(v any) error { return binary.Read(br, binary.LittleEndian, v) }
 	magic := make([]byte, 4)
@@ -117,7 +123,7 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := read(&version); err != nil {
 		return nil, err
 	}
-	if version != indexVersion {
+	if version != 1 && version != indexVersion {
 		return nil, fmt.Errorf("act: unsupported index version %d", version)
 	}
 	if err := read(&gk); err != nil {
@@ -146,24 +152,76 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := read(&numPolys); err != nil {
 		return nil, err
 	}
-	if numPolys > 1<<31 {
+	if numPolys > 1<<30 {
+		// Polygon ids are 30-bit (the trie payload format), so any larger
+		// count is corruption — and would otherwise size Join's per-polygon
+		// count slices.
 		return nil, fmt.Errorf("act: implausible polygon count %d", numPolys)
 	}
 	ix.stats.IndexedCells = int(cells)
 	ix.stats.NumPolygons = int(numPolys)
-	ix.projected = make([]*geom.Polygon, numPolys)
-	for i := range ix.projected {
-		p, err := readProjected(read)
-		if err != nil {
-			return nil, fmt.Errorf("act: polygon %d: %w", i, err)
+
+	hasGeom := uint32(1)
+	if version >= 2 {
+		if err := read(&hasGeom); err != nil {
+			return nil, err
 		}
-		ix.projected[i] = p
+		if hasGeom > 1 {
+			return nil, fmt.Errorf("act: bad geometry flag %d", hasGeom)
+		}
+	} else {
+		// Version 1 inlined the projected rings between header and trie.
+		projected := make([]*geom.Polygon, 0, min(numPolys, 1<<16))
+		for i := uint64(0); i < numPolys; i++ {
+			p, err := readProjectedV1(read)
+			if err != nil {
+				return nil, fmt.Errorf("act: polygon %d: %w", i, err)
+			}
+			projected = append(projected, p)
+		}
+		store, err := geostore.New(projected)
+		if err != nil {
+			return nil, err
+		}
+		ix.store = store
 	}
+
 	trie, err := core.ReadTrie(br)
 	if err != nil {
 		return nil, err
 	}
+	// Lookups return polygon ids straight out of the trie, and Join sizes
+	// its per-polygon count slices from the header — an id at or beyond
+	// numPolys would make counts[polygon]++ panic later, so reject the
+	// mismatch at load time (the header is not covered by the blob
+	// checksums).
+	maxRef, hasRefs := trie.MaxPolygonRef()
+	if hasRefs && uint64(maxRef) >= numPolys {
+		return nil, fmt.Errorf("act: trie references polygon %d, header says %d polygons", maxRef, numPolys)
+	}
+	if version >= 2 && hasGeom == 0 && numPolys > 0 {
+		// Approximate-only files have no geometry section to cross-check
+		// the header count against, and Join allocates count slices from
+		// it. Honest builds give every polygon at least one covering cell,
+		// so an inflated count (beyond maxRef+1) is corruption, not data.
+		if !hasRefs || numPolys > uint64(maxRef)+1 {
+			return nil, fmt.Errorf("act: header claims %d polygons but the trie references at most %d", numPolys, maxRef)
+		}
+	}
 	ix.trie = trie
+
+	if version >= 2 && hasGeom == 1 {
+		store, err := geostore.Read(br)
+		if err != nil {
+			return nil, err
+		}
+		if store.NumPolygons() != int(numPolys) {
+			return nil, fmt.Errorf("act: geometry section has %d polygons, header says %d",
+				store.NumPolygons(), numPolys)
+		}
+		ix.store = store
+	}
+
 	ts := trie.ComputeStats()
 	ix.stats.TrieBytes = ts.TrieBytes
 	ix.stats.TableBytes = ts.TableBytes
@@ -171,7 +229,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-func readProjected(read func(any) error) (*geom.Polygon, error) {
+// readProjectedV1 parses one version-1 inline polygon record.
+func readProjectedV1(read func(any) error) (*geom.Polygon, error) {
 	var numRings uint32
 	if err := read(&numRings); err != nil {
 		return nil, err
@@ -179,8 +238,8 @@ func readProjected(read func(any) error) (*geom.Polygon, error) {
 	if numRings == 0 || numRings > 1<<20 {
 		return nil, fmt.Errorf("implausible ring count %d", numRings)
 	}
-	rings := make([]geom.Ring, numRings)
-	for ri := range rings {
+	rings := make([]geom.Ring, 0, min(uint64(numRings), 1<<10))
+	for ri := uint32(0); ri < numRings; ri++ {
 		var n uint32
 		if err := read(&n); err != nil {
 			return nil, err
@@ -188,16 +247,18 @@ func readProjected(read func(any) error) (*geom.Polygon, error) {
 		if n < 3 || n > 1<<26 {
 			return nil, fmt.Errorf("implausible ring size %d", n)
 		}
-		ring := make(geom.Ring, n)
-		for vi := range ring {
-			if err := read(&ring[vi].X); err != nil {
+		ring := make(geom.Ring, 0, min(uint64(n), 1<<16))
+		for vi := uint32(0); vi < n; vi++ {
+			var p geom.Point
+			if err := read(&p.X); err != nil {
 				return nil, err
 			}
-			if err := read(&ring[vi].Y); err != nil {
+			if err := read(&p.Y); err != nil {
 				return nil, err
 			}
+			ring = append(ring, p)
 		}
-		rings[ri] = ring
+		rings = append(rings, ring)
 	}
 	return geom.NewPolygon(rings[0], rings[1:]...)
 }

@@ -156,3 +156,37 @@ func TestIndexSerializationCorruption(t *testing.T) {
 		t.Error("garbage should fail")
 	}
 }
+
+// TestReadIndexRejectsUndercountedHeader forges the unchecksummed header of
+// an approximate-only v2 file so it declares fewer polygons than the trie
+// references: loading must fail instead of handing out an index whose Join
+// would later panic on counts[polygon]++.
+func TestReadIndexRejectsUndercountedHeader(t *testing.T) {
+	idx, _ := buildTestIndex(t, PlanarGrid)
+	noGeo := *idx
+	noGeo.store = nil
+	var buf bytes.Buffer
+	if _, err := noGeo.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	forged := append([]byte(nil), buf.Bytes()...)
+	// numPolys sits at byte offset 36 (magic 4 + version 4 + kind 4 +
+	// precision 8 + achieved 8 + cells 8); declare zero polygons.
+	for i := 36; i < 44; i++ {
+		forged[i] = 0
+	}
+	if _, err := ReadIndex(bytes.NewReader(forged)); err == nil {
+		t.Fatal("undercounted header accepted")
+	}
+	// Inflating the count instead must also fail: Join sizes per-polygon
+	// count slices from the header, so a forged 2^29 would otherwise
+	// allocate gigabytes per request on a tiny index.
+	inflated := append([]byte(nil), buf.Bytes()...)
+	for i := 36; i < 44; i++ {
+		inflated[i] = 0
+	}
+	inflated[39] = 0x20 // 1 << 29, little endian
+	if _, err := ReadIndex(bytes.NewReader(inflated)); err == nil {
+		t.Fatal("inflated header accepted")
+	}
+}

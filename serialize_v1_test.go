@@ -1,0 +1,114 @@
+package act
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/geom"
+)
+
+// buildV1Bytes re-creates the version-1 on-disk layout (header without a
+// geometry flag, projected rings inlined between header and trie) from a
+// live index, so the legacy read path stays covered even though the writer
+// is gone.
+func buildV1Bytes(t testing.TB, ix *Index) []byte {
+	t.Helper()
+	if ix.store == nil {
+		t.Fatal("buildV1Bytes needs an index with geometry")
+	}
+	// The trie blob is the v2 stream minus its 48-byte header when no
+	// geometry section follows.
+	var v2 bytes.Buffer
+	noGeo := *ix
+	noGeo.store = nil
+	if _, err := noGeo.WriteTo(&v2); err != nil {
+		t.Fatal(err)
+	}
+	trieBlob := v2.Bytes()[48:]
+
+	var out bytes.Buffer
+	out.WriteString(indexMagic)
+	write := func(v any) {
+		if err := binary.Write(&out, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(uint32(1)) // version
+	write(uint32(ix.kind))
+	write(ix.precision)
+	write(ix.stats.AchievedPrecisionMeters)
+	write(uint64(ix.stats.IndexedCells))
+	write(uint64(ix.stats.NumPolygons))
+	for id := 0; id < ix.stats.NumPolygons; id++ {
+		p := ix.store.Polygon(uint32(id))
+		write(uint32(1 + len(p.Holes)))
+		rings := append([]geom.Ring{p.Outer}, p.Holes...)
+		for _, ring := range rings {
+			write(uint32(len(ring)))
+			for _, v := range ring {
+				write(v.X)
+				write(v.Y)
+			}
+		}
+	}
+	out.Write(trieBlob)
+	return out.Bytes()
+}
+
+// TestReadIndexV1Compat pins the migration contract: version-1 files (which
+// inlined raw projected rings) still load, their geometry is lifted into a
+// store, lookups agree with the original index, and re-serializing writes a
+// version-2 file that round-trips byte-identically.
+func TestReadIndexV1Compat(t *testing.T) {
+	idx, set := buildTestIndex(t, PlanarGrid)
+	v1 := buildV1Bytes(t, idx)
+	loaded, err := ReadIndex(bytes.NewReader(v1))
+	if err != nil {
+		t.Fatalf("ReadIndex(v1): %v", err)
+	}
+	if !loaded.HasGeometry() {
+		t.Fatal("v1 file loaded without geometry")
+	}
+	if loaded.NumPolygons() != idx.NumPolygons() || loaded.PrecisionMeters() != idx.PrecisionMeters() {
+		t.Fatal("v1 metadata mismatch")
+	}
+	rng := rand.New(rand.NewSource(301))
+	b := set.Bound
+	var r1, r2 Result
+	for n := 0; n < 2000; n++ {
+		ll := geo.LatLng{
+			Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+			Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+		}
+		h1 := idx.LookupExact(ll, &r1)
+		h2 := loaded.LookupExact(ll, &r2)
+		if h1 != h2 || len(r1.True) != len(r2.True) {
+			t.Fatalf("exact lookup diverges at %v after v1 load", ll)
+		}
+	}
+	// Re-serializing a v1 load produces a stable v2 stream.
+	var b1, b2 bytes.Buffer
+	if _, err := loaded.WriteTo(&b1); err != nil {
+		t.Fatal(err)
+	}
+	again, err := ReadIndex(bytes.NewReader(b1.Bytes()))
+	if err != nil {
+		t.Fatalf("re-read upgraded index: %v", err)
+	}
+	if _, err := again.WriteTo(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Fatal("upgraded index does not round-trip byte-identically")
+	}
+	// Truncated v1 polygon sections must error, never panic.
+	for i := 0; i < 25; i++ {
+		cut := 48 + i*(len(v1)-56)/25
+		if _, err := ReadIndex(bytes.NewReader(v1[:cut])); err == nil {
+			t.Fatalf("truncated v1 file (%d bytes) accepted", cut)
+		}
+	}
+}

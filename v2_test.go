@@ -241,3 +241,48 @@ func TestAppendMatches(t *testing.T) {
 		t.Errorf("AppendMatches allocates %.1f per 256-point run", allocs)
 	}
 }
+
+// TestAppendRefs pins the class-carrying variant against Lookup's split
+// result: same ids, same classes, and still zero allocations — so no hot
+// path ever has a reason to conflate true hits with candidates.
+func TestAppendRefs(t *testing.T) {
+	idx, pts := v2TestIndex(t, 10000)
+	var refs []Match
+	var res Result
+	sawTrue, sawCand := false, false
+	for _, ll := range pts {
+		refs = idx.AppendRefs(ll, refs[:0])
+		idx.Lookup(ll, &res)
+		var trues, cands []uint32
+		for _, m := range refs {
+			if m.Exact {
+				trues = append(trues, m.ID)
+			} else {
+				cands = append(cands, m.ID)
+			}
+		}
+		slices.Sort(trues)
+		slices.Sort(cands)
+		wantTrue := slices.Clone(res.True)
+		wantCand := slices.Clone(res.Candidates)
+		slices.Sort(wantTrue)
+		slices.Sort(wantCand)
+		if !slices.Equal(trues, wantTrue) || !slices.Equal(cands, wantCand) {
+			t.Fatalf("AppendRefs split (%v/%v) != Lookup split (%v/%v) at %v",
+				trues, cands, wantTrue, wantCand, ll)
+		}
+		sawTrue = sawTrue || len(trues) > 0
+		sawCand = sawCand || len(cands) > 0
+	}
+	if !sawTrue || !sawCand {
+		t.Fatalf("batch never exercised both classes (true=%v cand=%v)", sawTrue, sawCand)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for _, ll := range pts[:256] {
+			refs = idx.AppendRefs(ll, refs[:0])
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendRefs allocates %.1f per 256-point run", allocs)
+	}
+}
