@@ -123,6 +123,10 @@ type Options struct {
 	// ErrNoGeometry, and LookupExact plus the error-less join wrappers
 	// panic with it.
 	SkipGeometryStore bool
+	// Interleave is the number of concurrent trie walks the batch probe
+	// paths keep in flight (0 = auto: 1 for L2-resident tries, 8 otherwise;
+	// 1 = scalar walks). See WithInterleave.
+	Interleave int
 }
 
 // BuildStats reports the cost and shape of a built index — the quantities
@@ -156,6 +160,9 @@ type Index struct {
 	trie      *core.Trie
 	precision float64
 	stats     BuildStats
+	// interleave is the configured batch-probe lane count (0 = auto); it is
+	// a runtime tuning knob, not persisted by WriteTo.
+	interleave int
 	// store holds the grid-space polygon geometry for exact refinement,
 	// indexed by polygon id and bbox-pre-filtered through an R-tree. It is
 	// nil for approximate-only indexes (built with WithGeometryStore(false)
@@ -283,11 +290,12 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 
 	ts := trie.ComputeStats()
 	return &Index{
-		grid:      g,
-		kind:      opts.Grid,
-		trie:      trie,
-		precision: opts.PrecisionMeters,
-		store:     store,
+		grid:       g,
+		kind:       opts.Grid,
+		trie:       trie,
+		precision:  opts.PrecisionMeters,
+		store:      store,
+		interleave: opts.Interleave,
 		stats: BuildStats{
 			NumPolygons:             len(polygons),
 			IndexedCells:            sc.NumCells(),

@@ -6,6 +6,8 @@
 //	actbench -experiment fig4             # Fig. 4: thread scalability
 //	actbench -experiment exact            # approximate vs exact joins:
 //	                                      # true-hit ratio + refinement cost
+//	actbench -experiment interleave       # K-way interleaved batch probes
+//	                                      # vs the scalar walk, per fanout
 //	actbench -experiment ablation         # design-choice ablations
 //	actbench -experiment all              # everything
 //
@@ -16,6 +18,11 @@
 //	-threads a,b thread counts for fig4 (default 1,2,4,8,16,32)
 //	-dist d      point distribution: uniform|clustered|adversarial
 //	-seed S      dataset seed
+//
+// Profiling (any experiment):
+//
+//	-cpuprofile f   write a CPU profile covering the selected experiments
+//	-memprofile f   write a heap profile taken after the experiments
 package main
 
 import (
@@ -24,6 +31,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
@@ -32,13 +41,15 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | exact | ablation | all")
+	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | exact | interleave | ablation | all")
 	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
 	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
 	threadsFlag := flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts for fig4")
 	distFlag := flag.String("dist", "uniform", "point distribution: uniform | clustered | adversarial")
 	jsonOut := flag.String("jsonout", ".", "directory for machine-readable BENCH_*.json result files (empty disables)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the experiments to this file")
 	flag.Parse()
 
 	var dist data.Distribution
@@ -69,6 +80,22 @@ func main() {
 	w := os.Stdout
 	fmt.Fprintf(w, "actbench: census=%d points=%d dist=%s seed=%d\n",
 		*census, *points, dist, *seed)
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "actbench: cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		// Stopped explicitly before exit below; os.Exit in run() skips this
+		// deliberately, a partial profile from a failed run is worthless.
+		defer f.Close()
+		defer pprof.StopCPUProfile()
+	}
 
 	run := func(name string, f func() error) {
 		if *experiment != "all" && *experiment != name {
@@ -101,13 +128,31 @@ func main() {
 	// subsystem's tracked artefact (true-hit ratio and refinement overhead
 	// per precision).
 	measured("exact", "3", func() ([]bench.Record, error) { return bench.RunExact(w, cfg) })
+	// The interleave sweep lands in BENCH_4.json: the interleaved probe
+	// engine's tracked artefact (width × fanout throughput and the speedup
+	// over the scalar batch walk).
+	measured("interleave", "4", func() ([]bench.Record, error) { return bench.RunInterleave(w, cfg) })
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
-	case "table1", "fig3", "fig4", "exact", "ablation", "all":
+	case "table1", "fig3", "fig4", "exact", "interleave", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC() // settle the heap so the profile shows retained memory
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "actbench: memprofile: %v\n", err)
+			os.Exit(1)
+		}
+		f.Close()
 	}
 }
 

@@ -11,6 +11,7 @@
 //	POST /reload                                  swap in a new polygon set
 //	GET  /stats                                   index statistics
 //	GET  /healthz                                 liveness
+//	GET  /debug/pprof/                            profiling (with -pprof)
 //
 // POST /join accepts {"points":[{"lat":..,"lng":..},...],"exact":bool,
 // "threads":n} and streams one {"point","polygon","class"} object per join
@@ -53,6 +54,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	reloadToken := flag.String("reload-token", "", "bearer token required by POST /reload (empty: no auth; only safe on trusted listeners)")
+	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; only safe on trusted listeners)")
 	flag.Parse()
 
 	if (*polyFile == "") == (*indexFile == "") {
@@ -90,6 +92,10 @@ func main() {
 	indexes := act.NewSwappable(idx)
 	handler := NewServer(indexes, defaults)
 	handler.ReloadToken = *reloadToken
+	if *pprofFlag {
+		handler.EnablePprof()
+		log.Printf("actserve: pprof endpoints enabled under /debug/pprof/")
+	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
@@ -66,6 +67,23 @@ func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
+}
+
+// EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ so the
+// serving hot paths — lookups, streamed joins, reload builds — can be
+// profiled in place (go tool pprof http://host/debug/pprof/profile). Opt-in
+// via actserve -pprof: the endpoints expose heap contents and timing, so
+// they stay off untrusted listeners by default. Call before the first
+// request is served.
+func (s *Server) EnablePprof() {
+	// Method-agnostic patterns: go tool pprof POSTs to /symbol for remote
+	// symbolization (net/http/pprof's own init registers these the same
+	// way), so a GET-only route would 405 it.
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
 // parseGridKind maps the wire/flag spelling of a grid to its kind. The

@@ -423,3 +423,18 @@ func TestConcurrentLookups(t *testing.T) {
 		<-done
 	}
 }
+
+func TestPprofOptIn(t *testing.T) {
+	s, _ := testServer(t)
+	// Off by default: the profiling surface must not exist unless enabled.
+	if rec := get(t, s, "/debug/pprof/"); rec.Code != http.StatusNotFound {
+		t.Fatalf("pprof served without EnablePprof: %d", rec.Code)
+	}
+	s.EnablePprof()
+	if rec := get(t, s, "/debug/pprof/"); rec.Code != http.StatusOK {
+		t.Fatalf("pprof index after EnablePprof: %d", rec.Code)
+	}
+	if rec := get(t, s, "/debug/pprof/cmdline"); rec.Code != http.StatusOK {
+		t.Fatalf("pprof cmdline after EnablePprof: %d", rec.Code)
+	}
+}

@@ -140,6 +140,14 @@ type Record struct {
 	CandidateHits   *int64   `json:"candidateHits,omitempty"`
 	TrueHitRatio    *float64 `json:"trueHitRatio,omitempty"`
 	RefineOverheadX *float64 `json:"refineOverheadX,omitempty"`
+	// Interleave accounting, filled only by the interleave experiment: the
+	// trie fanout, the lane count of the measurement (1 = the scalar
+	// LookupBatch baseline), and the speedup over that baseline on the same
+	// probes (scalar rows carry 1.0). The Joiner name also encodes both, so
+	// rows stay self-describing under omitempty.
+	Fanout     int      `json:"fanout,omitempty"`
+	Interleave int      `json:"interleave,omitempty"`
+	SpeedupX   *float64 `json:"speedupX,omitempty"`
 }
 
 // record converts join stats into a Record.

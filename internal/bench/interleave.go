@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"slices"
+	"time"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/core"
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/grid"
+	"github.com/actindex/act/internal/join"
+)
+
+// The interleave experiment's tracked configuration: census-scale polygon
+// count and point stream, small enough to run in minutes, large enough that
+// the 4 m trie busts per-core caches at every measured fanout — the regime
+// the interleaved engine exists for. The points are adversarial (clustered
+// near polygon boundaries): boundary cells are the deepest in the trie, so
+// this is the workload whose walks have the longest dependent-miss chains —
+// the paper's worst case and the interleave engine's target.
+const (
+	interleaveRegions = 600
+	interleavePoints  = 300_000
+	interleaveEps     = 4
+	interleaveReps    = 9
+)
+
+// InterleaveWidths are the lane counts the sweep measures; width 1 is the
+// scalar LookupBatch baseline every speedup is quoted against.
+var InterleaveWidths = []int{1, 2, 4, 8, 16}
+
+// InterleaveFanouts are the trie fanouts the sweep crosses the widths with.
+var InterleaveFanouts = []int{16, 64, 256}
+
+// evictBuf backs evictCaches; allocated on first use, reused across calls.
+var evictBuf []uint64
+
+// evictCaches streams a buffer larger than any per-core cache hierarchy so
+// the next measurement starts cold. A streaming join sees every point — and
+// therefore every deep trie line — once; letting one rep's probe working
+// set warm the caches for the next would measure a workload (repeated
+// identical batches) that production joins never run.
+func evictCaches() {
+	if evictBuf == nil {
+		evictBuf = make([]uint64, 32<<20) // 256 MB
+	}
+	s := uint64(0)
+	for i := range evictBuf {
+		evictBuf[i] += s
+		s += evictBuf[i]
+	}
+}
+
+// RunInterleave measures the interleaved probe engine: batch-lookup
+// throughput for every lane count × trie fanout on the census-scale
+// configuration (600 regions, 300k boundary-adversarial points, 4 m), in
+// the two regimes the engine serves:
+//
+//   - "arrival": leaves probed in stream order with caches evicted before
+//     every rep — the streaming-join and serving regime, where each deep
+//     trie line is touched for the first time and the walk's dependent
+//     misses dominate. This is where memory-level parallelism pays, and
+//     the fanout-256 row is the experiment's headline speedup.
+//   - "sorted": leaves cell-sorted globally, warm — shared-prefix locality
+//     keeps the scalar walk at ~1 cache-hot access per probe, so this row
+//     documents the regime where width 1 wins (the WithInterleave godoc's
+//     guidance) and records how much a forced width gives back there.
+//
+// Width 1 runs the scalar LookupBatch — the pre-interleave fast path — so
+// the reported speedups isolate exactly what interleaving buys. A final set
+// of records measures the full approximate join at fanout 256 end-to-end:
+// the engine's real hot loop (per-chunk sorting, emit work between probes,
+// single pass over the stream), where the recorded run shows interleaving
+// ahead of scalar despite the synthetic warm-sorted row favouring scalar.
+// It returns one Record per measurement for BENCH_4.json.
+func RunInterleave(w io.Writer, cfg Config) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	section(w, "Interleaved probe engine: K-way batch walks [M probes/s]")
+	set, err := data.CensusBlocks(cfg.Seed, interleaveRegions)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := data.GeneratePoints(data.PointConfig{
+		N: interleavePoints, Seed: cfg.Seed + 1, Distribution: data.Adversarial, Polygons: set,
+	})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "%-10s %-8s %10s %6s", "stream", "fanout", "trie [MB]", "auto")
+	for _, width := range InterleaveWidths {
+		fmt.Fprintf(w, " %8s", fmt.Sprintf("K=%d", width))
+	}
+	fmt.Fprintf(w, " %9s\n", "best/K=1")
+
+	var records []Record
+	var headline float64
+	for _, fanout := range InterleaveFanouts {
+		p, err := RawBuild(set, RawOptions{Precision: interleaveEps, Fanout: fanout})
+		if err != nil {
+			return nil, err
+		}
+		leaves := grid.LeafCells(p.Grid, pts, nil)
+		sorted := append([]cellid.ID(nil), leaves...)
+		slices.Sort(sorted)
+		for _, stream := range []struct {
+			name   string
+			leaves []cellid.ID
+			cold   bool
+		}{
+			{"arrival", leaves, true},
+			{"sorted", sorted, false},
+		} {
+			fmt.Fprintf(w, "%-10s %-8d %10.1f %6d", stream.name, fanout,
+				float64(p.Trie.MemoryBytes())/1e6, p.Trie.InterleaveWidth(core.InterleaveAuto))
+			var scalar, best float64
+			for _, width := range InterleaveWidths {
+				tput, pairs := measureBatchLookup(p.Trie, stream.leaves, width, stream.cold)
+				if width == 1 {
+					scalar = tput
+				}
+				if tput > best {
+					best = tput
+				}
+				speedup := 1.0
+				if scalar > 0 {
+					speedup = tput / scalar
+				}
+				records = append(records, Record{
+					Experiment: "interleave",
+					Dataset:    fmt.Sprintf("census-%d", interleaveRegions),
+					Joiner:     fmt.Sprintf("lookup-%s/f%d/i%d", stream.name, fanout, width),
+					PrecisionM: interleaveEps,
+					Threads:    1,
+					Points:     len(stream.leaves),
+					Pairs:      pairs,
+					MPtsPerSec: tput,
+					Fanout:     fanout,
+					Interleave: width,
+					SpeedupX:   &speedup,
+				})
+				fmt.Fprintf(w, " %8.1f", tput)
+			}
+			ratio := 0.0
+			if scalar > 0 {
+				ratio = best / scalar
+			}
+			if fanout == 256 && stream.name == "arrival" {
+				headline = ratio
+			}
+			fmt.Fprintf(w, " %8.2fx\n", ratio)
+		}
+	}
+
+	// End-to-end check at the paper's fanout: the full approximate join
+	// (projection + radix sort + probe + emit) through the engine.
+	fmt.Fprintf(w, "\n%-22s", "act join, fanout 256:")
+	p, err := RawBuild(set, RawOptions{Precision: interleaveEps, Fanout: 256})
+	if err != nil {
+		return nil, err
+	}
+	var joinScalar float64
+	for _, width := range InterleaveWidths {
+		j := &join.ACT{Grid: p.Grid, Trie: p.Trie, Interleave: width}
+		st := MeasureJoin(j, pts, len(set.Polygons), 1, 3)
+		if width == 1 {
+			joinScalar = st.ThroughputMPts
+		}
+		speedup := 1.0
+		if joinScalar > 0 {
+			speedup = st.ThroughputMPts / joinScalar
+		}
+		records = append(records, Record{
+			Experiment: "interleave",
+			Dataset:    fmt.Sprintf("census-%d", interleaveRegions),
+			Joiner:     fmt.Sprintf("act-join/f256/i%d", width),
+			PrecisionM: interleaveEps,
+			Threads:    1,
+			Points:     st.Points,
+			Pairs:      st.Pairs(),
+			MPtsPerSec: st.ThroughputMPts,
+			Fanout:     256,
+			Interleave: width,
+			SpeedupX:   &speedup,
+		})
+		fmt.Fprintf(w, " %8.1f", st.ThroughputMPts)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintf(w, "\nHeadline: best interleave width beats the scalar batch lookup %.2fx on the\n", headline)
+	fmt.Fprintln(w, "cold arrival-order stream at fanout 256 (acceptance floor: 1.30x).")
+	fmt.Fprintln(w, "Expected shape: interleave wins where walks miss (cold, deep, boundary-")
+	fmt.Fprintln(w, "dense probes, and the engine's single-pass join); the warm globally-")
+	fmt.Fprintln(w, "sorted rows are scalar's best case — width 1 wins there — and the")
+	fmt.Fprintln(w, "ceiling is the host's memory-level parallelism, not the lane count.")
+	return records, nil
+}
+
+// measureBatchLookup times one whole-stream batch lookup per rep at the
+// given lane count and returns throughput (million probes per second) and
+// the pair count per pass. cold evicts the cache hierarchy before every rep
+// — modelling a streaming join's first (and only) touch of each trie line —
+// and reports the median rep: on a cold measurement the best rep is by
+// construction the one eviction left warmest, so best-of would select
+// against the very regime being measured. Warm reps keep the harness's
+// best-of convention (noise there is only downward: preemption and GC).
+func measureBatchLookup(t *core.Trie, leaves []cellid.ID, width int, cold bool) (float64, int64) {
+	var bs core.BatchScratch
+	var res core.Result
+	var pairs int64
+	tputs := make([]float64, 0, interleaveReps)
+	for r := 0; r < interleaveReps; r++ {
+		pairs = 0
+		if cold {
+			evictCaches()
+		}
+		start := time.Now()
+		t.LookupBatchInterleaved(leaves, width, &bs, &res, func(i int, hit bool) {
+			if hit {
+				pairs += int64(res.Total())
+			}
+		})
+		if sec := time.Since(start).Seconds(); sec > 0 {
+			tputs = append(tputs, float64(len(leaves))/sec/1e6)
+		}
+	}
+	if len(tputs) == 0 {
+		return 0, pairs
+	}
+	slices.Sort(tputs)
+	if cold {
+		return tputs[len(tputs)/2], pairs
+	}
+	return tputs[len(tputs)-1], pairs
+}

@@ -2,10 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strconv"
+	"sync"
 	"testing"
 
 	"github.com/actindex/act/internal/cellid"
@@ -75,6 +77,95 @@ func FuzzReadTrie(f *testing.F) {
 		}
 		if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
 			t.Fatal("serialize → deserialize → serialize is not byte-identical")
+		}
+	})
+}
+
+// interleaveFuzz lazily builds the deterministic cross-face trie the
+// interleaved-lookup fuzzer probes: cells at several depths on faces 0, 2,
+// and 3 (faces 1, 4, 5 stay empty so the no-root fast path is reachable),
+// all three entry encodings present.
+var interleaveFuzz = struct {
+	once sync.Once
+	sc   *supercover.SuperCovering
+	trie *Trie
+}{}
+
+func interleaveFuzzTrie() (*supercover.SuperCovering, *Trie) {
+	interleaveFuzz.once.Do(func() {
+		f0, f2, f3 := cellid.FromFace(0), cellid.FromFace(2), cellid.FromFace(3)
+		var scb supercover.Builder
+		for id, cov := range []*cover.Covering{
+			{Interior: []cellid.ID{f0.Child(0).Child(1).Child(2), f2.Child(1)}, Boundary: []cellid.ID{f0.Child(3)}},
+			{Interior: []cellid.ID{f3.Child(2).Child(2).Child(0).Child(1)}, Boundary: []cellid.ID{f0.Child(0).Child(1).Child(2), f2.Child(3).Child(3)}},
+			{Boundary: []cellid.ID{f0.Child(0).Child(1).Child(2), f0.Child(3), f3.Child(0)}},
+		} {
+			if err := scb.Add(uint32(id), cov); err != nil {
+				panic(err)
+			}
+		}
+		interleaveFuzz.sc = scb.Build()
+		trie, err := Build(interleaveFuzz.sc, Config{Fanout: 16})
+		if err != nil {
+			panic(err)
+		}
+		interleaveFuzz.trie = trie
+	})
+	return interleaveFuzz.sc, interleaveFuzz.trie
+}
+
+// leafRecordSize is the wire size of one fuzzed probe: face byte plus two
+// 32-bit ij coordinates.
+const leafRecordSize = 9
+
+// FuzzLookupBatchInterleaved decodes (width, probe stream) pairs and demands
+// the interleaved engine match scalar Lookup exactly — same emit order, hit
+// flags, and reference splits — at any width, including degenerate and
+// over-clamped ones. The seed corpus pins batch sizes that are not multiples
+// of the width, so lane refill fires at the stream tail.
+func FuzzLookupBatchInterleaved(f *testing.F) {
+	sc, _ := interleaveFuzzTrie()
+	// Seed: every covering cell's first leaf plus an empty-face probe, at
+	// widths that leave remainder lanes at the batch boundary.
+	var stream []byte
+	for i := 0; i < sc.NumCells(); i++ {
+		face, ci, cj, _ := sc.Cell(i).RangeMin().ToFaceIJ()
+		var rec [leafRecordSize]byte
+		rec[0] = byte(face)
+		binary.LittleEndian.PutUint32(rec[1:], uint32(ci))
+		binary.LittleEndian.PutUint32(rec[5:], uint32(cj))
+		stream = append(stream, rec[:]...)
+	}
+	f.Add(uint8(3), stream)
+	f.Add(uint8(7), stream[:leafRecordSize*4])
+	f.Add(uint8(16), stream[:leafRecordSize])
+	f.Add(uint8(0), []byte{})
+	f.Add(uint8(255), stream)
+	f.Fuzz(func(t *testing.T, width uint8, raw []byte) {
+		_, trie := interleaveFuzzTrie()
+		leaves := make([]cellid.ID, 0, len(raw)/leafRecordSize)
+		for i := 0; i+leafRecordSize <= len(raw); i += leafRecordSize {
+			face := int(raw[i]) % cellid.NumFaces
+			ci := int(binary.LittleEndian.Uint32(raw[i+1:])) % cellid.MaxSize
+			cj := int(binary.LittleEndian.Uint32(raw[i+5:])) % cellid.MaxSize
+			leaves = append(leaves, cellid.FromFaceIJ(face, ci, cj))
+		}
+		var bs BatchScratch
+		var res, want Result
+		calls := 0
+		trie.LookupBatchInterleaved(leaves, int(width), &bs, &res, func(i int, hit bool) {
+			if i != calls {
+				t.Fatalf("width %d: emit order broken: got %d, want %d", width, i, calls)
+			}
+			calls++
+			want.Reset()
+			wantHit := trie.Lookup(leaves[i], &want)
+			if hit != wantHit || !resultEqual(&res, &want) {
+				t.Fatalf("width %d leaf %v: interleaved result diverges from Lookup", width, leaves[i])
+			}
+		})
+		if calls != len(leaves) {
+			t.Fatalf("width %d: %d emits for %d leaves", width, calls, len(leaves))
 		}
 	})
 }

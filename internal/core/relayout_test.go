@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc64"
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/cellid"
+)
+
+// trieBytes serializes a trie to a fresh buffer.
+func trieBytes(t *testing.T, trie *Trie) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := trie.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRelayoutPreservesLookupsAndIsIdempotent relays out a build-order trie
+// and demands identical lookups before and after, then proves a second
+// relayout is the identity — the property that keeps relaid tries
+// byte-stable through the serializer.
+func TestRelayoutPreservesLookupsAndIsIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	sc := randomPrefixFreeCovering(t, rng, []int{0, 2, 5}, 150)
+	for _, fanout := range fanouts {
+		raw, err := build(sc, Config{Fanout: fanout}) // allocation order, not relaid
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		leaves := probeMix(rng, sc)
+		want := make([]Result, len(leaves))
+		wantHit := make([]bool, len(leaves))
+		for i, leaf := range leaves {
+			wantHit[i] = raw.Lookup(leaf, &want[i])
+		}
+		numNodes := len(raw.nodes) / raw.fanout
+		if got := raw.Relayout(); got != numNodes {
+			t.Fatalf("fanout %d: relayout of a fully reachable trie kept %d of %d nodes", fanout, got, numNodes)
+		}
+		var res Result
+		for i, leaf := range leaves {
+			res.Reset()
+			if hit := raw.Lookup(leaf, &res); hit != wantHit[i] || !resultEqual(&res, &want[i]) {
+				t.Fatalf("fanout %d leaf %v: lookup changed after relayout", fanout, leaf)
+			}
+		}
+		nodes := append([]uint64(nil), raw.nodes...)
+		roots := raw.roots
+		raw.Relayout()
+		if roots != raw.roots || !slicesEqualU64(nodes, raw.nodes) {
+			t.Fatalf("fanout %d: relayout is not idempotent", fanout)
+		}
+	}
+}
+
+func slicesEqualU64(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestRelayoutCanonicalizesOnLoad serializes a build-order (pre-relayout)
+// trie — the layout every file written before the relayout pass carries —
+// and demands that loading it yields byte-for-byte the serialization of a
+// freshly built (relaid) trie: old files relayout on load, and the
+// breadth-first form is the canonical serialization of a given covering.
+func TestRelayoutCanonicalizesOnLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	sc := randomPrefixFreeCovering(t, rng, []int{1, 3, 4}, 130)
+	for _, fanout := range fanouts {
+		raw, err := build(sc, Config{Fanout: fanout})
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		built, err := Build(sc, Config{Fanout: fanout})
+		if err != nil {
+			t.Fatalf("fanout %d: %v", fanout, err)
+		}
+		canonical := trieBytes(t, built)
+		loaded, err := ReadTrie(bytes.NewReader(trieBytes(t, raw)))
+		if err != nil {
+			t.Fatalf("fanout %d: load of build-order file: %v", fanout, err)
+		}
+		if !bytes.Equal(trieBytes(t, loaded), canonical) {
+			t.Fatalf("fanout %d: build-order file did not canonicalize to the relaid form on load", fanout)
+		}
+	}
+}
+
+// synthTrieBytes hand-assembles a trie file (same wire layout as WriteTo,
+// valid checksum) so structural validation can be probed with arenas the
+// builder would never produce.
+func synthTrieBytes(t *testing.T, fanout uint32, roots [cellid.NumFaces]uint64, nodes []uint64, table []uint32) []byte {
+	t.Helper()
+	var payload bytes.Buffer
+	payload.WriteString(trieMagic)
+	w := func(v any) {
+		if err := binary.Write(&payload, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w(uint32(trieVersion))
+	w(fanout)
+	w(roots)
+	w([cellid.NumFaces]uint64{}) // skips
+	w([cellid.NumFaces]uint64{}) // prefixes
+	w(uint64(len(nodes)))
+	w(nodes)
+	w(uint64(len(table)))
+	w(table)
+	crc := crc64.Checksum(payload.Bytes(), crcTable)
+	w(crc)
+	return payload.Bytes()
+}
+
+// TestReadTrieRejectsUnreachableNodes: an arena node no walk can reach is
+// smuggled content the relayout pass would silently drop; ReadTrie must
+// reject the file instead.
+func TestReadTrieRejectsUnreachableNodes(t *testing.T) {
+	nodes := make([]uint64, 3*4) // fanout 4: sentinel, root, unreachable
+	nodes[4] = uint64(7)<<3 | 0<<2 | tagOne
+	var roots [cellid.NumFaces]uint64
+	roots[0] = 1
+	if _, err := ReadTrie(bytes.NewReader(synthTrieBytes(t, 4, roots, nodes, nil))); err == nil {
+		t.Fatal("file with an unreachable node was accepted")
+	}
+	// Control: the same file without the unreachable node loads fine.
+	if _, err := ReadTrie(bytes.NewReader(synthTrieBytes(t, 4, roots, nodes[:2*4], nil))); err != nil {
+		t.Fatalf("control file rejected: %v", err)
+	}
+}
+
+// TestReadTrieRejectsChildPointerToRoot: an entry referencing a face root is
+// forward and unshared — invisible to the basic checks — but relayout moves
+// roots to the front of the arena, which would leave the entry pointing
+// backward and make the trie's own serialization unreadable. Roots are
+// pre-marked as referenced, so the file must be rejected.
+func TestReadTrieRejectsChildPointerToRoot(t *testing.T) {
+	nodes := make([]uint64, 3*4) // sentinel, root of face 0, root of face 1
+	nodes[4] = 2 << 2            // face-0 root entry 0 -> node 2 == face-1 root
+	nodes[2*4] = uint64(5)<<3 | tagOne
+	var roots [cellid.NumFaces]uint64
+	roots[0], roots[1] = 1, 2
+	if _, err := ReadTrie(bytes.NewReader(synthTrieBytes(t, 4, roots, nodes, nil))); err == nil {
+		t.Fatal("file with an entry referencing a face root was accepted")
+	}
+	// Control: without the root registration node 2 is a plain child.
+	roots[1] = 0
+	if _, err := ReadTrie(bytes.NewReader(synthTrieBytes(t, 4, roots, nodes, nil))); err != nil {
+		t.Fatalf("control file rejected: %v", err)
+	}
+}
+
+// TestReadTrieRejectsSharedChild: two entries referencing one child make the
+// arena a DAG; breadth-first renumbering would leave the deeper reference
+// pointing backward, so validation rejects sharing outright (the builder
+// never produces it).
+func TestReadTrieRejectsSharedChild(t *testing.T) {
+	nodes := make([]uint64, 3*4)
+	nodes[4] = 2 << 2 // root entry 0 -> node 2
+	nodes[5] = 2 << 2 // root entry 1 -> node 2 again
+	nodes[2*4] = uint64(3)<<3 | tagOne
+	var roots [cellid.NumFaces]uint64
+	roots[0] = 1
+	if _, err := ReadTrie(bytes.NewReader(synthTrieBytes(t, 4, roots, nodes, nil))); err == nil {
+		t.Fatal("file sharing a child between two entries was accepted")
+	}
+	nodes[5] = 0 // drop the second reference: must load
+	if _, err := ReadTrie(bytes.NewReader(synthTrieBytes(t, 4, roots, nodes, nil))); err != nil {
+		t.Fatalf("control file rejected: %v", err)
+	}
+}

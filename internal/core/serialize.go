@@ -194,8 +194,12 @@ func (h *hashingReader) Read(p []byte) (int, error) {
 // validateStructure checks the node arena's referential integrity so that a
 // deserialized trie can never walk out of bounds or loop: the builder
 // allocates children strictly after their parents, so every child pointer
-// must be forward (eliminating cycles) and in range, and every lookup-table
-// offset must select a well-formed [numTrue, true…, numCand, cand…] run.
+// must be forward (eliminating cycles) and in range; the builder also never
+// shares a child between two entries, so each node may be referenced at most
+// once (a tree, not a DAG — sharing would let Relayout's breadth-first
+// renumbering orphan the deeper of two parents behind a backward pointer);
+// and every lookup-table offset must select a well-formed
+// [numTrue, true…, numCand, cand…] run.
 // The checksum already rejects accidental corruption; this guards the walk
 // itself, so even a file with a forged checksum cannot crash lookups. While
 // scanning it also records the largest polygon id any entry can emit (see
@@ -209,6 +213,18 @@ func (t *Trie) validateStructure(numNodes uint64) error {
 		}
 		t.hasRefs = true
 	}
+	referenced := make([]bool, numNodes)
+	// Face roots count as referenced from the start: an interior entry
+	// pointing at a root would be forward and unshared — passing the checks
+	// below — yet Relayout would renumber the root to the front of the
+	// arena and leave that entry pointing backward, breaking the
+	// serialize-after-load fixed point. (Two faces sharing one root stay
+	// legal: roots are not entries.)
+	for _, root := range t.roots {
+		if root != 0 && root < numNodes {
+			referenced[root] = true
+		}
+	}
 	for i := uint64(1); i < numNodes; i++ {
 		base := i * uint64(t.fanout)
 		for k := uint64(0); k < uint64(t.fanout); k++ {
@@ -220,6 +236,10 @@ func (t *Trie) validateStructure(numNodes uint64) error {
 				}
 				if c := e >> 2; c <= i || c >= numNodes {
 					return fmt.Errorf("core: node %d entry %d: child %d out of order or range", i, k, e>>2)
+				} else if referenced[c] {
+					return fmt.Errorf("core: node %d entry %d: child %d referenced twice", i, k, c)
+				} else {
+					referenced[c] = true
 				}
 			case tagOne:
 				trackRef(uint32(e>>2) >> 1)
@@ -349,6 +369,17 @@ func ReadTrie(r io.Reader) (*Trie, error) {
 	t.table = table
 	if err := t.validateStructure(numNodes); err != nil {
 		return nil, err
+	}
+	// Relayout the arena breadth-first so files written before the hot
+	// layout existed (and build-order v1 index blobs) serve lookups with
+	// the same cache behaviour as freshly built tries. On an already-relaid
+	// file this is the identity, which keeps serialize → deserialize →
+	// serialize a byte-identical fixed point. Build only allocates
+	// reachable nodes, so a reachability shortfall means the file smuggled
+	// in arena content no walk can reach — reject it rather than silently
+	// dropping bytes the checksum vouched for.
+	if reached := t.Relayout(); uint64(reached) != numNodes {
+		return nil, fmt.Errorf("core: %d of %d nodes unreachable from any root", numNodes-uint64(reached), numNodes)
 	}
 	want := crc.Sum64()
 	// The checksum trailer is read from the raw buffered reader so it is

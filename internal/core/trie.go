@@ -122,8 +122,20 @@ var (
 	ErrTableLimit = errors.New("core: lookup table exceeds 31-bit offset space")
 )
 
-// Build constructs a trie from a prefix-free super covering.
+// Build constructs a trie from a prefix-free super covering. The node arena
+// is relaid breadth-first before the trie is returned (see Relayout), so the
+// hot top levels of every walk occupy a compact arena prefix.
 func Build(sc *supercover.SuperCovering, cfg Config) (*Trie, error) {
+	t, err := build(sc, cfg)
+	if err != nil {
+		return nil, err
+	}
+	t.Relayout()
+	return t, nil
+}
+
+// build runs the insertion pipeline, leaving nodes in allocation order.
+func build(sc *supercover.SuperCovering, cfg Config) (*Trie, error) {
 	switch cfg.Fanout {
 	case 4, 16, 64, 256:
 	default:
@@ -135,7 +147,16 @@ func Build(sc *supercover.SuperCovering, cfg Config) (*Trie, error) {
 	}
 	t.levels = int(t.bits) / 2
 	t.maxDepth = (2*cellid.MaxLevel - 1) / int(t.bits)
-	t.nodes = make([]uint64, t.fanout) // node 0: sentinel
+	// Pre-size the arena from the covering: every interior node holds at
+	// least one child pointer or terminal entry, and cells dominate the
+	// entry population, so NumCells bounds the node count at fanout 4 and
+	// overshoots it by roughly fanout/4 at higher fanouts. Seeding the
+	// capacity at cells/(fanout/4) lands within a doubling or two of the
+	// final size on census-scale inputs, and allocNode grows geometrically
+	// from there, so arena growth never degenerates into repeated
+	// full-arena copies.
+	hint := uint64(sc.NumCells())/(uint64(cfg.Fanout)/4) + 2
+	t.nodes = make([]uint64, t.fanout, hint*uint64(t.fanout)) // node 0: sentinel
 	t.computeRootSkips(sc)
 	b := builder{t: t, tableIndex: make(map[string]uint32), noInline: cfg.DisableInlining}
 	for i := 0; i < sc.NumCells(); i++ {
@@ -264,10 +285,18 @@ func (b *builder) insert(cell cellid.ID, refs []supercover.Ref) error {
 	return nil
 }
 
-// allocNode appends a zeroed node to the arena and returns its index.
+// allocNode appends a zeroed node to the arena and returns its index. The
+// arena grows geometrically (doubling) when the pre-sized capacity from
+// Build runs out; extending within capacity reuses memory that has never
+// been written past len, so the new node needs no explicit clearing.
 func (t *Trie) allocNode() uint64 {
 	idx := uint64(len(t.nodes) / t.fanout)
-	t.nodes = append(t.nodes, make([]uint64, t.fanout)...)
+	if cap(t.nodes)-len(t.nodes) < t.fanout {
+		grown := make([]uint64, len(t.nodes), max(2*cap(t.nodes), len(t.nodes)+t.fanout))
+		copy(grown, t.nodes)
+		t.nodes = grown
+	}
+	t.nodes = t.nodes[:len(t.nodes)+t.fanout]
 	return idx
 }
 
@@ -658,16 +687,30 @@ func (t *Trie) ComputeStats() Stats {
 }
 
 // depthBelow returns the node depth of the subtree rooted at node index n.
+// The traversal keeps an explicit heap stack instead of recursing: a
+// deserialized trie is only validated for in-range forward child pointers,
+// so an adversarial v2 file can chain thousands of single-child nodes, and
+// one goroutine stack frame per level would let ComputeStats overflow on
+// input that lookups themselves handle fine.
 func (t *Trie) depthBelow(n uint64) int {
-	max := 1
-	base := n * uint64(t.fanout)
-	for i := uint64(0); i < uint64(t.fanout); i++ {
-		e := t.nodes[base+i]
-		if e != 0 && e&tagMask == tagChild {
-			if d := 1 + t.depthBelow(e>>2); d > max {
-				max = d
+	type frame struct {
+		node  uint64
+		depth int
+	}
+	stack := []frame{{n, 1}}
+	maxDepth := 1
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.depth > maxDepth {
+			maxDepth = f.depth
+		}
+		base := f.node * uint64(t.fanout)
+		for _, e := range t.nodes[base : base+uint64(t.fanout)] {
+			if e != 0 && e&tagMask == tagChild {
+				stack = append(stack, frame{e >> 2, f.depth + 1})
 			}
 		}
 	}
-	return max
+	return maxDepth
 }

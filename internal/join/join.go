@@ -12,8 +12,11 @@
 // The ACT joiners probe the trie in cell-sorted order: each chunk's points
 // are sorted by leaf cell id (Z-order) so consecutive probes share trie
 // path prefixes, which Trie.LookupBatch exploits by resuming each walk at
-// the deepest shared node. Emitted pairs carry original stream positions,
-// so the reordering is invisible to sinks.
+// the deepest shared node. On tries too large to stay cache-resident the
+// sorted batches are additionally probed through the interleaved engine
+// (Trie.LookupBatchInterleaved), which keeps several walks in flight so
+// their cache misses overlap. Emitted pairs carry original stream
+// positions, so the reordering is invisible to sinks.
 package join
 
 import (
@@ -37,6 +40,7 @@ import (
 // nothing after the first chunk.
 type Scratch struct {
 	res    core.Result
+	batch  core.BatchScratch // lane state for interleaved batch probes
 	buf    []uint32
 	ref    []uint32 // refinement survivors (exact joiners)
 	leaves []cellid.ID
@@ -139,6 +143,11 @@ func emitResult(em Emitter, point int, res *core.Result, st *ChunkStats) {
 type ACT struct {
 	Grid grid.Grid
 	Trie *core.Trie
+	// Interleave is the number of concurrent trie walks each batch keeps in
+	// flight (core.InterleaveAuto = pick from the trie size, 1 = scalar).
+	// The width is resolved per chunk, so tiny tail chunks degenerate to
+	// the scalar path on their own.
+	Interleave int
 	// Unsorted disables the cell-sorted batch fast path, probing points in
 	// arrival order. Exists to quantify the benefit of sorting; production
 	// use should leave it false.
@@ -176,7 +185,7 @@ func (j *ACT) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) C
 		return st
 	}
 	s.sortByCell()
-	j.Trie.LookupBatch(s.sorted, &s.res, func(k int, hit bool) {
+	j.Trie.LookupBatchInterleaved(s.sorted, j.Trie.InterleaveWidth(j.Interleave), &s.batch, &s.res, func(k int, hit bool) {
 		if !hit {
 			st.Misses++
 			return
@@ -197,6 +206,9 @@ type ACTExact struct {
 	Trie *core.Trie
 	// Store resolves candidate matches; ids in trie results index into it.
 	Store *geostore.Store
+	// Interleave is the number of concurrent trie walks per batch round
+	// (core.InterleaveAuto = pick from the trie size, 1 = scalar).
+	Interleave int
 	// Unsorted disables the cell-sorted batch fast path.
 	Unsorted bool
 }
@@ -251,7 +263,7 @@ func (j *ACTExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scrat
 		return st
 	}
 	s.sortByCell()
-	j.Trie.LookupBatch(s.sorted, &s.res, func(k int, hit bool) {
+	j.Trie.LookupBatchInterleaved(s.sorted, j.Trie.InterleaveWidth(j.Interleave), &s.batch, &s.res, func(k int, hit bool) {
 		refine(int(s.keys[k]&(1<<idxBits-1)), hit)
 	})
 	return st

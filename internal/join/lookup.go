@@ -17,14 +17,17 @@ const lookupChunk = 4096
 // LookupBatch probes every point against the trie using the cell-sorted
 // fast path of the join engine: each chunk's points are sorted by leaf cell
 // id so consecutive probes resume deep in the trie, then fn receives each
-// point's chunk-local result in sorted order. i is the index into points;
+// point's chunk-local result in sorted order. interleave is the number of
+// concurrent trie walks kept in flight per chunk (core.InterleaveAuto picks
+// from the trie size; 1 forces the scalar walk). i is the index into points;
 // res is reset and reused between invocations, so fn must copy anything it
 // keeps. The context is checked before each chunk; on cancellation the
 // remaining chunks are skipped and the context's error is returned. A
 // cancellation that lands after the last chunk was already probed is not an
 // error: the batch is complete, so LookupBatch returns nil.
-func LookupBatch(ctx context.Context, g grid.Grid, t *core.Trie, points []geo.LatLng, fn func(i int, hit bool, res *core.Result)) error {
+func LookupBatch(ctx context.Context, g grid.Grid, t *core.Trie, interleave int, points []geo.LatLng, fn func(i int, hit bool, res *core.Result)) error {
 	s := &Scratch{}
+	width := t.InterleaveWidth(interleave)
 	for lo := 0; lo < len(points); lo += lookupChunk {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -33,7 +36,7 @@ func LookupBatch(ctx context.Context, g grid.Grid, t *core.Trie, points []geo.La
 		s.leaves = grid.LeafCells(g, points[lo:hi], s.leaves[:0])
 		s.sortByCell()
 		base := lo
-		t.LookupBatch(s.sorted, &s.res, func(k int, hit bool) {
+		t.LookupBatchInterleaved(s.sorted, width, &s.batch, &s.res, func(k int, hit bool) {
 			fn(base+int(s.keys[k]&(1<<idxBits-1)), hit, &s.res)
 		})
 	}

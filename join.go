@@ -62,9 +62,9 @@ const (
 // trie in cell-sorted batches (the engine's fast path).
 func (ix *Index) joiner(mode JoinMode) join.Joiner {
 	if mode == Exact {
-		return &join.ACTExact{Grid: ix.grid, Trie: ix.trie, Store: ix.store}
+		return &join.ACTExact{Grid: ix.grid, Trie: ix.trie, Store: ix.store, Interleave: ix.interleave}
 	}
-	return &join.ACT{Grid: ix.grid, Trie: ix.trie}
+	return &join.ACT{Grid: ix.grid, Trie: ix.trie, Interleave: ix.interleave}
 }
 
 // checkMode rejects exact joins on an index that cannot refine.

@@ -15,8 +15,11 @@ import (
 // Unlike a loop over Lookup, the batch is probed through the engine's
 // cell-sorted fast path: points are sorted by leaf cell id in chunks, so
 // consecutive probes share trie path prefixes and resume deep in the trie —
-// the same technique that accelerates Join. Use it for request-scoped
-// serving workloads that score point batches against a live index.
+// the same technique that accelerates Join. On tries too large to stay
+// cache-resident the chunks additionally run through the interleaved probe
+// engine (see WithInterleave), overlapping the walks' cache misses. Use it
+// for request-scoped serving workloads that score point batches against a
+// live index.
 //
 // The context is checked before each chunk: when it is cancelled with
 // chunks still pending, LookupBatch returns ctx.Err() and a nil slice. A
@@ -25,7 +28,7 @@ import (
 // discarded.
 func (ix *Index) LookupBatch(ctx context.Context, points []LatLng) ([]Result, error) {
 	results := make([]Result, len(points))
-	err := join.LookupBatch(ctx, ix.grid, ix.trie, points, func(i int, hit bool, res *core.Result) {
+	err := join.LookupBatch(ctx, ix.grid, ix.trie, ix.interleave, points, func(i int, hit bool, res *core.Result) {
 		if !hit {
 			return
 		}

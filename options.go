@@ -43,6 +43,23 @@ func WithBuildWorkers(n int) Option {
 	return func(o *Options) { o.BuildWorkers = n }
 }
 
+// WithInterleave sets the number of concurrent trie walks (lanes) the
+// batch probe paths — Join and its variants, LookupBatch — keep in flight.
+// A single walk is a chain of dependent node loads, one cache miss per trie
+// level that the CPU cannot overlap; k lanes advance k independent walks one
+// node per round, so their misses overlap and batch throughput approaches
+// the memory subsystem's parallel bandwidth instead of its serial latency.
+//
+// k = 0 (the default) selects automatically: 1 for tries small enough to
+// stay resident in a per-core L2 cache, 8 otherwise. Width 1 — the plain
+// cell-sorted scalar walk — wins whenever walks do not miss: small tries,
+// heavily skewed probe streams that revisit the same few cells, or tiny
+// batches, where lane bookkeeping is pure overhead against already-cached
+// loads. Single-point Lookup is unaffected; interleaving needs a batch.
+func WithInterleave(k int) Option {
+	return func(o *Options) { o.Interleave = k }
+}
+
 // WithGeometryStore controls whether the index keeps the exact polygon
 // geometry (default true). The geometry store backs candidate refinement —
 // LookupExact, JoinExact, Contains — at the cost of holding every ring in
