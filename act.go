@@ -2,12 +2,12 @@
 // guarantees, after Kipf et al., "Approximate Geospatial Joins with
 // Precision Guarantees" (ICDE 2018).
 //
-// The library joins streaming points against a static set of polygons. At
-// build time every polygon is approximated by hierarchical-grid cells:
-// interior cells (entirely inside, yielding true hits) and boundary cells,
-// which are refined until their diagonal is at most a user-chosen precision
-// bound ε. The merged cell set is stored in an Adaptive Cell Trie (ACT), a
-// radix tree over cell-id bits whose lookups cost at most ⌈60/8⌉ = 8 node
+// The library joins streaming points against a set of polygons. At build
+// time every polygon is approximated by hierarchical-grid cells: interior
+// cells (entirely inside, yielding true hits) and boundary cells, which are
+// refined until their diagonal is at most a user-chosen precision bound ε.
+// The merged cell set is stored in an Adaptive Cell Trie (ACT), a radix
+// tree over cell-id bits whose lookups cost at most ⌈60/8⌉ = 8 node
 // accesses and use only integer arithmetic.
 //
 // The resulting join semantics:
@@ -18,6 +18,11 @@
 //   - optionally, candidates can be refined with exact geometry
 //     (LookupExact), turning the index into a classical filter-and-refine
 //     join whose filter is so selective that refinement is rare.
+//
+// The polygon set is not frozen at build time: Insert and Remove absorb
+// live mutations into a small delta layer merged into every lookup, and a
+// background compactor folds the delta into a fresh base trie without
+// blocking a single reader (see "Mutating a live index" in the README).
 //
 // # Quick start
 //
@@ -31,15 +36,18 @@
 package act
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/actindex/act/internal/cellid"
 	"github.com/actindex/act/internal/core"
 	"github.com/actindex/act/internal/cover"
+	"github.com/actindex/act/internal/delta"
 	"github.com/actindex/act/internal/geo"
 	"github.com/actindex/act/internal/geom"
 	"github.com/actindex/act/internal/geostore"
@@ -55,8 +63,9 @@ type LatLng = geo.LatLng
 type Polygon = geo.Polygon
 
 // Result receives the polygon ids matched by a lookup. Polygon ids are the
-// indices into the slice passed to BuildIndex. Reuse one Result across
-// lookups to avoid allocation.
+// indices into the slice passed to BuildIndex (ids assigned by Insert
+// continue the sequence). Reuse one Result across lookups to avoid
+// allocation.
 type Result = core.Result
 
 // Match is one polygon reference of a lookup with its hit class: Exact
@@ -127,10 +136,17 @@ type Options struct {
 	// paths keep in flight (0 = auto: 1 for L2-resident tries, 8 otherwise;
 	// 1 = scalar walks). See WithInterleave.
 	Interleave int
+	// DeltaThreshold is the pending-mutation count (delta polygons plus
+	// tombstones) at which Insert and Remove trigger a background
+	// compaction (0 selects the default of 128; negative disables
+	// auto-compaction, leaving compaction to explicit Compact calls). See
+	// WithDeltaThreshold.
+	DeltaThreshold int
 }
 
 // BuildStats reports the cost and shape of a built index — the quantities
-// of the paper's Table I.
+// of the paper's Table I. After a compaction, Stats reflects the most
+// recent base rebuild.
 type BuildStats struct {
 	NumPolygons  int
 	IndexedCells int   // cells in the merged super covering
@@ -151,34 +167,191 @@ type BuildStats struct {
 // TotalBytes returns the index memory footprint.
 func (s BuildStats) TotalBytes() int64 { return s.TrieBytes + s.TableBytes }
 
-// Index is an immutable point-in-polygon-set index. It is safe for
-// concurrent lookups. For zero-downtime replacement under live traffic,
-// hold it in a [Swappable].
+// epoch is one immutable serving state of the index: the base trie and
+// geometry with the delta overlay layered on top. Readers load the current
+// epoch once per operation (once per request for joins), so every operation
+// sees one consistent polygon set; mutations and compactions publish a
+// successor epoch through the index's Holder and never touch a published
+// one.
+type epoch struct {
+	trie  *core.Trie
+	store *geostore.Store // nil for approximate-only indexes
+	ov    *delta.Overlay  // nil when no mutations are pending
+	stats BuildStats
+}
+
+// Index is a point-in-polygon-set index. It is safe for concurrent use:
+// lookups and joins are lock-free, and the polygon set can be mutated under
+// live traffic with Insert and Remove — mutations land in a delta layer
+// merged into every lookup, folded into the base trie by background
+// compaction (see Compact). For replacing the whole index at once, hold it
+// in a [Swappable].
 type Index struct {
-	grid      grid.Grid
-	kind      GridKind
-	trie      *core.Trie
-	precision float64
-	stats     BuildStats
-	// interleave is the configured batch-probe lane count (0 = auto); it is
-	// a runtime tuning knob, not persisted by WriteTo.
+	grid       grid.Grid
+	kind       GridKind
+	precision  float64
 	interleave int
-	// store holds the grid-space polygon geometry for exact refinement,
-	// indexed by polygon id and bbox-pre-filtered through an R-tree. It is
-	// nil for approximate-only indexes (built with WithGeometryStore(false)
-	// or loaded from a file without a geometry section).
-	store *geostore.Store
+	pl         pipeline // retained build pipeline, reused by Insert/Compact
+
+	// live is the serving epoch, swung atomically by mutations and
+	// compaction; its generation counts epoch publications.
+	live Holder[*epoch]
+
+	// mu serializes mutations (Insert, Remove, and the bracketing phases
+	// of a compaction); readers never take it.
+	mu sync.Mutex
+	// sources holds the original polygon of every id ever assigned (nil =
+	// removed), the input compaction rebuilds from. Nil sources slice =
+	// the index was deserialized and cannot be mutated.
+	sources []*geo.Polygon
+	mutable bool
+	// seq numbers mutations; compaction snapshots it to split the overlay
+	// into the baked-in part and the residual.
+	seq uint64
+	// deltaThreshold is the pending-mutation count that triggers
+	// background compaction (negative: auto-compaction disabled).
+	deltaThreshold int
+	// compactMu admits one compaction at a time; maybeCompact TryLocks it
+	// so a running compaction suppresses new triggers.
+	compactMu   sync.Mutex
+	compactions atomic.Uint64
+	// liveCount is the number of currently live polygons; idSpace the
+	// number of ids ever assigned (= len(sources) for mutable indexes).
+	// Atomics so the read paths can size join outputs without ix.mu.
+	liveCount atomic.Int64
+	idSpace   atomic.Int64
 }
 
 // ErrNoPolygons is returned when BuildIndex is called with no polygons.
 var ErrNoPolygons = errors.New("act: no polygons")
+
+// pipeline is the reusable build configuration: everything needed to turn
+// polygons into coverings, a trie, and a geometry store. It is built once
+// per Index and reused by Insert (one covering) and compaction (a full
+// rebuild), so mutated state is always produced by exactly the machinery
+// that built the base — the equivalence guarantee rests on that.
+type pipeline struct {
+	grid     grid.Grid
+	coverer  *cover.Coverer
+	sample   *cover.QuerySample
+	adaptive bool
+	maxCells int
+	fanout   int
+	workers  int
+	hasGeom  bool
+}
+
+// buildEntry pairs a polygon with its stable id for the shared pipeline.
+// Initial builds use dense ids 0..n-1; compactions pass the surviving ids,
+// which may have holes.
+type buildEntry struct {
+	id  uint32
+	src *geo.Polygon
+}
+
+// cover computes one polygon's covering with the pipeline's configuration.
+func (pl *pipeline) cover(p *geo.Polygon) (*cover.Covering, error) {
+	if pl.adaptive {
+		return pl.coverer.CoverAdaptive(p, pl.sample, pl.maxCells)
+	}
+	return pl.coverer.Cover(p)
+}
+
+// run executes the full build pipeline over the entries: parallel
+// per-polygon coverings, the serial super-covering merge, trie
+// construction, and (when the pipeline keeps geometry) a sparse geometry
+// store with idSpace slots. The context is checked between phases, so a
+// cancelled compaction stops without publishing anything.
+func (pl *pipeline) run(ctx context.Context, entries []buildEntry, idSpace int) (*core.Trie, *geostore.Store, BuildStats, error) {
+	var stats BuildStats
+	stats.NumPolygons = len(entries)
+
+	// Phase 1: individual coverings, parallelized over entries.
+	start := time.Now()
+	covs := make([]*cover.Covering, len(entries))
+	errs := make([]error, len(entries))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, pl.workers)
+	for i := range entries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			covs[i], errs[i] = pl.cover(entries[i].src)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, nil, stats, fmt.Errorf("act: covering polygon %d: %w", entries[i].id, err)
+		}
+		if covs[i].AchievedPrecisionMeters > stats.AchievedPrecisionMeters {
+			stats.AchievedPrecisionMeters = covs[i].AchievedPrecisionMeters
+		}
+	}
+	stats.CoverDuration = time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, nil, stats, err
+	}
+
+	// Phase 2: serial super-covering merge.
+	start = time.Now()
+	var scb supercover.Builder
+	for i, cov := range covs {
+		if err := scb.Add(entries[i].id, cov); err != nil {
+			return nil, nil, stats, fmt.Errorf("act: merging polygon %d: %w", entries[i].id, err)
+		}
+	}
+	sc := scb.Build()
+	stats.MergeDuration = time.Since(start)
+	stats.IndexedCells = sc.NumCells()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, stats, err
+	}
+
+	// Phase 3: trie construction.
+	start = time.Now()
+	trie, err := core.Build(sc, core.Config{Fanout: pl.fanout})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.InsertDuration = time.Since(start)
+
+	// Exact geometry for candidate refinement, unless the caller opted
+	// out. The store is id-indexed over the whole id space; entries not
+	// present (removed ids) stay nil.
+	var store *geostore.Store
+	if pl.hasGeom {
+		projected := make([]*geom.Polygon, idSpace)
+		for _, e := range entries {
+			_, pp, err := grid.ProjectPolygon(pl.grid, e.src)
+			if err != nil {
+				return nil, nil, stats, fmt.Errorf("act: projecting polygon %d: %w", e.id, err)
+			}
+			projected[e.id] = pp
+		}
+		store = geostore.NewSparse(projected)
+	}
+
+	ts := trie.ComputeStats()
+	stats.TrieBytes = ts.TrieBytes
+	stats.TableBytes = ts.TableBytes
+	stats.TrieNodes = ts.NumNodes
+	return trie, store, stats, nil
+}
+
+// defaultDeltaThreshold is the pending-mutation count that triggers
+// background compaction when WithDeltaThreshold was not given.
+const defaultDeltaThreshold = 128
 
 // BuildIndex computes polygon coverings with the requested precision,
 // merges them, and loads them into an Adaptive Cell Trie. Polygon ids in
 // lookup results are indices into polygons.
 //
 // BuildIndex is the v1 constructor, kept as a thin compatibility wrapper;
-// new code should prefer [New] with functional options.
+// new code should prefer [New] with functional options. Like New, it
+// retains the polygons as the live-mutation source set.
 func BuildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 	return buildIndex(polygons, opts)
 }
@@ -217,106 +390,69 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 	if adaptive {
 		sample = cover.NewQuerySample(g, opts.QuerySamplePoints)
 	}
-
-	// Phase 1: individual coverings, parallelized over polygons.
 	workers := opts.BuildWorkers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	start := time.Now()
-	covs := make([]*cover.Covering, len(polygons))
-	errs := make([]error, len(polygons))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, workers)
-	for i := range polygons {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			if adaptive {
-				covs[i], errs[i] = coverer.CoverAdaptive(polygons[i], sample, opts.MaxCellsPerPolygon)
-			} else {
-				covs[i], errs[i] = coverer.Cover(polygons[i])
-			}
-		}(i)
+	pl := pipeline{
+		grid:     g,
+		coverer:  coverer,
+		sample:   sample,
+		adaptive: adaptive,
+		maxCells: opts.MaxCellsPerPolygon,
+		fanout:   fanout,
+		workers:  workers,
+		hasGeom:  !opts.SkipGeometryStore,
 	}
-	wg.Wait()
-	var achieved float64
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("act: covering polygon %d: %w", i, err)
-		}
-		if covs[i].AchievedPrecisionMeters > achieved {
-			achieved = covs[i].AchievedPrecisionMeters
-		}
-	}
-	coverDur := time.Since(start)
 
-	// Phase 2: serial super-covering merge.
-	start = time.Now()
-	var scb supercover.Builder
-	for i, cov := range covs {
-		if err := scb.Add(uint32(i), cov); err != nil {
-			return nil, fmt.Errorf("act: merging polygon %d: %w", i, err)
-		}
+	entries := make([]buildEntry, len(polygons))
+	for i, p := range polygons {
+		entries[i] = buildEntry{id: uint32(i), src: p}
 	}
-	sc := scb.Build()
-	mergeDur := time.Since(start)
-
-	// Phase 3: trie construction.
-	start = time.Now()
-	trie, err := core.Build(sc, core.Config{Fanout: fanout})
+	trie, store, stats, err := pl.run(context.Background(), entries, len(polygons))
 	if err != nil {
 		return nil, err
 	}
-	insertDur := time.Since(start)
 
-	// Exact geometry for candidate refinement, unless the caller opted out.
-	var store *geostore.Store
-	if !opts.SkipGeometryStore {
-		projected := make([]*geom.Polygon, len(polygons))
-		for i, p := range polygons {
-			_, pp, err := grid.ProjectPolygon(g, p)
-			if err != nil {
-				return nil, fmt.Errorf("act: projecting polygon %d: %w", i, err)
-			}
-			projected[i] = pp
-		}
-		if store, err = geostore.New(projected); err != nil {
-			return nil, err
-		}
+	threshold := opts.DeltaThreshold
+	if threshold == 0 {
+		threshold = defaultDeltaThreshold
 	}
-
-	ts := trie.ComputeStats()
-	return &Index{
-		grid:       g,
-		kind:       opts.Grid,
-		trie:       trie,
-		precision:  opts.PrecisionMeters,
-		store:      store,
-		interleave: opts.Interleave,
-		stats: BuildStats{
-			NumPolygons:             len(polygons),
-			IndexedCells:            sc.NumCells(),
-			TrieBytes:               ts.TrieBytes,
-			TableBytes:              ts.TableBytes,
-			TrieNodes:               ts.NumNodes,
-			AchievedPrecisionMeters: achieved,
-			CoverDuration:           coverDur,
-			MergeDuration:           mergeDur,
-			InsertDuration:          insertDur,
-		},
-	}, nil
+	ix := &Index{
+		grid:           g,
+		kind:           opts.Grid,
+		precision:      opts.PrecisionMeters,
+		interleave:     opts.Interleave,
+		pl:             pl,
+		mutable:        true,
+		deltaThreshold: threshold,
+	}
+	// Retain the caller's polygons (pointers, not copies) as the source of
+	// truth compaction rebuilds from; the slice itself is cloned so a
+	// caller appending to theirs cannot race the mutation layer.
+	ix.sources = make([]*geo.Polygon, len(polygons))
+	copy(ix.sources, polygons)
+	ix.liveCount.Store(int64(len(polygons)))
+	ix.idSpace.Store(int64(len(polygons)))
+	ix.live.Swap(&epoch{trie: trie, store: store, stats: stats})
+	return ix, nil
 }
 
 // Lookup performs the approximate join for one point: res.True receives the
 // ids of polygons certainly containing the point, res.Candidates the ids of
 // polygons whose distance to the point is at most the precision bound. It
-// reports whether anything matched. res is reset first.
+// reports whether anything matched. res is reset first. On a mutated index
+// the result merges the base trie with the delta layer: removed polygons
+// are filtered out and inserted polygons' references appended.
 func (ix *Index) Lookup(ll LatLng, res *Result) bool {
 	res.Reset()
-	return ix.trie.Lookup(grid.LeafCell(ix.grid, ll), res)
+	ep := ix.live.Load()
+	leaf := grid.LeafCell(ix.grid, ll)
+	hit := ep.trie.Lookup(leaf, res)
+	if ep.ov != nil {
+		hit = ep.ov.Merge(leaf, res)
+	}
+	return hit
 }
 
 // LookupExact behaves like Lookup but refines every candidate with a robust
@@ -329,14 +465,21 @@ func (ix *Index) Lookup(ll LatLng, res *Result) bool {
 // unrefined result would silently violate the exactness postcondition.
 // Check HasGeometry first when the index's provenance is uncertain.
 func (ix *Index) LookupExact(ll LatLng, res *Result) bool {
-	if ix.store == nil {
+	res.Reset()
+	ep := ix.live.Load()
+	if ep.store == nil {
 		panic(ErrNoGeometry)
 	}
-	if !ix.Lookup(ll, res) {
+	leaf := grid.LeafCell(ix.grid, ll)
+	hit := ep.trie.Lookup(leaf, res)
+	if ep.ov != nil {
+		hit = ep.ov.Merge(leaf, res)
+	}
+	if !hit {
 		return false
 	}
 	_, pt := ix.grid.Project(ll)
-	res.True = ix.store.Resolve(pt, res.Candidates, res.True)
+	res.True = ep.ov.Resolve(ep.store, pt, res.Candidates, res.True)
 	res.Candidates = res.Candidates[:0]
 	return len(res.True) > 0
 }
@@ -362,7 +505,14 @@ func (ix *Index) Find(ll LatLng) []uint32 {
 // are deliberately conflated; callers that need the distinction use
 // AppendRefs at the same cost.
 func (ix *Index) AppendMatches(ll LatLng, dst []uint32) []uint32 {
-	return ix.trie.AppendMatches(grid.LeafCell(ix.grid, ll), dst)
+	ep := ix.live.Load()
+	leaf := grid.LeafCell(ix.grid, ll)
+	n := len(dst)
+	dst = ep.trie.AppendMatches(leaf, dst)
+	if ep.ov != nil {
+		dst = ep.ov.MergeMatches(leaf, dst, n)
+	}
+	return dst
 }
 
 // AppendRefs appends every polygon reference matching the point to dst —
@@ -371,34 +521,50 @@ func (ix *Index) AppendMatches(ll LatLng, dst []uint32) []uint32 {
 // so hot paths can keep the true-hit/candidate distinction without paying
 // for a Result.
 func (ix *Index) AppendRefs(ll LatLng, dst []Match) []Match {
-	return ix.trie.AppendRefs(grid.LeafCell(ix.grid, ll), dst)
+	ep := ix.live.Load()
+	leaf := grid.LeafCell(ix.grid, ll)
+	n := len(dst)
+	dst = ep.trie.AppendRefs(leaf, dst)
+	if ep.ov != nil {
+		dst = ep.ov.MergeRefs(leaf, dst, n)
+	}
+	return dst
 }
 
 // Contains reports whether the point is (exactly) inside the polygon with
 // the given id, under the closed-polygon convention (boundary points are
-// inside). It requires the geometry store; without one it reports false.
+// inside). It requires the geometry store; without one it reports false,
+// as it does for removed or unknown ids.
 func (ix *Index) Contains(ll LatLng, polygonID uint32) bool {
-	if ix.store == nil {
+	ep := ix.live.Load()
+	if ep.store == nil {
 		return false
 	}
 	_, pt := ix.grid.Project(ll)
-	return ix.store.Contains(polygonID, pt)
+	return ep.ov.Contains(ep.store, polygonID, pt)
 }
 
 // HasGeometry reports whether the index carries the exact polygon geometry
 // needed to refine candidates. Indexes built with WithGeometryStore(false)
 // and index files saved without a geometry section serve approximate
 // lookups only.
-func (ix *Index) HasGeometry() bool { return ix.store != nil }
+func (ix *Index) HasGeometry() bool { return ix.live.Load().store != nil }
 
 // PrecisionMeters returns the configured precision bound ε.
 func (ix *Index) PrecisionMeters() float64 { return ix.precision }
 
-// NumPolygons returns the number of indexed polygons.
-func (ix *Index) NumPolygons() int { return ix.stats.NumPolygons }
+// NumPolygons returns the number of live polygons: polygons indexed at
+// build time, plus Inserts, minus Removes.
+func (ix *Index) NumPolygons() int { return int(ix.liveCount.Load()) }
 
-// Stats returns build statistics (Table I quantities).
-func (ix *Index) Stats() BuildStats { return ix.stats }
+// idSpaceSize returns the number of polygon ids ever assigned — the size
+// joins use for id-indexed outputs. Removed ids stay allocated (and their
+// slots zero) so ids remain stable across mutations and compactions.
+func (ix *Index) idSpaceSize() int { return int(ix.idSpace.Load()) }
+
+// Stats returns build statistics (Table I quantities) for the current base
+// trie — the initial build's, until a compaction replaces the base.
+func (ix *Index) Stats() BuildStats { return ix.live.Load().stats }
 
 // GridName returns the name of the underlying grid.
 func (ix *Index) GridName() string { return ix.grid.Name() }

@@ -8,6 +8,8 @@
 //	                                      # true-hit ratio + refinement cost
 //	actbench -experiment interleave       # K-way interleaved batch probes
 //	                                      # vs the scalar walk, per fanout
+//	actbench -experiment delta            # live-mutation overhead: merged
+//	                                      # base+delta lookups vs pure base
 //	actbench -experiment ablation         # design-choice ablations
 //	actbench -experiment all              # everything
 //
@@ -41,7 +43,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | exact | interleave | ablation | all")
+	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | exact | interleave | delta | ablation | all")
 	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
 	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
@@ -132,10 +134,14 @@ func main() {
 	// engine's tracked artefact (width × fanout throughput and the speedup
 	// over the scalar batch walk).
 	measured("interleave", "4", func() ([]bench.Record, error) { return bench.RunInterleave(w, cfg) })
+	// The delta experiment's records land in BENCH_5.json: the live-
+	// mutation subsystem's tracked artefact (merged-lookup overhead per
+	// delta fraction, and the post-compaction recovery).
+	measured("delta", "5", func() ([]bench.Record, error) { return bench.RunDelta(w, cfg) })
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
-	case "table1", "fig3", "fig4", "exact", "interleave", "ablation", "all":
+	case "table1", "fig3", "fig4", "exact", "interleave", "delta", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

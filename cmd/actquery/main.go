@@ -8,10 +8,16 @@
 // are certainly inside, candidates are within the precision bound ε — the
 // zero-allocation AppendRefs fast path), or the candidates resolved against
 // real geometry with -exact.
+//
+// With -mutate f.geojson, the polygons of f are inserted into the live
+// index after the build (exercising the delta layer instead of a combined
+// rebuild); with -verbose, each matched id is tagged @delta when it is
+// currently served from the delta layer rather than the base trie.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -27,6 +33,8 @@ func main() {
 	precision := flag.Float64("precision", 4, "precision bound ε in meters")
 	exact := flag.Bool("exact", false, "refine candidates with exact geometry")
 	gridFlag := flag.String("grid", "planar", "hierarchical grid: planar | cubeface")
+	mutateFile := flag.String("mutate", "", "GeoJSON file inserted into the live index after the build (delta layer)")
+	verbose := flag.Bool("verbose", false, "tag each matched id with @delta when served from the delta layer")
 	flag.Parse()
 
 	if *polyFile == "" {
@@ -62,15 +70,54 @@ func main() {
 		fmt.Fprintf(os.Stderr, "actquery: build: %v\n", err)
 		os.Exit(1)
 	}
+	if *mutateFile != "" {
+		mf, err := os.Open(*mutateFile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actquery: %v\n", err)
+			os.Exit(1)
+		}
+		extra, err := geojson.ReadPolygons(mf)
+		mf.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "actquery: %v\n", err)
+			os.Exit(1)
+		}
+		for i, p := range extra {
+			if _, err := idx.Insert(context.Background(), p); err != nil {
+				fmt.Fprintf(os.Stderr, "actquery: insert %d: %v\n", i, err)
+				os.Exit(1)
+			}
+		}
+		ds := idx.DeltaStats()
+		fmt.Fprintf(os.Stderr, "actquery: inserted %d polygons into the delta layer (pending %d, threshold %d)\n",
+			len(extra), ds.Pending, ds.Threshold)
+	}
 	st := idx.Stats()
 	fmt.Fprintf(os.Stderr,
-		"actquery: %d polygons, %d cells, %.1f MB, ε=%.1fm (achieved %.2fm); reading \"lat lng\" lines\n",
-		st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6,
+		"actquery: %d live polygons (%d in base), %d cells, %.1f MB, ε=%.1fm (achieved %.2fm); reading \"lat lng\" lines\n",
+		idx.NumPolygons(), st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6,
 		*precision, st.AchievedPrecisionMeters)
 
 	in := bufio.NewScanner(os.Stdin)
 	out := bufio.NewWriter(os.Stdout)
 	defer out.Flush()
+	// fmtIDs renders a matched id list; with -verbose, ids currently
+	// served from the delta layer are tagged @delta.
+	fmtIDs := func(ids []uint32) string {
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, id := range ids {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			fmt.Fprintf(&sb, "%d", id)
+			if *verbose && idx.IsDelta(id) {
+				sb.WriteString("@delta")
+			}
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	}
 	var res act.Result
 	// Reused across lines: AppendRefs never allocates, and the true/
 	// candidate split is carried per reference so the two classes are never
@@ -100,7 +147,7 @@ func main() {
 				fmt.Fprintf(out, "%.6f %.6f -> no match\n", lat, lng)
 				continue
 			}
-			fmt.Fprintf(out, "%.6f %.6f -> true=%v candidates=%v\n", lat, lng, res.True, res.Candidates)
+			fmt.Fprintf(out, "%.6f %.6f -> true=%s candidates=%s\n", lat, lng, fmtIDs(res.True), fmtIDs(res.Candidates))
 			continue
 		}
 		refs = idx.AppendRefs(ll, refs[:0])
@@ -116,7 +163,7 @@ func main() {
 				cands = append(cands, m.ID)
 			}
 		}
-		fmt.Fprintf(out, "%.6f %.6f -> true=%v candidates=%v\n", lat, lng, trues, cands)
+		fmt.Fprintf(out, "%.6f %.6f -> true=%s candidates=%s\n", lat, lng, fmtIDs(trues), fmtIDs(cands))
 	}
 	if err := in.Err(); err != nil {
 		fmt.Fprintf(os.Stderr, "actquery: stdin: %v\n", err)

@@ -5,13 +5,15 @@
 //	actgen -dataset neighborhoods -o n.geojson
 //	actserve -polygons n.geojson -precision 4 -addr :8080
 //
-//	GET  /lookup?lat=40.758&lng=-73.9855          approximate lookup
-//	GET  /lookup?lat=40.758&lng=-73.9855&exact=1  exact (refined) lookup
-//	POST /join                                    batch join, streamed as NDJSON
-//	POST /reload                                  swap in a new polygon set
-//	GET  /stats                                   index statistics
-//	GET  /healthz                                 liveness
-//	GET  /debug/pprof/                            profiling (with -pprof)
+//	GET    /lookup?lat=40.758&lng=-73.9855          approximate lookup
+//	GET    /lookup?lat=40.758&lng=-73.9855&exact=1  exact (refined) lookup
+//	POST   /join                                    batch join, streamed as NDJSON
+//	POST   /reload                                  swap in a new polygon set
+//	POST   /polygons                                insert polygons (GeoJSON body)
+//	DELETE /polygons/{id}                           remove one polygon
+//	GET    /stats                                   index statistics
+//	GET    /healthz                                 liveness
+//	GET    /debug/pprof/                            profiling (with -pprof)
 //
 // POST /join accepts {"points":[{"lat":..,"lng":..},...],"exact":bool,
 // "threads":n} and streams one {"point","polygon","class"} object per join
@@ -24,6 +26,16 @@
 // joins keep serving the old index until the swap, with zero downtime. It
 // reads server-local files and replaces the live index, so protect it with
 // -reload-token (Authorization: Bearer) unless the listener is trusted.
+//
+// POST /polygons (a GeoJSON FeatureCollection, Feature, or geometry body)
+// and DELETE /polygons/{id} mutate the live index in place: inserts are
+// covered and served from a delta layer immediately, removes tombstone the
+// id, and a background compaction folds the delta into a fresh base trie
+// without blocking a single lookup — polygon churn without the full
+// rebuild of /reload. Both endpoints honour -reload-token. /stats reports
+// the mutation layer (livePolygons, deltaPolygons, tombstones,
+// compactions). Indexes started from -index files are immutable (409);
+// start from -polygons to serve mutations.
 //
 // The index is held in an act.Swappable; handlers load it once per
 // request, so every request sees one consistent index. On SIGINT/SIGTERM

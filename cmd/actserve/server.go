@@ -5,6 +5,7 @@ import (
 	"context"
 	"crypto/subtle"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/pprof"
@@ -31,11 +32,12 @@ type BuildDefaults struct {
 type Server struct {
 	indexes  *act.Swappable
 	defaults BuildDefaults
-	// ReloadToken, when non-empty, gates POST /reload behind an
-	// "Authorization: Bearer <token>" header. The endpoint reads
-	// server-local files and replaces the live index, so on anything but a
-	// loopback or otherwise trusted listener it must be set (or /reload
-	// fronted by real access control).
+	// ReloadToken, when non-empty, gates the mutating endpoints — POST
+	// /reload, POST /polygons, DELETE /polygons/{id} — behind an
+	// "Authorization: Bearer <token>" header. They read server-local files
+	// and/or change the live polygon set, so on anything but a loopback or
+	// otherwise trusted listener it must be set (or the endpoints fronted
+	// by real access control).
 	ReloadToken string
 	mux         *http.ServeMux
 	// reloadMu serializes reloads: one in-flight rebuild at a time, while
@@ -59,6 +61,8 @@ func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
 	s.mux.HandleFunc("GET /lookup", s.handleLookup)
 	s.mux.HandleFunc("POST /join", s.handleJoin)
 	s.mux.HandleFunc("POST /reload", s.handleReload)
+	s.mux.HandleFunc("POST /polygons", s.handleInsert)
+	s.mux.HandleFunc("DELETE /polygons/{id}", s.handleRemove)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	return s
@@ -295,6 +299,119 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	_ = bw.Flush()
 }
 
+// authorized checks the mutating-endpoint bearer token; an empty
+// configured token admits everyone (trusted-listener mode).
+func (s *Server) authorized(r *http.Request) bool {
+	return s.ReloadToken == "" ||
+		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.ReloadToken)) == 1
+}
+
+// maxPolygonBody bounds a POST /polygons GeoJSON body.
+const maxPolygonBody = 64 << 20
+
+// insertResponse reports the polygons absorbed by POST /polygons.
+type insertResponse struct {
+	// IDs are the assigned polygon ids, in input order (a MultiPolygon
+	// contributes one id per member).
+	IDs []uint32 `json:"ids"`
+	// DeltaPolygons and Tombstones mirror /stats after the insert.
+	DeltaPolygons int `json:"deltaPolygons"`
+	Tombstones    int `json:"tombstones"`
+	// Epoch is the index's mutation generation after the insert.
+	Epoch uint64 `json:"epoch"`
+}
+
+// handleInsert adds the polygons of a GeoJSON body (FeatureCollection,
+// Feature, or bare Polygon/MultiPolygon geometry) to the live index. The
+// inserted polygons are served from the delta layer as soon as the
+// response is written; a background compaction folds them into the base
+// trie when the delta crosses the threshold. Inserts land on the index
+// currently served: a concurrent /reload that swaps in a fresh index
+// discards mutations exactly like it discards the rest of the old index.
+//
+// On an index loaded from a serialized file (no source polygons to
+// compact from) the endpoint responds 409.
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	polys, err := geojson.ReadPolygons(http.MaxBytesReader(w, r.Body, maxPolygonBody))
+	if err != nil {
+		http.Error(w, "bad GeoJSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(polys) == 0 {
+		http.Error(w, "body contains no polygons", http.StatusBadRequest)
+		return
+	}
+	idx := s.indexes.Load()
+	if !idx.Mutable() {
+		http.Error(w, "index was loaded from a file and cannot be mutated; use /reload", http.StatusConflict)
+		return
+	}
+	ids := make([]uint32, 0, len(polys))
+	for i, p := range polys {
+		id, err := idx.Insert(r.Context(), p)
+		if err != nil {
+			// Earlier polygons of the batch are already live; report how
+			// far we got so the client can reconcile.
+			msg := fmt.Sprintf("polygon %d: %v (inserted ids %v)", i, err, ids)
+			http.Error(w, msg, http.StatusUnprocessableEntity)
+			return
+		}
+		ids = append(ids, id)
+	}
+	ds := idx.DeltaStats()
+	writeJSON(w, insertResponse{
+		IDs:           ids,
+		DeltaPolygons: ds.DeltaPolygons,
+		Tombstones:    ds.Tombstones,
+		Epoch:         idx.Epoch(),
+	})
+}
+
+// removeResponse reports a DELETE /polygons/{id}.
+type removeResponse struct {
+	Removed    uint32 `json:"removed"`
+	Tombstones int    `json:"tombstones"`
+	Epoch      uint64 `json:"epoch"`
+}
+
+// handleRemove tombstones one polygon id on the live index: lookups and
+// joins that start after the response stop reporting it, and the next
+// compaction rebuilds the base without it. Unknown or already-removed ids
+// get 404; a file-loaded (immutable) index gets 409.
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	if !s.authorized(r) {
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return
+	}
+	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
+	if err != nil {
+		http.Error(w, "bad polygon id", http.StatusBadRequest)
+		return
+	}
+	idx := s.indexes.Load()
+	if !idx.Mutable() {
+		http.Error(w, "index was loaded from a file and cannot be mutated; use /reload", http.StatusConflict)
+		return
+	}
+	if err := idx.Remove(r.Context(), uint32(id64)); err != nil {
+		if errors.Is(err, act.ErrUnknownPolygon) {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	writeJSON(w, removeResponse{
+		Removed:    uint32(id64),
+		Tombstones: idx.DeltaStats().Tombstones,
+		Epoch:      idx.Epoch(),
+	})
+}
+
 // reloadRequest is the JSON body of POST /reload: the source of the
 // replacement index — either a GeoJSON polygon file to build from, or a
 // serialized index file (Index.WriteTo) to deserialize — plus optional
@@ -328,8 +445,7 @@ type reloadResponse struct {
 // already loaded the old index finish on it. Only one reload runs at a
 // time — a concurrent attempt gets 409.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if s.ReloadToken != "" &&
-		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.ReloadToken)) != 1 {
+	if !s.authorized(r) {
 		http.Error(w, "unauthorized", http.StatusUnauthorized)
 		return
 	}
@@ -404,6 +520,18 @@ type statsResponse struct {
 	// Generation counts index swaps: 1 is the index the server started
 	// with, each successful /reload increments it.
 	Generation uint64 `json:"generation"`
+	// Mutable reports whether POST /polygons and DELETE /polygons/{id}
+	// can mutate the live index (false for file-loaded indexes).
+	Mutable bool `json:"mutable"`
+	// LivePolygons is the current live polygon count (base + delta -
+	// tombstones); NumPolygons reports the base build's count.
+	LivePolygons int `json:"livePolygons"`
+	// DeltaPolygons and Tombstones describe the pending mutation layer;
+	// Compactions counts background delta-into-base folds completed on
+	// the live index.
+	DeltaPolygons int    `json:"deltaPolygons"`
+	Tombstones    int    `json:"tombstones"`
+	Compactions   uint64 `json:"compactions"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -411,6 +539,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	// /reload cannot make /stats report generation g+1 with g's numbers.
 	idx, gen := s.indexes.LoadGeneration()
 	st := idx.Stats()
+	ds := idx.DeltaStats()
 	writeJSON(w, statsResponse{
 		NumPolygons:             st.NumPolygons,
 		IndexedCells:            st.IndexedCells,
@@ -421,6 +550,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Grid:                    idx.GridName(),
 		HasGeometry:             idx.HasGeometry(),
 		Generation:              gen,
+		Mutable:                 idx.Mutable(),
+		LivePolygons:            ds.LivePolygons,
+		DeltaPolygons:           ds.DeltaPolygons,
+		Tombstones:              ds.Tombstones,
+		Compactions:             ds.Compactions,
 	})
 }
 

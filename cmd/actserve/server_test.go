@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -9,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"github.com/actindex/act"
 )
@@ -436,5 +439,292 @@ func TestPprofOptIn(t *testing.T) {
 	}
 	if rec := get(t, s, "/debug/pprof/cmdline"); rec.Code != http.StatusOK {
 		t.Fatalf("pprof cmdline after EnablePprof: %d", rec.Code)
+	}
+}
+
+// mutationServer builds a server whose index has two static "anchor" zones
+// (never mutated) and a low compaction threshold, so mutation tests can
+// assert anchors always match while churn polygons come and go and
+// compactions fire.
+func mutationServer(t *testing.T, threshold int) (*Server, *act.Index) {
+	t.Helper()
+	anchorA := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.70, Lng: -74.02}, {Lat: 40.70, Lng: -73.96},
+		{Lat: 40.76, Lng: -73.96}, {Lat: 40.76, Lng: -74.02},
+	}}
+	anchorB := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.60, Lng: -74.02}, {Lat: 40.60, Lng: -73.96},
+		{Lat: 40.66, Lng: -73.96}, {Lat: 40.66, Lng: -74.02},
+	}}
+	idx, err := act.New([]*act.Polygon{anchorA, anchorB},
+		act.WithPrecision(10), act.WithDeltaThreshold(threshold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewServer(act.NewSwappable(idx), BuildDefaults{Precision: 10}), idx
+}
+
+// churnGeoJSON is a small zone far from the anchors, the unit of mutation
+// traffic. Shifting lat by i*0.001 keeps successive inserts distinct.
+func churnGeoJSON(i int) string {
+	lat := 41.2 + float64(i%50)*0.001
+	return fmt.Sprintf(`{"type":"Polygon","coordinates":[[[-73.90,%.3f],[-73.88,%.3f],[-73.88,%.3f],[-73.90,%.3f]]]}`,
+		lat, lat, lat+0.01, lat+0.01)
+}
+
+func do(t *testing.T, s *Server, method, path, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd io.Reader
+	if body != "" {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	return rec
+}
+
+func TestInsertAndRemovePolygons(t *testing.T) {
+	s, idx := mutationServer(t, -1)
+
+	// Insert one churn zone; it must serve immediately.
+	rec := do(t, s, http.MethodPost, "/polygons", churnGeoJSON(0))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", rec.Code, rec.Body)
+	}
+	var ir insertResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &ir); err != nil {
+		t.Fatal(err)
+	}
+	if len(ir.IDs) != 1 || ir.IDs[0] != 2 || ir.DeltaPolygons != 1 {
+		t.Fatalf("insert response = %+v", ir)
+	}
+	var lr lookupResponse
+	if err := json.Unmarshal(get(t, s, "/lookup?lat=41.205&lng=-73.89&exact=1").Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Matched || len(lr.True) != 1 || lr.True[0] != 2 {
+		t.Fatalf("delta zone lookup = %+v", lr)
+	}
+
+	// Stats reflect the mutation layer.
+	var st statsResponse
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Mutable || st.LivePolygons != 3 || st.DeltaPolygons != 1 || st.Tombstones != 0 {
+		t.Fatalf("stats after insert = %+v", st)
+	}
+
+	// Remove it again: 404 afterwards for the same id, lookups stop
+	// matching, tombstone counted.
+	rec = do(t, s, http.MethodDelete, "/polygons/2", "")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("remove status %d: %s", rec.Code, rec.Body)
+	}
+	if rec = do(t, s, http.MethodDelete, "/polygons/2", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("double remove status %d", rec.Code)
+	}
+	if rec = do(t, s, http.MethodDelete, "/polygons/99", ""); rec.Code != http.StatusNotFound {
+		t.Fatalf("unknown remove status %d", rec.Code)
+	}
+	if rec = do(t, s, http.MethodDelete, "/polygons/bogus", ""); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", rec.Code)
+	}
+	if err := json.Unmarshal(get(t, s, "/lookup?lat=41.205&lng=-73.89").Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if lr.Matched {
+		t.Fatalf("removed zone still matches: %+v", lr)
+	}
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.LivePolygons != 2 || st.DeltaPolygons != 0 || st.Tombstones != 1 {
+		t.Fatalf("stats after remove = %+v", st)
+	}
+
+	// Bad bodies.
+	if rec = do(t, s, http.MethodPost, "/polygons", "not json"); rec.Code != http.StatusBadRequest {
+		t.Fatalf("bad body status %d", rec.Code)
+	}
+	if rec = do(t, s, http.MethodPost, "/polygons", `{"type":"FeatureCollection","features":[]}`); rec.Code != http.StatusBadRequest {
+		t.Fatalf("empty collection status %d", rec.Code)
+	}
+	_ = idx
+}
+
+func TestMutationRejectedOnImmutableIndex(t *testing.T) {
+	s, idx := testServer(t)
+	// Swap in a file-loaded (immutable) index.
+	path := filepath.Join(t.TempDir(), "index.actx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	loaded, err := loadIndexFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.indexes.Swap(loaded)
+
+	if rec := do(t, s, http.MethodPost, "/polygons", churnGeoJSON(0)); rec.Code != http.StatusConflict {
+		t.Fatalf("insert on immutable index: status %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodDelete, "/polygons/0", ""); rec.Code != http.StatusConflict {
+		t.Fatalf("remove on immutable index: status %d", rec.Code)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Mutable {
+		t.Fatalf("stats claim mutable: %+v", st)
+	}
+}
+
+func TestMutationToken(t *testing.T) {
+	s, _ := mutationServer(t, -1)
+	s.ReloadToken = "sesame"
+	if rec := do(t, s, http.MethodPost, "/polygons", churnGeoJSON(0)); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless insert: status %d", rec.Code)
+	}
+	if rec := do(t, s, http.MethodDelete, "/polygons/0", ""); rec.Code != http.StatusUnauthorized {
+		t.Fatalf("tokenless remove: status %d", rec.Code)
+	}
+	req := httptest.NewRequest(http.MethodPost, "/polygons", strings.NewReader(churnGeoJSON(0)))
+	req.Header.Set("Authorization", "Bearer sesame")
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("authorized insert: status %d: %s", rec.Code, rec.Body)
+	}
+}
+
+// TestMutationUnderTraffic hammers the live index with concurrent inserts
+// and removes of churn zones (threshold low enough that compactions fire
+// mid-stream) while NDJSON /join readers stream batches over the anchor
+// zones. Every join response must contain exactly one pair per (point,
+// anchor) — no lost matches when an epoch swaps mid-request, no duplicated
+// ones from the delta merge — plus a well-formed trailer.
+func TestMutationUnderTraffic(t *testing.T) {
+	s, idx := mutationServer(t, 4)
+
+	// Anchor interior probe points: two in anchor A, one in anchor B.
+	joinBody := `{"points":[{"lat":40.73,"lng":-73.99},{"lat":40.75,"lng":-73.97},{"lat":40.63,"lng":-73.99}],"threads":2}`
+	wantPairs := map[string]int{"0/0": 1, "1/0": 1, "2/1": 1}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	// Mutators: two goroutines inserting churn zones, one removing them.
+	var inserted sync.Map
+	for m := 0; m < 2; m++ {
+		wg.Add(1)
+		go func(m int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				rec := do(t, s, http.MethodPost, "/polygons", churnGeoJSON(m*25+i))
+				if rec.Code != http.StatusOK {
+					t.Errorf("insert: status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				var ir insertResponse
+				if err := json.Unmarshal(rec.Body.Bytes(), &ir); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, id := range ir.IDs {
+					inserted.Store(id, true)
+				}
+			}
+		}(m)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			inserted.Range(func(k, _ any) bool {
+				inserted.Delete(k)
+				rec := do(t, s, http.MethodDelete, fmt.Sprintf("/polygons/%d", k.(uint32)), "")
+				if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+					t.Errorf("remove %v: status %d: %s", k, rec.Code, rec.Body)
+				}
+				return false // one per sweep, keep churn going
+			})
+		}
+	}()
+
+	// Readers: stream joins and check anchor pair exactness per response.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for n := 0; n < 40; n++ {
+				rec := do(t, s, http.MethodPost, "/join", joinBody)
+				if rec.Code != http.StatusOK {
+					t.Errorf("join: status %d: %s", rec.Code, rec.Body)
+					return
+				}
+				got := map[string]int{}
+				sawTrailer := false
+				for _, line := range strings.Split(strings.TrimSpace(rec.Body.String()), "\n") {
+					var pair joinPair
+					if err := json.Unmarshal([]byte(line), &pair); err == nil && pair.Class != "" {
+						got[fmt.Sprintf("%d/%d", pair.Point, pair.Polygon)]++
+						continue
+					}
+					var tr joinTrailer
+					if err := json.Unmarshal([]byte(line), &tr); err == nil {
+						sawTrailer = true
+					}
+				}
+				if !sawTrailer {
+					t.Errorf("join response missing stats trailer")
+					return
+				}
+				for key, want := range wantPairs {
+					if got[key] != want {
+						t.Errorf("join pair %s seen %d times, want %d (full: %v)", key, got[key], want, got)
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	// Keep the churn flowing until a compaction has demonstrably fired
+	// mid-stream (bounded by a deadline so a regression fails instead of
+	// hanging), then stop the mutators and let everyone drain.
+	deadline := time.Now().Add(30 * time.Second)
+	for idx.DeltaStats().Compactions == 0 && time.Now().Before(deadline) {
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if idx.DeltaStats().Compactions == 0 {
+		t.Fatal("no compaction fired under mutation traffic")
+	}
+	// The anchors survived all the churn.
+	var lr lookupResponse
+	if err := json.Unmarshal(get(t, s, "/lookup?lat=40.73&lng=-73.99").Body.Bytes(), &lr); err != nil {
+		t.Fatal(err)
+	}
+	if !lr.Matched {
+		t.Fatalf("anchor lost after churn: %+v", lr)
 	}
 }

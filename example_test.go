@@ -1,6 +1,7 @@
 package act_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -57,4 +58,44 @@ func ExampleSwappable() {
 	// Output:
 	// gen 1: matched=true
 	// gen 2: matched=false
+}
+
+// ExampleIndex_Insert mutates a live index: a zone is inserted (served from
+// the delta layer immediately), removed again, and the delta folded into a
+// fresh base trie by Compact — all without ever blocking a lookup.
+func ExampleIndex_Insert() {
+	manhattan := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.70, Lng: -74.02}, {Lat: 40.70, Lng: -73.96},
+		{Lat: 40.76, Lng: -73.96}, {Lat: 40.76, Lng: -74.02},
+	}}
+	idx, err := act.New([]*act.Polygon{manhattan}, act.WithPrecision(10))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	newark := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.70, Lng: -74.20}, {Lat: 40.70, Lng: -74.14},
+		{Lat: 40.76, Lng: -74.14}, {Lat: 40.76, Lng: -74.20},
+	}}
+	id, err := idx.Insert(ctx, newark) // live: no rebuild, readers unblocked
+	if err != nil {
+		log.Fatal(err)
+	}
+	inNewark := act.LatLng{Lat: 40.73, Lng: -74.17}
+	fmt.Printf("id %d: matched=%v delta=%v\n", id, len(idx.Find(inNewark)) > 0, idx.IsDelta(id))
+
+	if err := idx.Compact(ctx); err != nil { // fold the delta into the base
+		log.Fatal(err)
+	}
+	fmt.Printf("compacted: matched=%v delta=%v\n", len(idx.Find(inNewark)) > 0, idx.IsDelta(id))
+
+	if err := idx.Remove(ctx, id); err != nil { // tombstone the zone again
+		log.Fatal(err)
+	}
+	fmt.Printf("removed: matched=%v live=%d\n", len(idx.Find(inNewark)) > 0, idx.NumPolygons())
+	// Output:
+	// id 1: matched=true delta=true
+	// compacted: matched=true delta=false
+	// removed: matched=false live=1
 }

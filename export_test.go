@@ -1,0 +1,34 @@
+package act
+
+// Test-only accessors into the index's serving epoch. Index can no longer
+// be copied by value (it carries mutexes and its atomic epoch holder), so
+// tests that used to clone-and-nil the store field go through
+// stripGeometry instead.
+
+import "github.com/actindex/act/internal/geostore"
+
+// stripGeometry returns a read-only view of ix serving the same base trie
+// without a geometry store, for exercising approximate-only serialization
+// without rebuilding the index.
+func stripGeometry(ix *Index) *Index {
+	ep := ix.live.Load()
+	clone := &Index{
+		grid:       ix.grid,
+		kind:       ix.kind,
+		precision:  ix.precision,
+		interleave: ix.interleave,
+	}
+	clone.deltaThreshold = defaultDeltaThreshold
+	clone.liveCount.Store(ix.liveCount.Load())
+	clone.idSpace.Store(ix.idSpace.Load())
+	clone.live.Swap(&epoch{trie: ep.trie, ov: ep.ov, stats: ep.stats})
+	return clone
+}
+
+// geoStore exposes the serving epoch's geometry store.
+func geoStore(ix *Index) *geostore.Store { return ix.live.Load().store }
+
+// indexStats exposes the serving epoch's build stats struct (the exported
+// Stats method returns a copy; tests forging v1 headers read it the same
+// way).
+func indexStats(ix *Index) BuildStats { return ix.live.Load().stats }

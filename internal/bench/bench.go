@@ -148,6 +148,14 @@ type Record struct {
 	Fanout     int      `json:"fanout,omitempty"`
 	Interleave int      `json:"interleave,omitempty"`
 	SpeedupX   *float64 `json:"speedupX,omitempty"`
+	// Mutation accounting, filled only by the delta experiment:
+	// DeltaPolygons is how many polygons were served from the delta layer
+	// during the measurement, and DeltaOverheadX how many times slower the
+	// merged (base+delta) join ran than the pure-base join over the same
+	// final polygon set (1.0 = free; the act-compacted row documents that
+	// compaction restores it).
+	DeltaPolygons  int      `json:"deltaPolygons,omitempty"`
+	DeltaOverheadX *float64 `json:"deltaOverheadX,omitempty"`
 }
 
 // record converts join stats into a Record.

@@ -168,6 +168,28 @@ func TestExperimentRunnersSmoke(t *testing.T) {
 			t.Errorf("bad fig4 record %+v", r)
 		}
 	}
+	sb.Reset()
+	del, err := RunDelta(&sb, cfg)
+	if err != nil {
+		t.Fatalf("delta: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Live mutation") {
+		t.Error("delta output incomplete")
+	}
+	// Per precision: one base row, one row per delta fraction, one
+	// compacted row. RunDelta itself asserts pair-count equivalence.
+	want := len(Precisions) * (2 + len(deltaFractions))
+	if len(del) != want {
+		t.Errorf("delta produced %d records, want %d", len(del), want)
+	}
+	for _, r := range del {
+		if r.Experiment != "delta" || r.MPtsPerSec <= 0 {
+			t.Errorf("bad delta record %+v", r)
+		}
+		if r.Joiner == "act-delta" && (r.DeltaPolygons < 1 || r.DeltaOverheadX == nil) {
+			t.Errorf("delta row missing mutation accounting: %+v", r)
+		}
+	}
 }
 
 func TestMeasureIndexJoin(t *testing.T) {

@@ -113,6 +113,26 @@ func (r *Result) Reset() {
 // Total returns the number of polygon references in the result.
 func (r *Result) Total() int { return len(r.True) + len(r.Candidates) }
 
+// Filter removes, in place and preserving order, every reference (in both
+// hit classes) for which drop returns true. It allocates nothing; the delta
+// overlay uses it to strip tombstoned polygon ids from base-trie results
+// before delta hits are appended.
+func (r *Result) Filter(drop func(id uint32) bool) {
+	r.True = filterIDs(r.True, drop)
+	r.Candidates = filterIDs(r.Candidates, drop)
+}
+
+// filterIDs compacts ids in place, dropping those selected by drop.
+func filterIDs(ids []uint32, drop func(id uint32) bool) []uint32 {
+	out := ids[:0]
+	for _, id := range ids {
+		if !drop(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
 // Errors returned by Build.
 var (
 	ErrBadFanout  = errors.New("core: fanout must be 4, 16, 64, or 256")

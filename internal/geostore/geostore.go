@@ -24,8 +24,13 @@ import (
 	"github.com/actindex/act/internal/rtree"
 )
 
-// Store is an immutable geometry store. Build one with New (or load one with
-// Read); a built store is safe for concurrent use.
+// Store is an immutable geometry store. Build one with New, NewSparse, or
+// Read; a built store is safe for concurrent use.
+//
+// A store built with NewSparse may contain holes: nil slots for polygon ids
+// that were removed by the live-mutation layer before the last compaction.
+// Every predicate treats a hole as "contains nothing", so a tombstoned id
+// that escaped filtering can never produce a match.
 type Store struct {
 	polys []*geom.Polygon
 	// tree indexes the polygon bounding boxes for store-wide point stabs.
@@ -39,7 +44,9 @@ type Store struct {
 var ErrNilPolygon = errors.New("geostore: nil polygon")
 
 // New builds a store over the polygon slice; ids in every query are indices
-// into it. The slice is retained, not copied.
+// into it. The slice is retained, not copied. Nil slots are rejected — the
+// static build pipeline has a geometry for every id; stores with holes come
+// only from compaction, through NewSparse.
 func New(polys []*geom.Polygon) (*Store, error) {
 	for i, p := range polys {
 		if p == nil {
@@ -47,6 +54,14 @@ func New(polys []*geom.Polygon) (*Store, error) {
 		}
 	}
 	return &Store{polys: polys}, nil
+}
+
+// NewSparse builds a store over an id-indexed polygon slice that may
+// contain nil slots (holes left by removed polygons). It backs compacted
+// live indexes, whose id space keeps the original ids stable across
+// compactions instead of renumbering. The slice is retained, not copied.
+func NewSparse(polys []*geom.Polygon) *Store {
+	return &Store{polys: polys}
 }
 
 // rtreeLazy returns the bbox R-tree, building it on first use. Concurrent
@@ -62,6 +77,9 @@ func (s *Store) rtreeLazy() *rtree.Tree {
 		panic(err) // unreachable: DefaultMaxEntries is a valid constant
 	}
 	for i, p := range s.polys {
+		if p == nil {
+			continue // hole: removed id
+		}
 		t.Insert(p.Bound(), uint32(i))
 	}
 	s.tree.CompareAndSwap(nil, t)
@@ -82,7 +100,7 @@ func (s *Store) Polygon(id uint32) *geom.Polygon {
 // Contains reports whether pt is inside the closed polygon with the given
 // id. Out-of-range ids report false.
 func (s *Store) Contains(id uint32, pt geom.Point) bool {
-	if int(id) >= len(s.polys) {
+	if int(id) >= len(s.polys) || s.polys[id] == nil {
 		return false
 	}
 	return s.polys[id].ContainsPointExact(pt)
@@ -97,7 +115,7 @@ func (s *Store) Contains(id uint32, pt geom.Point) bool {
 // descent here, while ScanPoint uses the tree for store-wide stabs.
 func (s *Store) Resolve(pt geom.Point, candidates []uint32, dst []uint32) []uint32 {
 	for _, id := range candidates {
-		if int(id) >= len(s.polys) {
+		if int(id) >= len(s.polys) || s.polys[id] == nil {
 			continue
 		}
 		if s.polys[id].ContainsPointExact(pt) {
@@ -131,6 +149,9 @@ func (s *Store) ScanPoint(pt geom.Point, buf []uint32) []uint32 {
 func (s *Store) MemoryBytes() int64 {
 	var total int64
 	for _, p := range s.polys {
+		if p == nil {
+			continue
+		}
 		total += int64(p.NumVertices())*16 + 64
 	}
 	if t := s.tree.Load(); t != nil {

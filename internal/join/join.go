@@ -29,6 +29,7 @@ import (
 
 	"github.com/actindex/act/internal/cellid"
 	"github.com/actindex/act/internal/core"
+	"github.com/actindex/act/internal/delta"
 	"github.com/actindex/act/internal/geo"
 	"github.com/actindex/act/internal/geom"
 	"github.com/actindex/act/internal/geostore"
@@ -143,6 +144,11 @@ func emitResult(em Emitter, point int, res *core.Result, st *ChunkStats) {
 type ACT struct {
 	Grid grid.Grid
 	Trie *core.Trie
+	// Overlay is the live index's delta layer, merged into every probe:
+	// tombstoned ids are filtered out of the base trie's result and the
+	// delta trie's references are appended. Nil for static indexes, which
+	// pay only this nil check.
+	Overlay *delta.Overlay
 	// Interleave is the number of concurrent trie walks each batch keeps in
 	// flight (core.InterleaveAuto = pick from the trie size, 1 = scalar).
 	// The width is resolved per chunk, so tiny tail chunks degenerate to
@@ -176,7 +182,11 @@ func (j *ACT) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) C
 	if j.Unsorted {
 		for i, leaf := range s.leaves {
 			s.res.Reset()
-			if !j.Trie.Lookup(leaf, &s.res) {
+			hit := j.Trie.Lookup(leaf, &s.res)
+			if j.Overlay != nil {
+				hit = j.Overlay.Merge(leaf, &s.res)
+			}
+			if !hit {
 				st.Misses++
 				continue
 			}
@@ -186,6 +196,9 @@ func (j *ACT) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scratch) C
 	}
 	s.sortByCell()
 	j.Trie.LookupBatchInterleaved(s.sorted, j.Trie.InterleaveWidth(j.Interleave), &s.batch, &s.res, func(k int, hit bool) {
+		if j.Overlay != nil {
+			hit = j.Overlay.Merge(s.sorted[k], &s.res)
+		}
 		if !hit {
 			st.Misses++
 			return
@@ -206,6 +219,11 @@ type ACTExact struct {
 	Trie *core.Trie
 	// Store resolves candidate matches; ids in trie results index into it.
 	Store *geostore.Store
+	// Overlay is the live index's delta layer: merged into every probe
+	// before refinement, and consulted during refinement so delta
+	// candidates resolve against the overlay's geometry instead of the
+	// base store. Nil for static indexes.
+	Overlay *delta.Overlay
 	// Interleave is the number of concurrent trie walks per batch round
 	// (core.InterleaveAuto = pick from the trie size, 1 = scalar).
 	Interleave int
@@ -232,8 +250,13 @@ func (j *ACTExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scrat
 	s.leaves = grid.LeafCells(j.Grid, points, s.leaves[:0])
 	s.pts = grid.ProjectAll(j.Grid, points, s.pts[:0])
 	// refine emits chunk-local point i's references: true hits as-is, then
-	// only the candidates that survive the geometry store.
+	// only the candidates that survive the geometry — the base store, or
+	// the overlay's delta geometry for delta ids. The overlay is merged
+	// first, so tombstoned ids never reach refinement.
 	refine := func(i int, hit bool) {
+		if j.Overlay != nil {
+			hit = j.Overlay.Merge(s.leaves[i], &s.res)
+		}
 		if !hit {
 			st.Misses++
 			return
@@ -244,7 +267,7 @@ func (j *ACTExact) JoinChunk(points []geo.LatLng, base int, em Emitter, s *Scrat
 		st.TrueHits += int64(len(s.res.True))
 		matched := len(s.res.True) > 0
 		if len(s.res.Candidates) > 0 {
-			s.ref = j.Store.Resolve(s.pts[i], s.res.Candidates, s.ref[:0])
+			s.ref = j.Overlay.Resolve(j.Store, s.pts[i], s.res.Candidates, s.ref[:0])
 			for _, id := range s.ref {
 				em.Emit(base+i, id, Candidate)
 			}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"github.com/actindex/act/internal/core"
+	"github.com/actindex/act/internal/delta"
 	"github.com/actindex/act/internal/geo"
 	"github.com/actindex/act/internal/grid"
 )
@@ -17,7 +18,9 @@ const lookupChunk = 4096
 // LookupBatch probes every point against the trie using the cell-sorted
 // fast path of the join engine: each chunk's points are sorted by leaf cell
 // id so consecutive probes resume deep in the trie, then fn receives each
-// point's chunk-local result in sorted order. interleave is the number of
+// point's chunk-local result in sorted order. ov, when non-nil, is the live
+// index's delta layer, merged into every result (tombstoned ids filtered,
+// delta references appended) before fn sees it. interleave is the number of
 // concurrent trie walks kept in flight per chunk (core.InterleaveAuto picks
 // from the trie size; 1 forces the scalar walk). i is the index into points;
 // res is reset and reused between invocations, so fn must copy anything it
@@ -25,7 +28,7 @@ const lookupChunk = 4096
 // remaining chunks are skipped and the context's error is returned. A
 // cancellation that lands after the last chunk was already probed is not an
 // error: the batch is complete, so LookupBatch returns nil.
-func LookupBatch(ctx context.Context, g grid.Grid, t *core.Trie, interleave int, points []geo.LatLng, fn func(i int, hit bool, res *core.Result)) error {
+func LookupBatch(ctx context.Context, g grid.Grid, t *core.Trie, ov *delta.Overlay, interleave int, points []geo.LatLng, fn func(i int, hit bool, res *core.Result)) error {
 	s := &Scratch{}
 	width := t.InterleaveWidth(interleave)
 	for lo := 0; lo < len(points); lo += lookupChunk {
@@ -37,6 +40,9 @@ func LookupBatch(ctx context.Context, g grid.Grid, t *core.Trie, interleave int,
 		s.sortByCell()
 		base := lo
 		t.LookupBatchInterleaved(s.sorted, width, &s.batch, &s.res, func(k int, hit bool) {
+			if ov != nil {
+				hit = ov.Merge(s.sorted[k], &s.res)
+			}
 			fn(base+int(s.keys[k]&(1<<idxBits-1)), hit, &s.res)
 		})
 	}

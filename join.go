@@ -58,18 +58,22 @@ const (
 	Candidate = join.Candidate
 )
 
-// joiner selects the join executor for the mode. All executors probe the
+// joiner selects the join executor for the mode, capturing the index's
+// current epoch: the whole join run — every chunk, every worker — probes
+// one consistent base trie + delta overlay pair, no matter how many
+// mutations or compactions land while it streams. All executors probe the
 // trie in cell-sorted batches (the engine's fast path).
 func (ix *Index) joiner(mode JoinMode) join.Joiner {
+	ep := ix.live.Load()
 	if mode == Exact {
-		return &join.ACTExact{Grid: ix.grid, Trie: ix.trie, Store: ix.store, Interleave: ix.interleave}
+		return &join.ACTExact{Grid: ix.grid, Trie: ep.trie, Store: ep.store, Overlay: ep.ov, Interleave: ix.interleave}
 	}
-	return &join.ACT{Grid: ix.grid, Trie: ix.trie, Interleave: ix.interleave}
+	return &join.ACT{Grid: ix.grid, Trie: ep.trie, Overlay: ep.ov, Interleave: ix.interleave}
 }
 
 // checkMode rejects exact joins on an index that cannot refine.
 func (ix *Index) checkMode(mode JoinMode) error {
-	if mode == Exact && ix.store == nil {
+	if mode == Exact && ix.live.Load().store == nil {
 		return ErrNoGeometry
 	}
 	return nil
@@ -88,7 +92,9 @@ func (ix *Index) mustMode(mode JoinMode) {
 
 // Join counts, for every polygon, the points matching it — the aggregation
 // the paper's evaluation performs. threads ≤ 0 uses GOMAXPROCS. The
-// returned slice is indexed by polygon id. It is a thin wrapper over the
+// returned slice is indexed by polygon id and spans every id ever
+// assigned, so on a mutated index the slots of removed polygons are
+// present and zero. It is a thin wrapper over the
 // streaming engine with a counting sink. Exact mode on an index without a
 // geometry store panics (use JoinContext or JoinExact to get ErrNoGeometry
 // as an error instead).
@@ -110,8 +116,14 @@ func (ix *Index) JoinContext(ctx context.Context, points []LatLng, mode JoinMode
 	if err := ix.checkMode(mode); err != nil {
 		return nil, JoinStats{}, err
 	}
-	sink := join.NewCountSink(ix.NumPolygons())
-	stats, err := join.RunSinkContext(ctx, ix.joiner(mode), points, sink, threads)
+	// Capture the epoch (inside joiner) before sizing the sink: Insert
+	// publishes the grown id space before it publishes the new epoch, so
+	// epoch-then-idSpace ordering guarantees the sink spans every id the
+	// captured epoch can emit — the reverse order could race a concurrent
+	// Insert into an out-of-range counts[id]++.
+	j := ix.joiner(mode)
+	sink := join.NewCountSink(ix.idSpaceSize())
+	stats, err := join.RunSinkContext(ctx, j, points, sink, threads)
 	return sink.Counts, stats, err
 }
 

@@ -27,8 +27,11 @@ import (
 // error even if the context fired in the meantime — completed work is never
 // discarded.
 func (ix *Index) LookupBatch(ctx context.Context, points []LatLng) ([]Result, error) {
+	// One epoch for the whole batch: a concurrent mutation or compaction
+	// cannot change semantics between chunks.
+	ep := ix.live.Load()
 	results := make([]Result, len(points))
-	err := join.LookupBatch(ctx, ix.grid, ix.trie, ix.interleave, points, func(i int, hit bool, res *core.Result) {
+	err := join.LookupBatch(ctx, ix.grid, ep.trie, ep.ov, ix.interleave, points, func(i int, hit bool, res *core.Result) {
 		if !hit {
 			return
 		}

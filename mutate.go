@@ -1,0 +1,260 @@
+package act
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"github.com/actindex/act/internal/delta"
+	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/grid"
+	"github.com/actindex/act/internal/supercover"
+)
+
+// Live index mutation.
+//
+// The index absorbs polygon churn LSM-style: Insert covers the new polygon
+// with the index's own coverer and adds it to a small delta layer (its own
+// trie plus the projected geometry); Remove tombstones the id. Every
+// lookup — scalar, batch, and interleaved — merges base and delta:
+// tombstoned ids are filtered from the base trie's result, delta references
+// appended after it. When the pending-mutation count crosses the
+// compaction threshold, a background compactor reruns the full build
+// pipeline over the surviving polygon set (original ids kept, removed ids
+// left as holes) and swings the fresh base in atomically through the
+// index's epoch Holder — readers never block, and an in-flight join keeps
+// the epoch it loaded for its whole run. Mutations that land while the
+// compactor runs survive as a residual overlay on the new base.
+
+// Mutation errors.
+var (
+	// ErrImmutable is reported by Insert, Remove, and Compact on an index
+	// that has no source polygons to rebuild from — one loaded with
+	// ReadIndex. Build the index in-process (New/BuildIndex) to mutate it.
+	ErrImmutable = errors.New("act: index was deserialized without source polygons and cannot be mutated")
+	// ErrUnknownPolygon is reported by Remove for an id that was never
+	// assigned or has already been removed.
+	ErrUnknownPolygon = errors.New("act: unknown or already-removed polygon id")
+)
+
+// DeltaStats describes the state of the index's mutation layer.
+type DeltaStats struct {
+	// DeltaPolygons is the number of polygons currently served from the
+	// delta layer (inserted since the last compaction).
+	DeltaPolygons int
+	// Tombstones is the number of removals pending compaction.
+	Tombstones int
+	// Pending is DeltaPolygons + Tombstones — the quantity measured
+	// against Threshold.
+	Pending int
+	// Threshold is the pending-mutation count that triggers background
+	// compaction; negative means auto-compaction is disabled.
+	Threshold int
+	// Compactions counts completed compactions over the index lifetime.
+	Compactions uint64
+	// LivePolygons is the current live polygon count (NumPolygons).
+	LivePolygons int
+}
+
+// DeltaStats returns the current state of the mutation layer. The overlay
+// counters are read from one epoch, so they are mutually consistent.
+func (ix *Index) DeltaStats() DeltaStats {
+	ep := ix.live.Load()
+	return DeltaStats{
+		DeltaPolygons: ep.ov.NumPolygons(),
+		Tombstones:    ep.ov.NumTombstones(),
+		Pending:       ep.ov.Pending(),
+		Threshold:     ix.deltaThreshold,
+		Compactions:   ix.compactions.Load(),
+		LivePolygons:  ix.NumPolygons(),
+	}
+}
+
+// Mutable reports whether the index can absorb Insert and Remove: true for
+// indexes built in-process, false for indexes loaded with ReadIndex (which
+// carry no source polygons for compaction to rebuild from).
+func (ix *Index) Mutable() bool { return ix.mutable }
+
+// IsDelta reports whether the polygon id is currently served from the
+// delta layer rather than the base trie. After a compaction folds the
+// delta into the base, IsDelta reports false for the absorbed ids — the
+// distinction is an observability aid (actquery -verbose tags matches with
+// it), not a semantic one.
+func (ix *Index) IsDelta(id uint32) bool { return ix.live.Load().ov.HasPolygon(id) }
+
+// Epoch returns the generation of the serving state: it advances on every
+// Insert, Remove, and compaction, so operators can observe mutation
+// progress the way Swappable generations expose index swaps.
+func (ix *Index) Epoch() uint64 { return ix.live.Generation() }
+
+// Insert adds a polygon to the live index and returns its id — the next id
+// in the sequence started by the build (ids are never reused, so removed
+// ids stay dangling forever). The polygon is covered with the index's own
+// precision and grid, served from the delta layer immediately on return,
+// and folded into the base trie by the next compaction. Concurrent lookups
+// and joins are never blocked: they keep the epoch they loaded, and the
+// new polygon becomes visible to operations that start after Insert
+// returns. Inserts are serialized with other mutations; the covering
+// computation (the dominant cost) runs under that lock, so sustained bulk
+// loads should prefer a rebuild via [Swappable].
+//
+// Reports ErrImmutable on a deserialized index.
+func (ix *Index) Insert(ctx context.Context, p *Polygon) (uint32, error) {
+	if p == nil {
+		return 0, fmt.Errorf("act: insert: nil polygon")
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.mutable {
+		return 0, ErrImmutable
+	}
+	if len(ix.sources) > supercover.MaxPolygonID {
+		return 0, fmt.Errorf("act: insert: the 2^30 polygon id space is exhausted")
+	}
+	cov, err := ix.pl.cover(p)
+	if err != nil {
+		return 0, fmt.Errorf("act: insert: %w", err)
+	}
+	var gp *geom.Polygon
+	if ix.pl.hasGeom {
+		if _, gp, err = grid.ProjectPolygon(ix.grid, p); err != nil {
+			return 0, fmt.Errorf("act: insert: %w", err)
+		}
+	}
+	id := uint32(len(ix.sources))
+	ep := ix.live.Load()
+	ov, err := ep.ov.WithInsert(ix.pl.fanout, delta.Poly{ID: id, Cov: cov, Geom: gp, Seq: ix.seq + 1})
+	if err != nil {
+		return 0, err
+	}
+	ix.seq++
+	ix.sources = append(ix.sources, p)
+	ix.idSpace.Store(int64(len(ix.sources)))
+	ix.liveCount.Add(1)
+	ix.live.Swap(&epoch{trie: ep.trie, store: ep.store, ov: ov, stats: ep.stats})
+	ix.maybeCompact(ov)
+	return id, nil
+}
+
+// Remove deletes the polygon with the given id from the live index. The id
+// is tombstoned: lookups that start after Remove returns stop reporting
+// it, in-flight operations keep the epoch they loaded, and the next
+// compaction rebuilds the base without it (the id itself is never reused).
+//
+// Reports ErrUnknownPolygon for ids never assigned or already removed, and
+// ErrImmutable on a deserialized index.
+func (ix *Index) Remove(ctx context.Context, id uint32) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.mutable {
+		return ErrImmutable
+	}
+	if int(id) >= len(ix.sources) || ix.sources[id] == nil {
+		return fmt.Errorf("%w: %d", ErrUnknownPolygon, id)
+	}
+	ep := ix.live.Load()
+	ov, err := ep.ov.WithRemove(ix.pl.fanout, id, ix.seq+1)
+	if err != nil {
+		return err
+	}
+	ix.seq++
+	ix.sources[id] = nil
+	ix.liveCount.Add(-1)
+	ix.live.Swap(&epoch{trie: ep.trie, store: ep.store, ov: ov, stats: ep.stats})
+	ix.maybeCompact(ov)
+	return nil
+}
+
+// maybeCompact, called under ix.mu after a mutation published ov, starts a
+// background compaction when the pending-mutation count crosses the
+// absolute threshold or a quarter of the live polygon count (the ratio
+// trigger keeps small indexes from carrying proportionally huge deltas).
+// At most one compaction runs at a time; a trigger that fires while one is
+// running is simply dropped — the running compaction's residual check will
+// re-trigger on the next mutation if needed.
+func (ix *Index) maybeCompact(ov *delta.Overlay) {
+	if ix.deltaThreshold < 0 || ov == nil {
+		return
+	}
+	pending := ov.Pending()
+	if pending < ix.deltaThreshold && int64(pending*4) < ix.liveCount.Load() {
+		return
+	}
+	if !ix.compactMu.TryLock() {
+		return
+	}
+	go func() {
+		defer ix.compactMu.Unlock()
+		// Background compaction failing (an unprojectable polygon cannot
+		// happen here: every source already passed Insert or the build)
+		// leaves the delta serving correctly; nothing to surface beyond
+		// the stats not moving.
+		_ = ix.compactLocked(context.Background())
+	}()
+}
+
+// Compact synchronously folds the delta layer into a fresh base: the full
+// build pipeline reruns over the surviving polygon set (original ids kept;
+// removed ids become permanent holes) and the result is swung in
+// atomically. Lookups and joins keep serving the old epoch until the swap
+// and are never blocked; mutations stay possible while the rebuild runs
+// and survive it as a residual delta. If a background compaction is
+// already running, Compact waits for it and then compacts any residual.
+// On a clean index it is a no-op.
+//
+// Reports ErrImmutable on a deserialized index; on context cancellation
+// the rebuild is abandoned and the live state left untouched.
+func (ix *Index) Compact(ctx context.Context) error {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+	return ix.compactLocked(ctx)
+}
+
+// compactLocked runs one compaction; the caller holds compactMu.
+func (ix *Index) compactLocked(ctx context.Context) error {
+	// Snapshot the mutation state: the overlay publication point and the
+	// sources it corresponds to. Mutations after this point are not baked
+	// into the rebuild; Rebase re-applies them on top.
+	ix.mu.Lock()
+	if !ix.mutable {
+		ix.mu.Unlock()
+		return ErrImmutable
+	}
+	ep := ix.live.Load()
+	if ep.ov == nil {
+		ix.mu.Unlock()
+		return nil
+	}
+	snapSeq := ix.seq
+	srcs := make([]*Polygon, len(ix.sources))
+	copy(srcs, ix.sources)
+	ix.mu.Unlock()
+
+	entries := make([]buildEntry, 0, len(srcs))
+	for id, src := range srcs {
+		if src != nil {
+			entries = append(entries, buildEntry{id: uint32(id), src: src})
+		}
+	}
+	trie, store, stats, err := ix.pl.run(ctx, entries, len(srcs))
+	if err != nil {
+		return err
+	}
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	cur := ix.live.Load()
+	residual, err := cur.ov.Rebase(snapSeq)
+	if err != nil {
+		return err
+	}
+	ix.live.Swap(&epoch{trie: trie, store: store, ov: residual, stats: stats})
+	ix.compactions.Add(1)
+	return nil
+}

@@ -71,6 +71,23 @@ func WithGeometryStore(on bool) Option {
 	return func(o *Options) { o.SkipGeometryStore = !on }
 }
 
+// WithDeltaThreshold sets the pending-mutation count (delta polygons plus
+// tombstones) at which Insert and Remove trigger a background compaction:
+// the delta layer is folded into a freshly rebuilt base trie and the result
+// swung in atomically, without blocking readers. Regardless of the
+// threshold, a delta exceeding a quarter of the live polygon count also
+// triggers compaction, so small indexes never carry proportionally huge
+// deltas.
+//
+// n = 0 (the default) selects 128 — small enough that the delta trie stays
+// cache-resident next to the base, large enough to amortize one rebuild
+// over many mutations. Negative n disables auto-compaction entirely;
+// the delta then grows until an explicit [Index.Compact] call, which is
+// what deterministic tests and bulk-load-then-compact pipelines want.
+func WithDeltaThreshold(n int) Option {
+	return func(o *Options) { o.DeltaThreshold = n }
+}
+
 // New builds an index over the polygon set, configured by functional
 // options. It is the primary constructor of the v2 API; BuildIndex remains
 // as a compatibility wrapper over the same build pipeline.
@@ -81,6 +98,11 @@ func WithGeometryStore(on bool) Option {
 //		act.WithFanout(256))
 //
 // Polygon ids in lookup results are indices into polygons.
+//
+// The index retains the polygons (the pointers, not copies) as the source
+// set live mutation rebuilds from — see [Index.Insert] and [Index.Compact];
+// callers should not modify them after the build. Indexes loaded with
+// ReadIndex carry no sources and are immutable.
 func New(polygons []*Polygon, opts ...Option) (*Index, error) {
 	var o Options
 	for _, opt := range opts {

@@ -3,6 +3,7 @@ package act
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 
@@ -49,11 +50,37 @@ func (b *byteCounter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Serialization errors for mutated indexes. The on-disk format describes a
+// static index with a dense id space; persisting live-mutated state is the
+// delta-log follow-up tracked in the ROADMAP.
+var (
+	// ErrPendingMutations is returned by WriteTo while the delta layer is
+	// non-empty. Call Compact first: a compacted insert-only index
+	// serializes normally.
+	ErrPendingMutations = errors.New("act: index has uncompacted mutations; Compact before WriteTo")
+	// ErrSparseIDSpace is returned by WriteTo when removals have left
+	// permanent holes in the id space — the v2 format requires dense ids.
+	ErrSparseIDSpace = errors.New("act: removals left holes in the polygon id space; serializing such an index is not supported")
+)
+
 // WriteTo serializes the index so it can be loaded with ReadIndex without
 // rebuilding coverings. It implements io.WriterTo. The byte stream is a pure
 // function of the index state: serialize → ReadIndex → serialize
 // round-trips bit-exactly.
+//
+// Only clean, dense indexes serialize: WriteTo reports ErrPendingMutations
+// while uncompacted mutations exist, and ErrSparseIDSpace once removals
+// have left holes in the id space (ids are stable forever, so holes never
+// close). An index that has only ever seen inserts serializes normally
+// after a Compact.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	ep := ix.live.Load()
+	if ep.ov != nil {
+		return 0, ErrPendingMutations
+	}
+	if ix.mutable && ix.liveCount.Load() != ix.idSpace.Load() {
+		return 0, ErrSparseIDSpace
+	}
 	bc := &byteCounter{w: w}
 	bw := bufio.NewWriterSize(bc, 1<<20)
 	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
@@ -69,16 +96,16 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return bc.n, fmt.Errorf("act: cannot serialize unknown grid kind %v", ix.kind)
 	}
 	var hasGeom uint32
-	if ix.store != nil {
+	if ep.store != nil {
 		hasGeom = 1
 	}
 	header := []any{
 		uint32(indexVersion),
 		uint32(ix.kind),
 		ix.precision,
-		ix.stats.AchievedPrecisionMeters,
-		uint64(ix.stats.IndexedCells),
-		uint64(ix.stats.NumPolygons),
+		ep.stats.AchievedPrecisionMeters,
+		uint64(ep.stats.IndexedCells),
+		uint64(ep.stats.NumPolygons),
 		hasGeom,
 	}
 	for _, v := range header {
@@ -89,11 +116,11 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := bw.Flush(); err != nil {
 		return bc.n, err
 	}
-	if _, err := ix.trie.WriteTo(bc); err != nil {
+	if _, err := ep.trie.WriteTo(bc); err != nil {
 		return bc.n, err
 	}
-	if ix.store != nil {
-		if _, err := ix.store.WriteTo(bc); err != nil {
+	if ep.store != nil {
+		if _, err := ep.store.WriteTo(bc); err != nil {
 			return bc.n, err
 		}
 	}
@@ -139,11 +166,13 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		return nil, fmt.Errorf("act: unknown grid kind %d", gk)
 	}
 	ix := &Index{grid: g, kind: GridKind(gk)}
+	var stats BuildStats
+	var store *geostore.Store
 	var cells, numPolys uint64
 	if err := read(&ix.precision); err != nil {
 		return nil, err
 	}
-	if err := read(&ix.stats.AchievedPrecisionMeters); err != nil {
+	if err := read(&stats.AchievedPrecisionMeters); err != nil {
 		return nil, err
 	}
 	if err := read(&cells); err != nil {
@@ -158,8 +187,8 @@ func ReadIndex(r io.Reader) (*Index, error) {
 		// count slices.
 		return nil, fmt.Errorf("act: implausible polygon count %d", numPolys)
 	}
-	ix.stats.IndexedCells = int(cells)
-	ix.stats.NumPolygons = int(numPolys)
+	stats.IndexedCells = int(cells)
+	stats.NumPolygons = int(numPolys)
 
 	hasGeom := uint32(1)
 	if version >= 2 {
@@ -179,11 +208,11 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			}
 			projected = append(projected, p)
 		}
-		store, err := geostore.New(projected)
+		st, err := geostore.New(projected)
 		if err != nil {
 			return nil, err
 		}
-		ix.store = store
+		store = st
 	}
 
 	trie, err := core.ReadTrie(br)
@@ -208,24 +237,28 @@ func ReadIndex(r io.Reader) (*Index, error) {
 			return nil, fmt.Errorf("act: header claims %d polygons but the trie references at most %d", numPolys, maxRef)
 		}
 	}
-	ix.trie = trie
-
 	if version >= 2 && hasGeom == 1 {
-		store, err := geostore.Read(br)
+		st, err := geostore.Read(br)
 		if err != nil {
 			return nil, err
 		}
-		if store.NumPolygons() != int(numPolys) {
+		if st.NumPolygons() != int(numPolys) {
 			return nil, fmt.Errorf("act: geometry section has %d polygons, header says %d",
-				store.NumPolygons(), numPolys)
+				st.NumPolygons(), numPolys)
 		}
-		ix.store = store
+		store = st
 	}
 
 	ts := trie.ComputeStats()
-	ix.stats.TrieBytes = ts.TrieBytes
-	ix.stats.TableBytes = ts.TableBytes
-	ix.stats.TrieNodes = ts.NumNodes
+	stats.TrieBytes = ts.TrieBytes
+	stats.TableBytes = ts.TableBytes
+	stats.TrieNodes = ts.NumNodes
+	// A deserialized index carries no source polygons, so it serves but
+	// cannot be mutated (Insert/Remove/Compact report ErrImmutable).
+	ix.deltaThreshold = defaultDeltaThreshold
+	ix.liveCount.Store(int64(numPolys))
+	ix.idSpace.Store(int64(numPolys))
+	ix.live.Swap(&epoch{trie: trie, store: store, stats: stats})
 	return ix, nil
 }
 

@@ -16,15 +16,14 @@ import (
 // is gone.
 func buildV1Bytes(t testing.TB, ix *Index) []byte {
 	t.Helper()
-	if ix.store == nil {
+	store := geoStore(ix)
+	if store == nil {
 		t.Fatal("buildV1Bytes needs an index with geometry")
 	}
 	// The trie blob is the v2 stream minus its 48-byte header when no
 	// geometry section follows.
 	var v2 bytes.Buffer
-	noGeo := *ix
-	noGeo.store = nil
-	if _, err := noGeo.WriteTo(&v2); err != nil {
+	if _, err := stripGeometry(ix).WriteTo(&v2); err != nil {
 		t.Fatal(err)
 	}
 	trieBlob := v2.Bytes()[48:]
@@ -36,14 +35,15 @@ func buildV1Bytes(t testing.TB, ix *Index) []byte {
 			t.Fatal(err)
 		}
 	}
+	st := indexStats(ix)
 	write(uint32(1)) // version
 	write(uint32(ix.kind))
 	write(ix.precision)
-	write(ix.stats.AchievedPrecisionMeters)
-	write(uint64(ix.stats.IndexedCells))
-	write(uint64(ix.stats.NumPolygons))
-	for id := 0; id < ix.stats.NumPolygons; id++ {
-		p := ix.store.Polygon(uint32(id))
+	write(st.AchievedPrecisionMeters)
+	write(uint64(st.IndexedCells))
+	write(uint64(st.NumPolygons))
+	for id := 0; id < st.NumPolygons; id++ {
+		p := store.Polygon(uint32(id))
 		write(uint32(1 + len(p.Holes)))
 		rings := append([]geom.Ring{p.Outer}, p.Holes...)
 		for _, ring := range rings {

@@ -2,58 +2,107 @@ package act
 
 import "sync/atomic"
 
-// Swappable is an atomic holder for the live Index of a long-running
-// service. Serving goroutines Load the current index per request while an
-// operator goroutine builds (or deserializes) a replacement and Swaps it in
-// — polygon-set updates without a restart and without blocking a single
-// lookup. All methods are safe for concurrent use.
+// Holder is a generic atomic holder for a hot-swappable value: serving
+// goroutines Load the current value per request while an operator (or
+// background) goroutine prepares a replacement and Swaps it in — updates
+// without a restart and without blocking a single reader. All methods are
+// safe for concurrent use.
 //
-// Each Swap advances a generation counter, so operators can verify which
-// polygon set a process is serving. The index and its generation are
-// published together; use LoadGeneration to observe the pair consistently.
-type Swappable struct {
-	cur atomic.Pointer[swapState]
+// Each Swap advances a generation counter, so callers can verify which
+// value is being served. The value and its generation are published
+// together; use LoadGeneration to observe the pair consistently.
+//
+// Holder is the machinery behind two layers of the index: [Swappable]
+// (operators swapping whole indexes under live traffic) and the index's
+// internal live epoch, which the background compactor uses to swing a
+// freshly compacted base trie in without blocking readers (see
+// [Index.Insert]).
+//
+// The zero Holder holds the zero value of T at generation 0; the first
+// Swap publishes generation 1.
+type Holder[T any] struct {
+	cur atomic.Pointer[holderState[T]]
 }
 
-// swapState pairs an index with its generation so both swing atomically.
-type swapState struct {
-	idx *Index
+// holderState pairs a value with its generation so both swing atomically.
+type holderState[T any] struct {
+	val T
 	gen uint64
 }
 
-// NewSwappable returns a holder serving idx at generation 1.
-func NewSwappable(idx *Index) *Swappable {
-	s := &Swappable{}
-	s.cur.Store(&swapState{idx: idx, gen: 1})
-	return s
+// NewHolder returns a holder serving val at generation 1.
+func NewHolder[T any](val T) *Holder[T] {
+	h := &Holder[T]{}
+	h.cur.Store(&holderState[T]{val: val, gen: 1})
+	return h
 }
 
-// Load returns the index currently being served. Callers should Load once
-// per request and use the returned index for the whole request, so a
+// Load returns the value currently being served. Callers should Load once
+// per request and use the returned value for the whole request, so a
 // concurrent Swap cannot change semantics mid-request.
-func (s *Swappable) Load() *Index { return s.cur.Load().idx }
+func (s *Holder[T]) Load() T {
+	st := s.cur.Load()
+	if st == nil {
+		var zero T
+		return zero
+	}
+	return st.val
+}
 
-// Swap atomically replaces the served index with idx, advances the
-// generation, and returns the previous index. In-flight requests that
-// loaded the old index keep using it; it is garbage-collected once the last
-// of them finishes.
-func (s *Swappable) Swap(idx *Index) *Index {
+// Swap atomically replaces the served value with val, advances the
+// generation, and returns the previous value. In-flight requests that
+// loaded the old value keep using it; it is garbage-collected once the
+// last of them finishes.
+func (s *Holder[T]) Swap(val T) T {
 	for {
 		old := s.cur.Load()
-		if s.cur.CompareAndSwap(old, &swapState{idx: idx, gen: old.gen + 1}) {
-			return old.idx
+		gen := uint64(0)
+		var prev T
+		if old != nil {
+			gen, prev = old.gen, old.val
+		}
+		if s.cur.CompareAndSwap(old, &holderState[T]{val: val, gen: gen + 1}) {
+			return prev
 		}
 	}
 }
 
-// Generation returns the generation of the index currently being served:
-// 1 for the initial index, incremented by every Swap.
-func (s *Swappable) Generation() uint64 { return s.cur.Load().gen }
+// Generation returns the generation of the value currently being served:
+// 1 for the initial value, incremented by every Swap.
+func (s *Holder[T]) Generation() uint64 {
+	st := s.cur.Load()
+	if st == nil {
+		return 0
+	}
+	return st.gen
+}
 
-// LoadGeneration returns the served index together with the generation it
+// LoadGeneration returns the served value together with the generation it
 // was installed at. Unlike calling Load and Generation separately — which a
 // concurrent Swap can interleave — the pair is read atomically.
-func (s *Swappable) LoadGeneration() (*Index, uint64) {
+func (s *Holder[T]) LoadGeneration() (T, uint64) {
 	st := s.cur.Load()
-	return st.idx, st.gen
+	if st == nil {
+		var zero T
+		return zero, 0
+	}
+	return st.val, st.gen
+}
+
+// Swappable is an atomic holder for the live Index of a long-running
+// service. Serving goroutines Load the current index per request while an
+// operator goroutine builds (or deserializes) a replacement and Swaps it in
+// — polygon-set updates without a restart and without blocking a single
+// lookup. It is [Holder] instantiated for indexes; see there for the full
+// semantics.
+//
+// Swappable replaces whole indexes; for in-place polygon churn on one live
+// index, use [Index.Insert] and [Index.Remove], which absorb mutations into
+// a delta layer and compact in the background through the same holder
+// machinery.
+type Swappable = Holder[*Index]
+
+// NewSwappable returns a holder serving idx at generation 1.
+func NewSwappable(idx *Index) *Swappable {
+	return NewHolder(idx)
 }
