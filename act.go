@@ -220,6 +220,12 @@ type Index struct {
 	// Atomics so the read paths can size join outputs without ix.mu.
 	liveCount atomic.Int64
 	idSpace   atomic.Int64
+
+	// mapped is non-nil when the trie is served zero-copy from a file
+	// mapping (see OpenIndex); cleanup releases the mapping at GC time if
+	// Close is never called.
+	mapped  *mapping
+	cleanup runtime.Cleanup
 }
 
 // ErrNoPolygons is returned when BuildIndex is called with no polygons.
@@ -445,6 +451,7 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 // the result merges the base trie with the delta layer: removed polygons
 // are filtered out and inserted polygons' references appended.
 func (ix *Index) Lookup(ll LatLng, res *Result) bool {
+	defer ix.keepMapped()
 	res.Reset()
 	ep := ix.live.Load()
 	leaf := grid.LeafCell(ix.grid, ll)
@@ -465,6 +472,7 @@ func (ix *Index) Lookup(ll LatLng, res *Result) bool {
 // unrefined result would silently violate the exactness postcondition.
 // Check HasGeometry first when the index's provenance is uncertain.
 func (ix *Index) LookupExact(ll LatLng, res *Result) bool {
+	defer ix.keepMapped()
 	res.Reset()
 	ep := ix.live.Load()
 	if ep.store == nil {
@@ -505,6 +513,7 @@ func (ix *Index) Find(ll LatLng) []uint32 {
 // are deliberately conflated; callers that need the distinction use
 // AppendRefs at the same cost.
 func (ix *Index) AppendMatches(ll LatLng, dst []uint32) []uint32 {
+	defer ix.keepMapped()
 	ep := ix.live.Load()
 	leaf := grid.LeafCell(ix.grid, ll)
 	n := len(dst)
@@ -521,6 +530,7 @@ func (ix *Index) AppendMatches(ll LatLng, dst []uint32) []uint32 {
 // so hot paths can keep the true-hit/candidate distinction without paying
 // for a Result.
 func (ix *Index) AppendRefs(ll LatLng, dst []Match) []Match {
+	defer ix.keepMapped()
 	ep := ix.live.Load()
 	leaf := grid.LeafCell(ix.grid, ll)
 	n := len(dst)

@@ -3,7 +3,9 @@
 //
 //	actbench -experiment table1           # Table I: index metrics
 //	actbench -experiment fig3             # Fig. 3: single-threaded throughput
-//	actbench -experiment fig4             # Fig. 4: thread scalability
+//	actbench -experiment scale            # Fig. 4: thread scalability 1→NumCPU,
+//	                                      # heap-loaded vs mmap-served
+//	                                      # ("fig4" is an alias)
 //	actbench -experiment exact            # approximate vs exact joins:
 //	                                      # true-hit ratio + refinement cost
 //	actbench -experiment interleave       # K-way interleaved batch probes
@@ -17,7 +19,8 @@
 //
 //	-census N    census-blocks polygon count (default 4000; paper: 39184)
 //	-points N    join points per measurement (default 2000000; paper: 1e9)
-//	-threads a,b thread counts for fig4 (default 1,2,4,8,16,32)
+//	-threads a,b thread counts for scale (default auto: powers of two up to
+//	             NumCPU, plus a 2×NumCPU oversubscription row)
 //	-dist d      point distribution: uniform|clustered|adversarial
 //	-seed S      dataset seed
 //
@@ -43,11 +46,11 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig3 | fig4 | exact | interleave | delta | ablation | all")
+	experiment := flag.String("experiment", "all", "table1 | fig3 | scale (alias fig4) | exact | interleave | delta | ablation | all")
 	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
 	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
-	threadsFlag := flag.String("threads", "1,2,4,8,16,32", "comma-separated thread counts for fig4")
+	threadsFlag := flag.String("threads", "auto", "comma-separated thread counts for scale (auto: 1→NumCPU→2×NumCPU)")
 	distFlag := flag.String("dist", "uniform", "point distribution: uniform | clustered | adversarial")
 	jsonOut := flag.String("jsonout", ".", "directory for machine-readable BENCH_*.json result files (empty disables)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the selected experiments to this file")
@@ -67,10 +70,19 @@ func main() {
 		os.Exit(2)
 	}
 
-	threads, err := parseThreads(*threadsFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "actbench: %v\n", err)
-		os.Exit(2)
+	var threads []int // nil selects bench.ScaleThreads
+	if *threadsFlag != "auto" {
+		var err error
+		if threads, err = parseThreads(*threadsFlag); err != nil {
+			fmt.Fprintf(os.Stderr, "actbench: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	// fig4 folded into scale: same curve, now measured over both serving
+	// paths. The old name keeps working.
+	if *experiment == "fig4" {
+		*experiment = "scale"
 	}
 
 	cfg := bench.Config{
@@ -125,7 +137,11 @@ func main() {
 	}
 	run("table1", func() error { return bench.RunTableI(w, cfg) })
 	measured("fig3", "fig3", func() ([]bench.Record, error) { return bench.RunFig3(w, cfg) })
-	measured("fig4", "fig4", func() ([]bench.Record, error) { return bench.RunFig4(w, cfg, threads) })
+	// The scale experiment's records land in BENCH_6.json: the zero-copy
+	// serving and multicore scale-out's tracked artefact (thread-scaling
+	// curve 1→NumCPU over heap-loaded and mmap-served indexes, with load
+	// latencies and the per-mode speedup over one thread).
+	measured("scale", "6", func() ([]bench.Record, error) { return bench.RunScale(w, cfg, threads) })
 	// The exact experiment's records land in BENCH_3.json: the refinement
 	// subsystem's tracked artefact (true-hit ratio and refinement overhead
 	// per precision).
@@ -141,7 +157,7 @@ func main() {
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
-	case "table1", "fig3", "fig4", "exact", "interleave", "delta", "ablation", "all":
+	case "table1", "fig3", "scale", "exact", "interleave", "delta", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

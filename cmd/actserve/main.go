@@ -27,6 +27,14 @@
 // reads server-local files and replaces the live index, so protect it with
 // -reload-token (Authorization: Bearer) unless the listener is trusted.
 //
+// Index files — both -index at startup and {"index":...} reloads — are
+// served zero-copy: current-format files are memory-mapped and the trie is
+// read in place from the page cache, so swinging a multi-hundred-MB index
+// in costs a header read plus validation rather than an arena-sized copy.
+// The previous mapping is released automatically once the last in-flight
+// request on the old index retires. /stats reports "mapped": true when the
+// live index is served this way.
+//
 // POST /polygons (a GeoJSON FeatureCollection, Feature, or geometry body)
 // and DELETE /polygons/{id} mutate the live index in place: inserts are
 // covered and served from a delta layer immediately, removes tombstone the

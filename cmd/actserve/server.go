@@ -117,14 +117,14 @@ func buildFromGeoJSON(path string, precision float64, gk act.GridKind) (*act.Ind
 	return act.New(polys, act.WithPrecision(precision), act.WithGrid(gk))
 }
 
-// loadIndexFile deserializes an index written with Index.WriteTo.
+// loadIndexFile opens an index written with Index.WriteTo for serving.
+// Current-format files are memory-mapped and served zero-copy — startup and
+// /reload cost a header read plus validation, not an arena-sized copy — and
+// legacy or unmappable files fall back to the copying deserializer inside
+// OpenIndex. Swapped-out mapped indexes are unmapped by the runtime once
+// the last in-flight request on them retires; nothing here needs to Close.
 func loadIndexFile(path string) (*act.Index, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return act.ReadIndex(f)
+	return act.OpenIndex(path)
 }
 
 // lookupResponse is the JSON shape of a lookup.
@@ -186,9 +186,10 @@ type joinRequest struct {
 	// ?exact=1 query parameter sets the same switch, so streaming clients
 	// can pick the join semantics without touching the body.
 	Exact bool `json:"exact"`
-	// Threads bounds the join workers. Values outside [1, GOMAXPROCS] are
-	// clamped so a single request cannot monopolize (or over-subscribe)
-	// the process; the default is 1.
+	// Threads bounds the join workers. Omitted (or 0) uses every core —
+	// the engine saturates the machine by default and trims idle workers
+	// on small batches. Other values are clamped to [1, GOMAXPROCS] so a
+	// single request cannot over-subscribe the process.
 	Threads int `json:"threads"`
 }
 
@@ -265,7 +266,10 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "index has no geometry store, cannot serve exact joins", http.StatusUnprocessableEntity)
 		return
 	}
-	threads := min(max(req.Threads, 1), runtime.GOMAXPROCS(0))
+	threads := runtime.GOMAXPROCS(0)
+	if req.Threads != 0 {
+		threads = min(max(req.Threads, 1), threads)
+	}
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -523,6 +527,10 @@ type statsResponse struct {
 	// Mutable reports whether POST /polygons and DELETE /polygons/{id}
 	// can mutate the live index (false for file-loaded indexes).
 	Mutable bool `json:"mutable"`
+	// Mapped reports whether the live index serves its trie zero-copy from
+	// a memory-mapped file (an -index or /reload of a current-format file)
+	// rather than heap memory.
+	Mapped bool `json:"mapped"`
 	// LivePolygons is the current live polygon count (base + delta -
 	// tombstones); NumPolygons reports the base build's count.
 	LivePolygons int `json:"livePolygons"`
@@ -551,6 +559,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		HasGeometry:             idx.HasGeometry(),
 		Generation:              gen,
 		Mutable:                 idx.Mutable(),
+		Mapped:                  idx.Mapped(),
 		LivePolygons:            ds.LivePolygons,
 		DeltaPolygons:           ds.DeltaPolygons,
 		Tombstones:              ds.Tombstones,

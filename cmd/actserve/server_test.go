@@ -728,3 +728,90 @@ func TestMutationUnderTraffic(t *testing.T) {
 		t.Fatalf("anchor lost after churn: %+v", lr)
 	}
 }
+
+// writeIndexFile serializes the server's current index to a temp file and
+// returns the path.
+func writeIndexFile(t *testing.T, idx *act.Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.actx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := idx.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMmapServeAndReloadRace exercises the zero-copy serving path under
+// live traffic: an index file is reloaded in (memory-mapped), /stats must
+// report it as mapped, and then concurrent joins and lookups hammer the
+// service while /reload repeatedly swings between two mapped index files.
+// Under -race this proves readers of a swapped-out mapping retire before
+// the runtime releases it.
+func TestMmapServeAndReloadRace(t *testing.T) {
+	s, idx := testServer(t)
+	path := writeIndexFile(t, idx)
+
+	if rec := postReload(t, s, `{"index":"`+path+`"}`); rec.Code != http.StatusOK {
+		t.Fatalf("reload status %d: %s", rec.Code, rec.Body)
+	}
+	var st statsResponse
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Mapped {
+		t.Skip("mmap unavailable on this platform; fallback path covered elsewhere")
+	}
+
+	// Join traffic against the mapped index while reloads swing the epoch.
+	joinBody := `{"points":[{"lat":40.73,"lng":-73.99},{"lat":40.71,"lng":-74.0},{"lat":10,"lng":10}],"exact":true}`
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if rec := postJoin(t, s, joinBody); rec.Code != http.StatusOK {
+					t.Errorf("join during mmap reload: status %d", rec.Code)
+					return
+				}
+				if rec := get(t, s, "/lookup?lat=40.73&lng=-73.99"); rec.Code != http.StatusOK {
+					t.Errorf("lookup during mmap reload: status %d", rec.Code)
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		if rec := postReload(t, s, `{"index":"`+path+`"}`); rec.Code != http.StatusOK {
+			t.Fatalf("reload %d status %d: %s", i, rec.Code, rec.Body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Mapped || st.Mutable {
+		t.Errorf("stats after mmap reloads = %+v, want mapped immutable index", st)
+	}
+	// A mapped index is immutable: the mutation endpoints must refuse.
+	req := httptest.NewRequest(http.MethodDelete, "/polygons/0", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != http.StatusConflict {
+		t.Errorf("DELETE on mapped index: status %d, want 409", rec.Code)
+	}
+}

@@ -11,8 +11,9 @@ import (
 
 // fuzzSeedIndexes builds tiny deterministic indexes (three hand-made
 // polygons, coarse precision, a few kilobytes serialized) whose byte
-// streams seed the deserialization fuzzer: version 2 with geometry,
-// version 2 approximate-only, and a synthesized version-1 legacy file.
+// streams seed the deserialization fuzzer: version 3 with geometry,
+// version 3 approximate-only, plus synthesized version-2 and version-1
+// legacy files.
 func fuzzSeedIndexes(t testing.TB) [][]byte {
 	t.Helper()
 	polys := []*Polygon{
@@ -37,6 +38,7 @@ func fuzzSeedIndexes(t testing.TB) [][]byte {
 			t.Fatal(err)
 		}
 		seeds = append(seeds, approx.Bytes())
+		seeds = append(seeds, buildV2Bytes(t, idx, true))
 		seeds = append(seeds, buildV1Bytes(t, idx))
 	}
 	return seeds

@@ -156,6 +156,19 @@ type Record struct {
 	// compaction restores it).
 	DeltaPolygons  int      `json:"deltaPolygons,omitempty"`
 	DeltaOverheadX *float64 `json:"deltaOverheadX,omitempty"`
+	// Scale accounting, filled only by the scale experiment: LoadMode names
+	// the serving path the index was loaded through ("heap" = copying
+	// deserializer, "mmap" = zero-copy mapped file, "mmap-fallback" = mmap
+	// requested but unavailable on the platform), LoadMillis the one-time
+	// load latency of that path, NumCPU the machine's CPU count (so a
+	// flat curve on a small machine is distinguishable from a scaling
+	// failure), and ScaleX the speedup over the same path's first
+	// thread-count row (pointer: the 1.0 baseline row must survive
+	// serialization).
+	LoadMode   string   `json:"loadMode,omitempty"`
+	LoadMillis *float64 `json:"loadMillis,omitempty"`
+	NumCPU     int      `json:"numCPU,omitempty"`
+	ScaleX     *float64 `json:"scaleX,omitempty"`
 }
 
 // record converts join stats into a Record.

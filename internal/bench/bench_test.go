@@ -153,20 +153,35 @@ func TestExperimentRunnersSmoke(t *testing.T) {
 		}
 	}
 	sb.Reset()
-	fig4, err := RunFig4(&sb, cfg, []int{1, 2})
+	scale, err := RunScale(&sb, cfg, []int{1, 2})
 	if err != nil {
-		t.Fatalf("fig4: %v", err)
+		t.Fatalf("scale: %v", err)
 	}
-	if !strings.Contains(sb.String(), "Scalability") {
-		t.Error("fig4 output incomplete")
+	if !strings.Contains(sb.String(), "thread scaling") {
+		t.Error("scale output incomplete")
 	}
-	if len(fig4) != 6 {
-		t.Errorf("fig4 produced %d records, want 6", len(fig4))
+	// 3 datasets × 2 load modes × 2 thread counts. RunScale itself asserts
+	// heap/mmap pair-count equivalence.
+	if len(scale) != 12 {
+		t.Errorf("scale produced %d records, want 12", len(scale))
 	}
-	for _, r := range fig4 {
-		if r.Experiment != "fig4" || r.Joiner != "act" || r.MPtsPerSec <= 0 {
-			t.Errorf("bad fig4 record %+v", r)
+	modes := map[string]int{}
+	for _, r := range scale {
+		if r.Experiment != "scale" || r.Joiner != "act" || r.MPtsPerSec <= 0 {
+			t.Errorf("bad scale record %+v", r)
 		}
+		if r.LoadMillis == nil || r.ScaleX == nil || r.NumCPU < 1 {
+			t.Errorf("scale record missing load/scale accounting: %+v", r)
+		}
+		// Faithful thread accounting: the record reports workers actually
+		// run, which for these batch sizes is the requested count.
+		if r.Threads != 1 && r.Threads != 2 {
+			t.Errorf("scale record reports %d threads, want 1 or 2", r.Threads)
+		}
+		modes[r.LoadMode]++
+	}
+	if modes["heap"] != 6 || modes["mmap"]+modes["mmap-fallback"] != 6 {
+		t.Errorf("scale load modes = %v, want 6 heap + 6 mmap", modes)
 	}
 	sb.Reset()
 	del, err := RunDelta(&sb, cfg)

@@ -90,43 +90,6 @@ func RunFig3(w io.Writer, cfg Config) ([]Record, error) {
 	return records, nil
 }
 
-// RunFig4 regenerates Figure 4: throughput of ACT-4m versus thread count
-// for each dataset. It returns one Record per measurement.
-func RunFig4(w io.Writer, cfg Config, threads []int) ([]Record, error) {
-	cfg = cfg.withDefaults()
-	if len(threads) == 0 {
-		threads = []int{1, 2, 4, 8, 16, 32}
-	}
-	section(w, "Figure 4: Scalability of ACT-4m [M points/s]")
-	fmt.Fprintf(w, "%-14s", "dataset")
-	for _, th := range threads {
-		fmt.Fprintf(w, " %7dT", th)
-	}
-	fmt.Fprintln(w)
-	sets, err := Datasets(cfg)
-	if err != nil {
-		return nil, err
-	}
-	var records []Record
-	for _, ds := range sets {
-		idx, err := act.BuildIndex(ds.Set.Polygons, act.Options{PrecisionMeters: 4})
-		if err != nil {
-			return nil, err
-		}
-		fmt.Fprintf(w, "%-14s", ds.Set.Name)
-		for _, th := range threads {
-			st := MeasureIndexJoin(idx, ds.Points, th, 2)
-			records = append(records, record("fig4", ds.Set.Name, 4, st))
-			fmt.Fprintf(w, " %8.1f", st.ThroughputMPts)
-		}
-		fmt.Fprintln(w)
-	}
-	fmt.Fprintln(w, "\nPaper shape: near-linear scaling over physical cores and further gains")
-	fmt.Fprintln(w, "from hyperthreads (memory-latency bound). Note: on a single-core host")
-	fmt.Fprintln(w, "the curve is necessarily flat; see EXPERIMENTS.md.")
-	return records, nil
-}
-
 // MeasureIndexJoin measures the approximate join through the public index,
 // best of reps.
 func MeasureIndexJoin(idx *act.Index, points []act.LatLng, threads, reps int) act.JoinStats {

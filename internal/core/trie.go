@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"github.com/actindex/act/internal/cellid"
 	"github.com/actindex/act/internal/supercover"
@@ -112,6 +113,12 @@ func (r *Result) Reset() {
 
 // Total returns the number of polygon references in the result.
 func (r *Result) Total() int { return len(r.True) + len(r.Candidates) }
+
+// Equal reports whether two results hold the same references, in the same
+// order, in the same hit classes.
+func (r *Result) Equal(o *Result) bool {
+	return slices.Equal(r.True, o.True) && slices.Equal(r.Candidates, o.Candidates)
+}
 
 // Filter removes, in place and preserving order, every reference (in both
 // hit classes) for which drop returns true. It allocates nothing; the delta

@@ -109,6 +109,23 @@ func (s *Store) WriteTo(w io.Writer) (int64, error) {
 	return cw.n + 8, nil
 }
 
+// SerializedSize returns the exact number of bytes WriteTo will produce.
+// The format has no compression or padding, so the size is a pure function
+// of the ring shapes — which lets an enclosing container (the v3 index
+// layout) place the section at a precomputed offset and record the total
+// file size in a header written before the section itself.
+func (s *Store) SerializedSize() int64 {
+	n := int64(4 + 4 + 8) // magic, version, numPolys
+	for _, p := range s.polys {
+		n += 4 // numRings
+		n += 4 + 16*int64(len(p.Outer))
+		for _, h := range p.Holes {
+			n += 4 + 16*int64(len(h))
+		}
+	}
+	return n + 8 // crc
+}
+
 // hashingReader folds exactly the bytes consumed by the parser into the
 // checksum, independent of any buffering below it.
 type hashingReader struct {

@@ -67,7 +67,7 @@ func TestRunSinkContextCancellation(t *testing.T) {
 	if stats.Points >= len(pts) {
 		t.Errorf("joined all %d points despite cancellation", stats.Points)
 	}
-	if stats.Points%chunkSize != 0 && stats.Points != len(pts) {
+	if chunk := chunkSizeFor(len(pts), 4); stats.Points%chunk != 0 && stats.Points != len(pts) {
 		t.Errorf("joined %d points, not a whole number of chunks", stats.Points)
 	}
 	if got := emitted.Load(); got != stats.Pairs() {

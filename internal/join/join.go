@@ -26,6 +26,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+	"unsafe"
 
 	"github.com/actindex/act/internal/cellid"
 	"github.com/actindex/act/internal/core"
@@ -379,10 +380,58 @@ func (s Stats) String() string {
 		s.Joiner, s.Points, s.Threads, s.ThroughputMPts, s.TrueHits, s.CandidateHits, s.Misses)
 }
 
-// chunkSize is the unit of work a worker claims at a time: large enough to
-// amortize the atomic claim and make cell-sorting pay, small enough to
-// balance skewed point batches.
-const chunkSize = 4096
+// Chunk sizing. A chunk is the unit of work a worker claims at a time: it
+// must be large enough to amortize the atomic claim and make cell-sorting
+// pay, and small enough that workers stay balanced on skewed batches and a
+// cancelled context is honoured promptly. Instead of a fixed size, the
+// engine derives the chunk from the workload: aim for chunksPerWorker
+// claims per worker — enough slack for dynamic balancing when chunk costs
+// vary — clamped below by minChunkSize (the point where per-chunk overhead
+// stops mattering) and above by the 1<<idxBits capacity of the packed sort
+// keys. Big single-threaded batches thus sort in 64Ki-point chunks (longer
+// shared trie path runs, fewer claims), while the same batch across many
+// cores splits fine enough to saturate all of them.
+const (
+	minChunkSize    = 1024
+	maxChunkSize    = 1 << idxBits
+	chunksPerWorker = 8
+)
+
+// chunkSizeFor returns the engine's chunk size for a run of n points on
+// the given number of workers.
+func chunkSizeFor(n, threads int) int {
+	if threads < 1 {
+		threads = 1
+	}
+	c := n / (threads * chunksPerWorker)
+	if c < minChunkSize {
+		return minChunkSize
+	}
+	if c > maxChunkSize {
+		return maxChunkSize
+	}
+	return c
+}
+
+// scratchPool recycles worker Scratch buffers across runs. A serving
+// workload (actserve /join, LookupBatch) runs the engine once per request;
+// without the pool every request re-grows each worker's sort keys, lane
+// state, and result buffers from zero, which dominated request allocations.
+var scratchPool = sync.Pool{New: func() any { return new(Scratch) }}
+
+func getScratch() *Scratch  { return scratchPool.Get().(*Scratch) }
+func putScratch(s *Scratch) { scratchPool.Put(s) }
+
+// workerSlot is one worker's private accumulator, padded so that adjacent
+// workers' slots never share a cache line: the engine previously bumped a
+// shared atomic per chunk, whose line every core invalidated in turn. The
+// padding rounds the struct up to two 64-byte lines, covering the common
+// 128-byte spatial-prefetch pairing as well.
+type workerSlot struct {
+	stats  ChunkStats
+	joined int64
+	_      [128 - (unsafe.Sizeof(ChunkStats{})+8)%128]byte
+}
 
 // RunSink is the streaming join engine: it shards the point stream into
 // chunks, drives the joiner over them with the given number of worker
@@ -401,9 +450,17 @@ func RunSink(j Joiner, points []geo.LatLng, sink Sink, threads int) Stats {
 // cancellation that lands after the last chunk was already joined is not an
 // error: the join is complete, so the error is nil — completed work is
 // never discarded.
+//
+// The worker count is capped at the number of chunks, so tiny batches do
+// not pay goroutine and emitter setup for workers that could never claim
+// work; Stats.Threads reports the workers actually run.
 func RunSinkContext(ctx context.Context, j Joiner, points []geo.LatLng, sink Sink, threads int) (Stats, error) {
 	if threads <= 0 {
 		threads = runtime.GOMAXPROCS(0)
+	}
+	chunk := chunkSizeFor(len(points), threads)
+	if nChunks := (len(points) + chunk - 1) / chunk; threads > nChunks {
+		threads = max(nChunks, 1)
 	}
 	start := time.Now()
 	var total ChunkStats
@@ -411,50 +468,53 @@ func RunSinkContext(ctx context.Context, j Joiner, points []geo.LatLng, sink Sin
 	if threads == 1 {
 		em := sink.NewEmitter()
 		fl, _ := em.(chunkFlusher)
-		s := &Scratch{}
-		for lo := 0; lo < len(points) && ctx.Err() == nil; lo += chunkSize {
-			hi := min(lo+chunkSize, len(points))
+		s := getScratch()
+		for lo := 0; lo < len(points) && ctx.Err() == nil; lo += chunk {
+			hi := min(lo+chunk, len(points))
 			total.add(j.JoinChunk(points[lo:hi], lo, em, s))
 			joined += hi - lo
 			if fl != nil {
 				fl.flushChunk()
 			}
 		}
+		putScratch(s)
 		sink.Merge(em)
 	} else {
 		emitters := make([]Emitter, threads)
 		for w := range emitters {
 			emitters[w] = sink.NewEmitter()
 		}
-		var next, nJoined atomic.Int64
-		var mu sync.Mutex
+		// The only shared mutable word is the claim counter; every other
+		// per-chunk update lands in the worker's own padded slot.
+		var next atomic.Int64
+		slots := make([]workerSlot, threads)
 		var wg sync.WaitGroup
 		for w := 0; w < threads; w++ {
 			wg.Add(1)
-			go func(em Emitter) {
+			go func(slot *workerSlot, em Emitter) {
 				defer wg.Done()
 				fl, _ := em.(chunkFlusher)
-				s := &Scratch{}
-				var st ChunkStats
+				s := getScratch()
+				defer putScratch(s)
 				for ctx.Err() == nil {
-					lo := int(next.Add(chunkSize)) - chunkSize
+					lo := int(next.Add(int64(chunk))) - chunk
 					if lo >= len(points) {
 						break
 					}
-					hi := min(lo+chunkSize, len(points))
-					st.add(j.JoinChunk(points[lo:hi], lo, em, s))
-					nJoined.Add(int64(hi - lo))
+					hi := min(lo+chunk, len(points))
+					slot.stats.add(j.JoinChunk(points[lo:hi], lo, em, s))
+					slot.joined += int64(hi - lo)
 					if fl != nil {
 						fl.flushChunk()
 					}
 				}
-				mu.Lock()
-				total.add(st)
-				mu.Unlock()
-			}(emitters[w])
+			}(&slots[w], emitters[w])
 		}
 		wg.Wait()
-		joined = int(nJoined.Load())
+		for i := range slots {
+			total.add(slots[i].stats)
+			joined += int(slots[i].joined)
+		}
 		for _, em := range emitters {
 			sink.Merge(em)
 		}

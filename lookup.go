@@ -27,6 +27,7 @@ import (
 // error even if the context fired in the meantime — completed work is never
 // discarded.
 func (ix *Index) LookupBatch(ctx context.Context, points []LatLng) ([]Result, error) {
+	defer ix.keepMapped()
 	// One epoch for the whole batch: a concurrent mutation or compaction
 	// cannot change semantics between chunks.
 	ep := ix.live.Load()

@@ -1,0 +1,258 @@
+package act
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/actindex/act/internal/data"
+)
+
+// writeIndexFile serializes the index to a temp file and returns the path.
+func writeIndexFile(t testing.TB, ix *Index) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "index.actx")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.WriteTo(f); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// openMapped opens the file and requires the zero-copy path (skipping the
+// test on platforms without mmap, where the fallback is covered by
+// TestOpenIndexLegacyFallback's parity checks anyway).
+func openMapped(t *testing.T, path string) *Index {
+	t.Helper()
+	ix, err := OpenIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Mapped() {
+		ix.Close()
+		t.Skip("mmap unavailable on this platform")
+	}
+	return ix
+}
+
+// samplePoints draws points across (and slightly beyond) the set's bounds
+// so the sample mixes interior hits, boundary candidates, and misses.
+func samplePoints(set *data.PolygonSet, n int, seed int64) []LatLng {
+	rng := rand.New(rand.NewSource(seed))
+	b := set.Bound
+	padLat := (b.MaxLat - b.MinLat) * 0.1
+	padLng := (b.MaxLng - b.MinLng) * 0.1
+	pts := make([]LatLng, n)
+	for i := range pts {
+		pts[i] = LatLng{
+			Lat: b.MinLat - padLat + rng.Float64()*(b.MaxLat-b.MinLat+2*padLat),
+			Lng: b.MinLng - padLng + rng.Float64()*(b.MaxLng-b.MinLng+2*padLng),
+		}
+	}
+	return pts
+}
+
+// TestOpenIndexMappedParity is the zero-copy correctness property: an index
+// served from a file mapping must be result-identical to the heap-built
+// original on every read path — scalar lookups, exact lookups, cell-sorted
+// batches through both the scalar and the interleaved probe engine, the
+// exact join, and materialized pairs.
+func TestOpenIndexMappedParity(t *testing.T) {
+	for _, gk := range []GridKind{PlanarGrid, CubeFaceGrid} {
+		built, set := buildTestIndex(t, gk)
+		mapped := openMapped(t, writeIndexFile(t, built))
+		defer mapped.Close()
+
+		pts := samplePoints(set, 20000, 301)
+
+		// Scalar walks: approximate and exact.
+		var r1, r2 Result
+		for _, p := range pts[:4000] {
+			h1 := built.Lookup(p, &r1)
+			h2 := mapped.Lookup(p, &r2)
+			if h1 != h2 || !r1.Equal(&r2) {
+				t.Fatalf("%v: Lookup diverges at %v: %+v vs %+v", gk, p, r1, r2)
+			}
+			h1 = built.LookupExact(p, &r1)
+			h2 = mapped.LookupExact(p, &r2)
+			if h1 != h2 || !r1.Equal(&r2) {
+				t.Fatalf("%v: LookupExact diverges at %v: %+v vs %+v", gk, p, r1, r2)
+			}
+		}
+
+		// Batch probes through the scalar (width 1) and interleaved
+		// (width 8) engines. The width lives on the index, so both sides
+		// are pinned to the same engine per pass.
+		for _, width := range []int{1, 8} {
+			built.interleave, mapped.interleave = width, width
+			b1, err := built.LookupBatch(context.Background(), pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := mapped.LookupBatch(context.Background(), pts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range b1 {
+				if !b1[i].Equal(&b2[i]) {
+					t.Fatalf("%v: LookupBatch width %d diverges at %d: %+v vs %+v",
+						gk, width, i, b1[i], b2[i])
+				}
+			}
+		}
+		built.interleave, mapped.interleave = 0, 0
+
+		// Joins: exact counts and materialized pairs, across thread counts.
+		c1, _, err := built.JoinExact(context.Background(), pts, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c2, _, err := mapped.JoinExact(context.Background(), pts, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(c1) != len(c2) {
+			t.Fatalf("%v: JoinExact count lengths %d vs %d", gk, len(c1), len(c2))
+		}
+		for i := range c1 {
+			if c1[i] != c2[i] {
+				t.Fatalf("%v: JoinExact polygon %d: %d vs %d", gk, i, c1[i], c2[i])
+			}
+		}
+		p1, _ := built.Pairs(pts, Approximate, 2)
+		p2, _ := mapped.Pairs(pts, Approximate, 2)
+		if len(p1) != len(p2) {
+			t.Fatalf("%v: Pairs lengths %d vs %d", gk, len(p1), len(p2))
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				t.Fatalf("%v: pair %d diverges: %+v vs %+v", gk, i, p1[i], p2[i])
+			}
+		}
+	}
+}
+
+// TestOpenIndexCloseIdle verifies the mapping lifecycle on an idle index:
+// Close releases, a second Close is a harmless no-op, and Close on a
+// heap-backed index is a no-op too.
+func TestOpenIndexCloseIdle(t *testing.T) {
+	built, set := buildTestIndex(t, PlanarGrid)
+	ix := openMapped(t, writeIndexFile(t, built))
+
+	// Serve something first so the mapping is demonstrably live.
+	var r Result
+	pts := samplePoints(set, 100, 303)
+	hits := 0
+	for _, p := range pts {
+		if ix.Lookup(p, &r) {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits before Close; sample is useless")
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := ix.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := built.Close(); err != nil {
+		t.Fatalf("Close on heap index: %v", err)
+	}
+}
+
+// TestOpenIndexRejectsCorruptV3 drives OpenIndex with damaged v3 files:
+// truncation, trailing junk, and header corruption must all be rejected at
+// open time — never deferred to a fault during a lookup.
+func TestOpenIndexRejectsCorruptV3(t *testing.T) {
+	built, _ := buildTestIndex(t, PlanarGrid)
+	var buf bytes.Buffer
+	if _, err := built.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+	write := func(name string, b []byte) string {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+
+	cases := map[string][]byte{
+		"truncated-arena":  good[:len(good)-512],
+		"truncated-header": good[:100],
+		"trailing-junk":    append(append([]byte{}, good...), 0, 1, 2, 3),
+	}
+	// Flip one byte inside the checksummed header region (the grid kind):
+	// the header CRC must catch it.
+	flipped := append([]byte{}, good...)
+	flipped[8] ^= 0xff
+	cases["header-bitflip"] = flipped
+	// Forge the node count without fixing dependent offsets: the header's
+	// internal consistency checks must catch it even with a valid CRC.
+	forged := append([]byte{}, good...)
+	forged[56] ^= 0x01
+	cases["forged-numnodes"] = forged
+
+	for name, b := range cases {
+		if _, err := OpenIndex(write(name, b)); err == nil {
+			t.Errorf("%s: OpenIndex accepted a damaged file", name)
+		}
+	}
+
+	// The pristine bytes still open, proving the cases failed for their
+	// damage and not some environmental reason.
+	ix, err := OpenIndex(write("pristine", good))
+	if err != nil {
+		t.Fatalf("pristine file rejected: %v", err)
+	}
+	ix.Close()
+}
+
+// TestOpenIndexLegacyFallback feeds OpenIndex version-1 and version-2
+// files: both must load through the copying path (Mapped() == false) and
+// serve lookups identical to the original index.
+func TestOpenIndexLegacyFallback(t *testing.T) {
+	built, set := buildTestIndex(t, PlanarGrid)
+	dir := t.TempDir()
+	files := map[string][]byte{
+		"v1.actx": buildV1Bytes(t, built),
+		"v2.actx": buildV2Bytes(t, built, true),
+	}
+	for name, b := range files {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := OpenIndex(path)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ix.Mapped() {
+			t.Errorf("%s: legacy file claims to be mapped", name)
+		}
+		var r1, r2 Result
+		for _, p := range samplePoints(set, 2000, 305) {
+			h1 := built.Lookup(p, &r1)
+			h2 := ix.Lookup(p, &r2)
+			if h1 != h2 || !r1.Equal(&r2) {
+				t.Fatalf("%s: lookup diverges at %v", name, p)
+			}
+		}
+		if err := ix.Close(); err != nil {
+			t.Fatalf("%s: Close: %v", name, err)
+		}
+	}
+}

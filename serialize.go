@@ -5,37 +5,75 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc64"
 	"io"
+	"math"
 
+	"github.com/actindex/act/internal/cellid"
 	"github.com/actindex/act/internal/core"
 	"github.com/actindex/act/internal/geom"
 	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 )
 
-// Index serialization, version 2 (little endian):
+// Index serialization, version 3 — the flat, mmap-servable layout
+// (little endian throughout):
 //
-//	magic    "ACTX"           4 bytes
-//	version  uint32           currently 2
-//	gridKind uint32
-//	precision, achieved       2 × float64
-//	cells    uint64           indexed covering cells (stats)
-//	numPolys uint64           indexed polygon count (stats)
-//	hasGeom  uint32           1 when a geometry section follows the trie
-//	trie blob                 core.Trie.WriteTo (own magic, version, CRC)
-//	geometry section          geostore.Store.WriteTo (own magic, version,
-//	                          CRC) — present only when hasGeom == 1
+//	offset 0:    header, 264 bytes
+//	  magic     "ACTX"          4 bytes
+//	  version   uint32          currently 3
+//	  gridKind  uint32
+//	  flags     uint32          bit 0: a geometry section follows the table
+//	  fanout    uint32
+//	  pad       uint32          zero
+//	  precision, achieved       2 × float64
+//	  cells     uint64          indexed covering cells (stats)
+//	  numPolys  uint64          indexed polygon count (stats)
+//	  numNodes  uint64          trie nodes, sentinel included
+//	  tableLen  uint64          lookup-table words (uint32 each)
+//	  arenaOff  uint64          = flatPageSize (4096): arena start
+//	  tableOff  uint64          = arenaOff + numNodes·fanout·8
+//	  geomOff   uint64          8-aligned geometry start; 0 without geometry
+//	  fileSize  uint64          total file length in bytes
+//	  roots     6 × uint64      per-face trie roots
+//	  skips     6 × uint64      root path-compression bit counts
+//	  prefixes  6 × uint64      root path-compression prefixes
+//	  arenaCRC  uint64          CRC-64/ECMA of arena + table bytes
+//	  headerCRC uint64          CRC-64/ECMA of header bytes [0, 256)
+//	zero padding to arenaOff
+//	arenaOff:  node arena       numNodes·fanout × uint64, canonical BFS order
+//	tableOff:  lookup table     tableLen × uint32
+//	geomOff:   geometry section geostore.Store.WriteTo blob (own magic,
+//	                            version, CRC) — present only when flag set
+//
+// The arena starts on a page boundary and its words are stored exactly as
+// the trie serves them in memory, so OpenIndex can map the file and alias
+// the arena and table in place — no deserialize copy, the page cache is the
+// index. The copying ReadIndex path verifies arenaCRC; the mmap path skips
+// it (one full-arena pass would defeat lazy paging) and relies on the same
+// structural validation that guards every deserialized trie, which already
+// makes even a forged file unable to drive lookups out of bounds.
 //
 // The geometry section is versioned and checksummed independently of the
 // header, so the exact-refinement geometry can evolve without breaking the
 // trie format. Version-1 files (which inlined raw projected rings between
-// the header and the trie) still load, with their geometry lifted into a
-// store; version-2 files written with WithGeometryStore(false) load in
+// the header and the trie) and version-2 files (header + core trie blob +
+// geometry section) still load via their original copying readers;
+// version-3 files written with WithGeometryStore(false) load in
 // approximate-only mode.
 
 const (
 	indexMagic   = "ACTX"
-	indexVersion = 2
+	indexVersion = 3
+
+	// flatHeaderSize is the full v3 header including headerCRC;
+	// flatHeaderCRCBytes the prefix that checksum covers.
+	flatHeaderSize     = 264
+	flatHeaderCRCBytes = 256
+	// flatPageSize aligns the arena for mmap serving. 4096 is the page size
+	// on every platform the mmap path supports; larger-page systems fall
+	// back to the copying reader.
+	flatPageSize = 4096
 )
 
 // byteCounter counts bytes flowing to the underlying writer.
@@ -63,10 +101,152 @@ var (
 	ErrSparseIDSpace = errors.New("act: removals left holes in the polygon id space; serializing such an index is not supported")
 )
 
-// WriteTo serializes the index so it can be loaded with ReadIndex without
-// rebuilding coverings. It implements io.WriterTo. The byte stream is a pure
-// function of the index state: serialize → ReadIndex → serialize
-// round-trips bit-exactly.
+var flatCRCTable = crc64.MakeTable(crc64.ECMA)
+
+// flatHeader is the parsed 264-byte v3 header.
+type flatHeader struct {
+	gridKind  uint32
+	hasGeom   bool
+	fanout    uint32
+	precision float64
+	achieved  float64
+	cells     uint64
+	numPolys  uint64
+	numNodes  uint64
+	tableLen  uint64
+	arenaOff  uint64
+	tableOff  uint64
+	geomOff   uint64
+	fileSize  uint64
+	roots     [cellid.NumFaces]uint64
+	skips     [cellid.NumFaces]uint64
+	prefixes  [cellid.NumFaces]uint64
+	arenaCRC  uint64
+}
+
+// tableEnd returns the byte offset one past the lookup table.
+func (h *flatHeader) tableEnd() uint64 { return h.tableOff + h.tableLen*4 }
+
+// encode lays the header out in its on-disk byte form, computing headerCRC.
+func (h *flatHeader) encode() [flatHeaderSize]byte {
+	var buf [flatHeaderSize]byte
+	le := binary.LittleEndian
+	copy(buf[0:], indexMagic)
+	le.PutUint32(buf[4:], indexVersion)
+	le.PutUint32(buf[8:], h.gridKind)
+	var flags uint32
+	if h.hasGeom {
+		flags = 1
+	}
+	le.PutUint32(buf[12:], flags)
+	le.PutUint32(buf[16:], h.fanout)
+	// buf[20:24] is reserved padding, zero.
+	le.PutUint64(buf[24:], math.Float64bits(h.precision))
+	le.PutUint64(buf[32:], math.Float64bits(h.achieved))
+	le.PutUint64(buf[40:], h.cells)
+	le.PutUint64(buf[48:], h.numPolys)
+	le.PutUint64(buf[56:], h.numNodes)
+	le.PutUint64(buf[64:], h.tableLen)
+	le.PutUint64(buf[72:], h.arenaOff)
+	le.PutUint64(buf[80:], h.tableOff)
+	le.PutUint64(buf[88:], h.geomOff)
+	le.PutUint64(buf[96:], h.fileSize)
+	for i := 0; i < cellid.NumFaces; i++ {
+		le.PutUint64(buf[104+8*i:], h.roots[i])
+		le.PutUint64(buf[152+8*i:], h.skips[i])
+		le.PutUint64(buf[200+8*i:], h.prefixes[i])
+	}
+	le.PutUint64(buf[248:], h.arenaCRC)
+	le.PutUint64(buf[flatHeaderCRCBytes:], crc64.Checksum(buf[:flatHeaderCRCBytes], flatCRCTable))
+	return buf
+}
+
+// decodeFlatHeader parses and cross-validates a v3 header whose magic and
+// version bytes are already verified. Every offset relationship the layout
+// promises is checked here, so both readers (copying and mmap) can trust
+// the header's geometry of the file afterwards — all that remains is
+// checking it against the actual file length.
+func decodeFlatHeader(buf *[flatHeaderSize]byte) (*flatHeader, error) {
+	le := binary.LittleEndian
+	if got, want := le.Uint64(buf[flatHeaderCRCBytes:]), crc64.Checksum(buf[:flatHeaderCRCBytes], flatCRCTable); got != want {
+		return nil, fmt.Errorf("act: header checksum mismatch: file %016x, computed %016x", got, want)
+	}
+	h := &flatHeader{
+		gridKind:  le.Uint32(buf[8:]),
+		hasGeom:   le.Uint32(buf[12:])&1 == 1,
+		fanout:    le.Uint32(buf[16:]),
+		precision: math.Float64frombits(le.Uint64(buf[24:])),
+		achieved:  math.Float64frombits(le.Uint64(buf[32:])),
+		cells:     le.Uint64(buf[40:]),
+		numPolys:  le.Uint64(buf[48:]),
+		numNodes:  le.Uint64(buf[56:]),
+		tableLen:  le.Uint64(buf[64:]),
+		arenaOff:  le.Uint64(buf[72:]),
+		tableOff:  le.Uint64(buf[80:]),
+		geomOff:   le.Uint64(buf[88:]),
+		fileSize:  le.Uint64(buf[96:]),
+		arenaCRC:  le.Uint64(buf[248:]),
+	}
+	if flags := le.Uint32(buf[12:]); flags > 1 {
+		return nil, fmt.Errorf("act: unknown header flags %#x", flags)
+	}
+	for i := 0; i < cellid.NumFaces; i++ {
+		h.roots[i] = le.Uint64(buf[104+8*i:])
+		h.skips[i] = le.Uint64(buf[152+8*i:])
+		h.prefixes[i] = le.Uint64(buf[200+8*i:])
+	}
+	switch h.fanout {
+	case 4, 16, 64, 256:
+	default:
+		return nil, fmt.Errorf("act: bad trie fanout %d", h.fanout)
+	}
+	if h.numNodes > core.MaxArenaWords/uint64(h.fanout) || h.tableLen > core.MaxTableWords {
+		return nil, fmt.Errorf("act: implausible trie size (%d nodes, %d table words)", h.numNodes, h.tableLen)
+	}
+	if h.numPolys > 1<<30 {
+		// Polygon ids are 30-bit (the trie payload format), so any larger
+		// count is corruption — and would otherwise size Join's per-polygon
+		// count slices.
+		return nil, fmt.Errorf("act: implausible polygon count %d", h.numPolys)
+	}
+	if h.arenaOff != flatPageSize {
+		return nil, fmt.Errorf("act: arena offset %d is not the page boundary %d", h.arenaOff, flatPageSize)
+	}
+	if h.tableOff != h.arenaOff+h.numNodes*uint64(h.fanout)*8 {
+		return nil, fmt.Errorf("act: table offset %d inconsistent with arena size", h.tableOff)
+	}
+	end := h.tableEnd()
+	if h.hasGeom {
+		if h.geomOff != (end+7)&^7 || h.fileSize <= h.geomOff {
+			return nil, fmt.Errorf("act: geometry offset %d inconsistent with table end %d", h.geomOff, end)
+		}
+	} else if h.geomOff != 0 || h.fileSize != end {
+		return nil, fmt.Errorf("act: file size %d inconsistent with table end %d", h.fileSize, end)
+	}
+	return h, nil
+}
+
+// writeZeros writes n zero bytes — the padding between v3 sections.
+func writeZeros(w io.Writer, n int64) error {
+	var zeros [4096]byte
+	for n > 0 {
+		c := n
+		if c > int64(len(zeros)) {
+			c = int64(len(zeros))
+		}
+		if _, err := w.Write(zeros[:c]); err != nil {
+			return err
+		}
+		n -= c
+	}
+	return nil
+}
+
+// WriteTo serializes the index in the v3 flat layout, loadable with
+// ReadIndex from any stream and servable zero-copy with OpenIndex from a
+// file. It implements io.WriterTo. The byte stream is a pure function of
+// the index state: serialize → ReadIndex → serialize round-trips
+// bit-exactly.
 //
 // Only clean, dense indexes serialize: WriteTo reports ErrPendingMutations
 // while uncompacted mutations exist, and ErrSparseIDSpace once removals
@@ -81,45 +261,61 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if ix.mutable && ix.liveCount.Load() != ix.idSpace.Load() {
 		return 0, ErrSparseIDSpace
 	}
-	bc := &byteCounter{w: w}
-	bw := bufio.NewWriterSize(bc, 1<<20)
-	write := func(v any) error { return binary.Write(bw, binary.LittleEndian, v) }
-	if _, err := bw.WriteString(indexMagic); err != nil {
-		return bc.n, err
-	}
 	// The grid kind is carried on the Index since build (or load) time;
 	// persist it directly instead of reverse-inferring it from the grid's
 	// name string.
 	switch ix.kind {
 	case PlanarGrid, CubeFaceGrid:
 	default:
-		return bc.n, fmt.Errorf("act: cannot serialize unknown grid kind %v", ix.kind)
+		return 0, fmt.Errorf("act: cannot serialize unknown grid kind %v", ix.kind)
 	}
-	var hasGeom uint32
-	if ep.store != nil {
-		hasGeom = 1
+	f := ep.trie.Flat()
+	arenaWords := uint64(len(f.Nodes))
+	h := flatHeader{
+		gridKind:  uint32(ix.kind),
+		hasGeom:   ep.store != nil,
+		fanout:    f.Fanout,
+		precision: ix.precision,
+		achieved:  ep.stats.AchievedPrecisionMeters,
+		cells:     uint64(ep.stats.IndexedCells),
+		numPolys:  uint64(ep.stats.NumPolygons),
+		numNodes:  arenaWords / uint64(f.Fanout),
+		tableLen:  uint64(len(f.Table)),
+		arenaOff:  flatPageSize,
+		roots:     f.Roots,
+		skips:     f.Skips,
+		prefixes:  f.Prefixes,
+		// One extra memory-speed pass over the arena, paid at save time so
+		// the copying reader can verify without buffering.
+		arenaCRC: f.SectionCRC(),
 	}
-	header := []any{
-		uint32(indexVersion),
-		uint32(ix.kind),
-		ix.precision,
-		ep.stats.AchievedPrecisionMeters,
-		uint64(ep.stats.IndexedCells),
-		uint64(ep.stats.NumPolygons),
-		hasGeom,
+	h.tableOff = h.arenaOff + arenaWords*8
+	h.fileSize = h.tableEnd()
+	if h.hasGeom {
+		h.geomOff = (h.fileSize + 7) &^ 7
+		h.fileSize = h.geomOff + uint64(ep.store.SerializedSize())
 	}
-	for _, v := range header {
-		if err := write(v); err != nil {
+	bc := &byteCounter{w: w}
+	bw := bufio.NewWriterSize(bc, 1<<20)
+	buf := h.encode()
+	if _, err := bw.Write(buf[:]); err != nil {
+		return bc.n, err
+	}
+	if err := writeZeros(bw, int64(h.arenaOff)-flatHeaderSize); err != nil {
+		return bc.n, err
+	}
+	if err := f.WriteSection(bw); err != nil {
+		return bc.n, err
+	}
+	if h.hasGeom {
+		if err := writeZeros(bw, int64(h.geomOff-h.tableEnd())); err != nil {
 			return bc.n, err
 		}
 	}
 	if err := bw.Flush(); err != nil {
 		return bc.n, err
 	}
-	if _, err := ep.trie.WriteTo(bc); err != nil {
-		return bc.n, err
-	}
-	if ep.store != nil {
+	if h.hasGeom {
 		if _, err := ep.store.WriteTo(bc); err != nil {
 			return bc.n, err
 		}
@@ -127,10 +323,14 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	return bc.n, nil
 }
 
-// ReadIndex loads an index serialized with WriteTo. Version-1 files load
-// with their inline geometry lifted into a geometry store; version-2 files
-// without a geometry section load in approximate-only mode (HasGeometry
-// reports false and exact joins report ErrNoGeometry).
+// ReadIndex loads an index serialized with WriteTo, copying it onto the
+// heap — the streaming counterpart to OpenIndex, which serves v3 files
+// zero-copy from a mapping. All three format versions load: version-1
+// files with their inline geometry lifted into a geometry store, version-2
+// files via the blob reader, version-3 files via a streaming copy of the
+// flat sections with the arena checksum verified. Files without a geometry
+// section load in approximate-only mode (HasGeometry reports false and
+// exact joins report ErrNoGeometry).
 func ReadIndex(r io.Reader) (*Index, error) {
 	// core.ReadTrie and geostore.Read each wrap their reader in
 	// bufio.NewReaderSize(r, 1<<20); passing an equally-sized *bufio.Reader
@@ -150,8 +350,11 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := read(&version); err != nil {
 		return nil, err
 	}
-	if version != 1 && version != indexVersion {
+	if version < 1 || version > indexVersion {
 		return nil, fmt.Errorf("act: unsupported index version %d", version)
+	}
+	if version == 3 {
+		return readIndexV3(br)
 	}
 	if err := read(&gk); err != nil {
 		return nil, err
@@ -258,6 +461,116 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	ix.deltaThreshold = defaultDeltaThreshold
 	ix.liveCount.Store(int64(numPolys))
 	ix.idSpace.Store(int64(numPolys))
+	ix.live.Swap(&epoch{trie: trie, store: store, stats: stats})
+	return ix, nil
+}
+
+// readIndexV3 loads a v3 flat file from a stream: the copying path, used
+// for piped input and as the fallback when mapping is unavailable. It reads
+// the flat sections into fresh heap slices and verifies the arena checksum
+// — the two costs OpenIndex exists to avoid.
+func readIndexV3(br *bufio.Reader) (*Index, error) {
+	var buf [flatHeaderSize]byte
+	// The caller consumed magic and version; reconstitute them so the
+	// header checksum can be computed over the full on-disk prefix.
+	copy(buf[0:], indexMagic)
+	binary.LittleEndian.PutUint32(buf[4:], indexVersion)
+	if _, err := io.ReadFull(br, buf[8:]); err != nil {
+		return nil, fmt.Errorf("act: read v3 header: %w", err)
+	}
+	h, err := decodeFlatHeader(&buf)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := io.CopyN(io.Discard, br, int64(h.arenaOff)-flatHeaderSize); err != nil {
+		return nil, fmt.Errorf("act: skip header padding: %w", err)
+	}
+	crc := crc64.New(flatCRCTable)
+	nodes, table, err := core.ReadFlatWords(io.TeeReader(br, crc), h.numNodes*uint64(h.fanout), h.tableLen)
+	if err != nil {
+		return nil, err
+	}
+	if got := crc.Sum64(); got != h.arenaCRC {
+		return nil, fmt.Errorf("act: arena checksum mismatch: file %016x, computed %016x", h.arenaCRC, got)
+	}
+	if h.hasGeom {
+		if _, err := io.CopyN(io.Discard, br, int64(h.geomOff-h.tableEnd())); err != nil {
+			return nil, fmt.Errorf("act: skip table padding: %w", err)
+		}
+	}
+	return assembleV3(h, nodes, table, br)
+}
+
+// assembleV3 builds a servable Index from a validated v3 header and its
+// flat trie words — heap copies from readIndexV3 or mapping-backed aliases
+// from OpenIndex; geomSrc must be positioned at the geometry section when
+// the header declares one. All cross-section consistency checks (trie
+// structure, polygon-id ranges, geometry count) live here so both load
+// paths enforce exactly the same invariants.
+func assembleV3(h *flatHeader, nodes []uint64, table []uint32, geomSrc io.Reader) (*Index, error) {
+	trie, err := core.TrieFromFlat(core.Flat{
+		Fanout:   h.fanout,
+		Roots:    h.roots,
+		Skips:    h.skips,
+		Prefixes: h.prefixes,
+		Nodes:    nodes,
+		Table:    table,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var g grid.Grid
+	switch GridKind(h.gridKind) {
+	case PlanarGrid:
+		g = grid.NewPlanar()
+	case CubeFaceGrid:
+		g = grid.NewCubeFace()
+	default:
+		return nil, fmt.Errorf("act: unknown grid kind %d", h.gridKind)
+	}
+	// Lookups return polygon ids straight out of the trie, and Join sizes
+	// its per-polygon count slices from the header — an id at or beyond
+	// numPolys would make counts[polygon]++ panic later, so reject the
+	// mismatch at load time.
+	maxRef, hasRefs := trie.MaxPolygonRef()
+	if hasRefs && uint64(maxRef) >= h.numPolys {
+		return nil, fmt.Errorf("act: trie references polygon %d, header says %d polygons", maxRef, h.numPolys)
+	}
+	var store *geostore.Store
+	if h.hasGeom {
+		st, err := geostore.Read(geomSrc)
+		if err != nil {
+			return nil, err
+		}
+		if st.NumPolygons() != int(h.numPolys) {
+			return nil, fmt.Errorf("act: geometry section has %d polygons, header says %d",
+				st.NumPolygons(), h.numPolys)
+		}
+		store = st
+	} else if h.numPolys > 0 {
+		// Approximate-only files have no geometry section to cross-check
+		// the header count against, and Join allocates count slices from
+		// it. Honest builds give every polygon at least one covering cell,
+		// so an inflated count (beyond maxRef+1) is corruption, not data.
+		if !hasRefs || h.numPolys > uint64(maxRef)+1 {
+			return nil, fmt.Errorf("act: header claims %d polygons but the trie references at most %d", h.numPolys, maxRef)
+		}
+	}
+	ts := trie.ComputeStats()
+	stats := BuildStats{
+		NumPolygons:             int(h.numPolys),
+		IndexedCells:            int(h.cells),
+		TrieBytes:               ts.TrieBytes,
+		TableBytes:              ts.TableBytes,
+		TrieNodes:               ts.NumNodes,
+		AchievedPrecisionMeters: h.achieved,
+	}
+	// A deserialized index carries no source polygons, so it serves but
+	// cannot be mutated (Insert/Remove/Compact report ErrImmutable).
+	ix := &Index{grid: g, kind: GridKind(h.gridKind), precision: h.precision}
+	ix.deltaThreshold = defaultDeltaThreshold
+	ix.liveCount.Store(int64(h.numPolys))
+	ix.idSpace.Store(int64(h.numPolys))
 	ix.live.Swap(&epoch{trie: trie, store: store, stats: stats})
 	return ix, nil
 }

@@ -2,6 +2,8 @@ package act
 
 import (
 	"bytes"
+	"encoding/binary"
+	"hash/crc64"
 	"math/rand"
 	"strings"
 	"testing"
@@ -157,34 +159,40 @@ func TestIndexSerializationCorruption(t *testing.T) {
 	}
 }
 
-// TestReadIndexRejectsUndercountedHeader forges the unchecksummed header of
-// an approximate-only v2 file so it declares fewer polygons than the trie
-// references: loading must fail instead of handing out an index whose Join
-// would later panic on counts[polygon]++.
+// TestReadIndexRejectsUndercountedHeader forges the header of an
+// approximate-only v3 file — with its checksum recomputed, so the polygon
+// cross-check and not the CRC is what fires — to declare fewer polygons
+// than the trie references: loading must fail instead of handing out an
+// index whose Join would later panic on counts[polygon]++.
 func TestReadIndexRejectsUndercountedHeader(t *testing.T) {
 	idx, _ := buildTestIndex(t, PlanarGrid)
 	var buf bytes.Buffer
 	if _, err := stripGeometry(idx).WriteTo(&buf); err != nil {
 		t.Fatal(err)
 	}
-	forged := append([]byte(nil), buf.Bytes()...)
-	// numPolys sits at byte offset 36 (magic 4 + version 4 + kind 4 +
-	// precision 8 + achieved 8 + cells 8); declare zero polygons.
-	for i := 36; i < 44; i++ {
-		forged[i] = 0
+	// numPolys sits at byte offset 48 of the v3 header; the headerCRC over
+	// bytes [0, 256) must be recomputed or the checksum masks the forgery.
+	forge := func(numPolys uint64) []byte {
+		out := append([]byte(nil), buf.Bytes()...)
+		binary.LittleEndian.PutUint64(out[48:], numPolys)
+		binary.LittleEndian.PutUint64(out[flatHeaderCRCBytes:],
+			crc64.Checksum(out[:flatHeaderCRCBytes], flatCRCTable))
+		return out
 	}
-	if _, err := ReadIndex(bytes.NewReader(forged)); err == nil {
+	if _, err := ReadIndex(bytes.NewReader(forge(0))); err == nil {
 		t.Fatal("undercounted header accepted")
 	}
 	// Inflating the count instead must also fail: Join sizes per-polygon
 	// count slices from the header, so a forged 2^29 would otherwise
 	// allocate gigabytes per request on a tiny index.
-	inflated := append([]byte(nil), buf.Bytes()...)
-	for i := 36; i < 44; i++ {
-		inflated[i] = 0
-	}
-	inflated[39] = 0x20 // 1 << 29, little endian
-	if _, err := ReadIndex(bytes.NewReader(inflated)); err == nil {
+	if _, err := ReadIndex(bytes.NewReader(forge(1 << 29))); err == nil {
 		t.Fatal("inflated header accepted")
+	}
+	// An unforged header with a flipped byte must fail the header checksum.
+	flipped := append([]byte(nil), buf.Bytes()...)
+	flipped[48] ^= 0x01
+	if _, err := ReadIndex(bytes.NewReader(flipped)); err == nil ||
+		!strings.Contains(err.Error(), "header checksum") {
+		t.Fatalf("tampered header not caught by checksum: %v", err)
 	}
 }

@@ -20,13 +20,12 @@ func buildV1Bytes(t testing.TB, ix *Index) []byte {
 	if store == nil {
 		t.Fatal("buildV1Bytes needs an index with geometry")
 	}
-	// The trie blob is the v2 stream minus its 48-byte header when no
-	// geometry section follows.
-	var v2 bytes.Buffer
-	if _, err := stripGeometry(ix).WriteTo(&v2); err != nil {
+	// v1 embedded the core trie blob directly after the inline rings; the
+	// public writer now emits the flat v3 layout, so write the blob itself.
+	var trieBlob bytes.Buffer
+	if err := writeTrieBlob(ix, &trieBlob); err != nil {
 		t.Fatal(err)
 	}
-	trieBlob := v2.Bytes()[48:]
 
 	var out bytes.Buffer
 	out.WriteString(indexMagic)
@@ -54,14 +53,14 @@ func buildV1Bytes(t testing.TB, ix *Index) []byte {
 			}
 		}
 	}
-	out.Write(trieBlob)
+	out.Write(trieBlob.Bytes())
 	return out.Bytes()
 }
 
 // TestReadIndexV1Compat pins the migration contract: version-1 files (which
 // inlined raw projected rings) still load, their geometry is lifted into a
 // store, lookups agree with the original index, and re-serializing writes a
-// version-2 file that round-trips byte-identically.
+// current-format file that round-trips byte-identically.
 func TestReadIndexV1Compat(t *testing.T) {
 	idx, set := buildTestIndex(t, PlanarGrid)
 	v1 := buildV1Bytes(t, idx)
@@ -89,7 +88,7 @@ func TestReadIndexV1Compat(t *testing.T) {
 			t.Fatalf("exact lookup diverges at %v after v1 load", ll)
 		}
 	}
-	// Re-serializing a v1 load produces a stable v2 stream.
+	// Re-serializing a v1 load produces a stable current-format stream.
 	var b1, b2 bytes.Buffer
 	if _, err := loaded.WriteTo(&b1); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,104 @@
+package act
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/geo"
+)
+
+// buildV2Bytes re-creates the version-2 on-disk layout (44-byte header with
+// a geometry flag, core trie blob, optional geometry section) from a live
+// index, so the legacy read path stays covered even though the writer now
+// emits the flat v3 layout.
+func buildV2Bytes(t testing.TB, ix *Index, withGeom bool) []byte {
+	t.Helper()
+	var out bytes.Buffer
+	out.WriteString(indexMagic)
+	write := func(v any) {
+		if err := binary.Write(&out, binary.LittleEndian, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := indexStats(ix)
+	store := geoStore(ix)
+	if withGeom && store == nil {
+		t.Fatal("buildV2Bytes: index has no geometry")
+	}
+	var hasGeom uint32
+	if withGeom {
+		hasGeom = 1
+	}
+	write(uint32(2)) // version
+	write(uint32(ix.kind))
+	write(ix.precision)
+	write(st.AchievedPrecisionMeters)
+	write(uint64(st.IndexedCells))
+	write(uint64(st.NumPolygons))
+	write(hasGeom)
+	if err := writeTrieBlob(ix, &out); err != nil {
+		t.Fatal(err)
+	}
+	if withGeom {
+		if _, err := store.WriteTo(&out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return out.Bytes()
+}
+
+// TestReadIndexV2Compat pins the migration contract for version-2 files:
+// they still load via the copying blob reader, lookups agree with the
+// original index, and re-serializing upgrades them to a stable v3 stream.
+func TestReadIndexV2Compat(t *testing.T) {
+	for _, gk := range []GridKind{PlanarGrid, CubeFaceGrid} {
+		idx, set := buildTestIndex(t, gk)
+		for _, withGeom := range []bool{true, false} {
+			v2 := buildV2Bytes(t, idx, withGeom)
+			loaded, err := ReadIndex(bytes.NewReader(v2))
+			if err != nil {
+				t.Fatalf("%v geom=%v: ReadIndex(v2): %v", gk, withGeom, err)
+			}
+			if loaded.HasGeometry() != withGeom {
+				t.Fatalf("%v: geometry flag mismatch after v2 load", gk)
+			}
+			if loaded.NumPolygons() != idx.NumPolygons() || loaded.PrecisionMeters() != idx.PrecisionMeters() {
+				t.Fatalf("%v: v2 metadata mismatch", gk)
+			}
+			rng := rand.New(rand.NewSource(401))
+			b := set.Bound
+			var r1, r2 Result
+			for n := 0; n < 1000; n++ {
+				ll := geo.LatLng{
+					Lat: b.MinLat + rng.Float64()*(b.MaxLat-b.MinLat),
+					Lng: b.MinLng + rng.Float64()*(b.MaxLng-b.MinLng),
+				}
+				h1 := idx.Lookup(ll, &r1)
+				h2 := loaded.Lookup(ll, &r2)
+				if h1 != h2 || len(r1.True) != len(r2.True) || len(r1.Candidates) != len(r2.Candidates) {
+					t.Fatalf("%v: lookup diverges at %v after v2 load", gk, ll)
+				}
+			}
+			// Upgrading: a v2 load re-serializes as a stable v3 stream.
+			var b1, b2 bytes.Buffer
+			if _, err := loaded.WriteTo(&b1); err != nil {
+				t.Fatal(err)
+			}
+			if got := binary.LittleEndian.Uint32(b1.Bytes()[4:]); got != indexVersion {
+				t.Fatalf("%v: upgraded file has version %d, want %d", gk, got, indexVersion)
+			}
+			again, err := ReadIndex(bytes.NewReader(b1.Bytes()))
+			if err != nil {
+				t.Fatalf("%v: re-read upgraded index: %v", gk, err)
+			}
+			if _, err := again.WriteTo(&b2); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+				t.Fatalf("%v: upgraded index does not round-trip byte-identically", gk)
+			}
+		}
+	}
+}
