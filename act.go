@@ -53,6 +53,7 @@ import (
 	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 	"github.com/actindex/act/internal/supercover"
+	"github.com/actindex/act/internal/wal"
 )
 
 // LatLng is a geographic coordinate in degrees.
@@ -142,6 +143,11 @@ type Options struct {
 	// auto-compaction, leaving compaction to explicit Compact calls). See
 	// WithDeltaThreshold.
 	DeltaThreshold int
+	// WAL, when non-nil, attaches a write-ahead delta log: mutations are
+	// logged durably before they are acknowledged, and any records left in
+	// the log by a previous process are replayed onto the fresh build. See
+	// WithWAL.
+	WAL *WALConfig
 }
 
 // BuildStats reports the cost and shape of a built index — the quantities
@@ -202,9 +208,20 @@ type Index struct {
 	mu sync.Mutex
 	// sources holds the original polygon of every id ever assigned (nil =
 	// removed), the input compaction rebuilds from. Nil sources slice =
-	// the index was deserialized and cannot be mutated.
+	// the index carries no rebuild inputs (deserialized or recovered).
 	sources []*geo.Polygon
 	mutable bool
+	// srcComplete reports that sources holds every live polygon, so
+	// compaction can rebuild the base. True for indexes built in-process;
+	// false for indexes resurrected by Recover, whose base polygons exist
+	// only in serialized form — they mutate (delta layer + WAL) but
+	// cannot compact. Guarded by mu alongside sources.
+	srcComplete bool
+	// alive tracks which assigned ids are currently live — the canonical
+	// alive set for every mutable index, maintained even when sources is
+	// absent (recovered indexes). len(alive) is the id space. Guarded by
+	// mu.
+	alive []bool
 	// seq numbers mutations; compaction snapshots it to split the overlay
 	// into the baked-in part and the residual.
 	seq uint64
@@ -226,6 +243,21 @@ type Index struct {
 	// Close is never called.
 	mapped  *mapping
 	cleanup runtime.Cleanup
+
+	// wal, when non-nil, is the attached write-ahead delta log: every
+	// mutation appends its record (and, per the fsync policy, reaches
+	// stable storage) before the epoch swings. walRecovered counts the
+	// records replayed when the log was attached; snapshotPath is where
+	// compactions checkpoint the fresh base (empty: the log is never
+	// truncated). All three are set at construction and never mutated.
+	wal          *wal.Log
+	walRecovered int
+	snapshotPath string
+
+	// loadedIDs is the sorted live-id column of the v4 file this index
+	// was loaded from (nil for dense files and built indexes); WriteTo
+	// re-emits it when an immutable sparse index is re-serialized.
+	loadedIDs []uint32
 }
 
 // ErrNoPolygons is returned when BuildIndex is called with no polygons.
@@ -431,6 +463,7 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 		interleave:     opts.Interleave,
 		pl:             pl,
 		mutable:        true,
+		srcComplete:    true,
 		deltaThreshold: threshold,
 	}
 	// Retain the caller's polygons (pointers, not copies) as the source of
@@ -438,9 +471,18 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 	// caller appending to theirs cannot race the mutation layer.
 	ix.sources = make([]*geo.Polygon, len(polygons))
 	copy(ix.sources, polygons)
+	ix.alive = make([]bool, len(polygons))
+	for i := range ix.alive {
+		ix.alive[i] = true
+	}
 	ix.liveCount.Store(int64(len(polygons)))
 	ix.idSpace.Store(int64(len(polygons)))
 	ix.live.Swap(&epoch{trie: trie, store: store, stats: stats})
+	if opts.WAL != nil {
+		if err := ix.attachWAL(*opts.WAL); err != nil {
+			return nil, err
+		}
+	}
 	return ix, nil
 }
 

@@ -12,6 +12,8 @@
 //	                                      # vs the scalar walk, per fanout
 //	actbench -experiment delta            # live-mutation overhead: merged
 //	                                      # base+delta lookups vs pure base
+//	actbench -experiment wal              # durability: mutation throughput
+//	                                      # per fsync policy + replay cost
 //	actbench -experiment ablation         # design-choice ablations
 //	actbench -experiment all              # everything
 //
@@ -46,7 +48,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig3 | scale (alias fig4) | exact | interleave | delta | ablation | all")
+	experiment := flag.String("experiment", "all", "table1 | fig3 | scale (alias fig4) | exact | interleave | delta | wal | ablation | all")
 	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
 	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
@@ -154,10 +156,14 @@ func main() {
 	// mutation subsystem's tracked artefact (merged-lookup overhead per
 	// delta fraction, and the post-compaction recovery).
 	measured("delta", "5", func() ([]bench.Record, error) { return bench.RunDelta(w, cfg) })
+	// The wal experiment's records land in BENCH_7.json: the durability
+	// subsystem's tracked artefact (mutation throughput per fsync policy,
+	// and recovery time versus replayed log length).
+	measured("wal", "7", func() ([]bench.Record, error) { return bench.RunWAL(w, cfg) })
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
-	case "table1", "fig3", "scale", "exact", "interleave", "delta", "ablation", "all":
+	case "table1", "fig3", "scale", "exact", "interleave", "delta", "wal", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

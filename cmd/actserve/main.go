@@ -43,7 +43,18 @@
 // rebuild of /reload. Both endpoints honour -reload-token. /stats reports
 // the mutation layer (livePolygons, deltaPolygons, tombstones,
 // compactions). Indexes started from -index files are immutable (409);
-// start from -polygons to serve mutations.
+// start from -polygons (or -wal) to serve mutations.
+//
+// -wal makes the mutations durable: every accepted insert and remove is
+// appended to the write-ahead log before the response is written (fsync
+// cadence per -fsync), and on restart the log tail is replayed so the
+// served polygon set picks up exactly where the crashed process left off.
+// With both -wal and -index, the index file doubles as the checkpoint
+// snapshot: each compaction atomically rewrites it and truncates the log,
+// and startup resumes from snapshot + log tail (act.Recover) when the file
+// exists — falling back to a fresh -polygons build (with log replay on
+// top) when it does not. /stats reports the log position (walSeq,
+// walBytes, lastFsyncMillis, recoveredRecords).
 //
 // The index is held in an act.Swappable; handlers load it once per
 // request, so every request sees one consistent index. On SIGINT/SIGTERM
@@ -68,17 +79,28 @@ import (
 
 func main() {
 	polyFile := flag.String("polygons", "", "GeoJSON file with the polygon set")
-	indexFile := flag.String("index", "", "serialized index file (alternative to -polygons)")
+	indexFile := flag.String("index", "", "serialized index file (alternative to -polygons; with -wal, the checkpoint snapshot path)")
 	precision := flag.Float64("precision", 4, "precision bound ε in meters")
 	gridFlag := flag.String("grid", "planar", "hierarchical grid: planar | cubeface")
 	addr := flag.String("addr", ":8080", "listen address")
 	drain := flag.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	reloadToken := flag.String("reload-token", "", "bearer token required by POST /reload (empty: no auth; only safe on trusted listeners)")
 	pprofFlag := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (profiling; only safe on trusted listeners)")
+	walFile := flag.String("wal", "", "write-ahead log file: mutations are logged before acknowledgement and replayed on restart")
+	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
+	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence for -fsync interval")
 	flag.Parse()
 
-	if (*polyFile == "") == (*indexFile == "") {
+	// Without a WAL, exactly one source; with one, -polygons and -index
+	// compose (build source and checkpoint snapshot), but at least one of
+	// them must say where the polygons come from.
+	if *walFile == "" && (*polyFile == "") == (*indexFile == "") {
 		fmt.Fprintln(os.Stderr, "actserve: exactly one of -polygons and -index is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *walFile != "" && *polyFile == "" && *indexFile == "" {
+		fmt.Fprintln(os.Stderr, "actserve: -wal needs -polygons (build source) and/or -index (snapshot)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -87,11 +109,42 @@ func main() {
 		fmt.Fprintf(os.Stderr, "actserve: %v\n", err)
 		os.Exit(2)
 	}
+	fsync, err := parseFsyncPolicy(*fsyncFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actserve: %v\n", err)
+		os.Exit(2)
+	}
 
-	var idx *act.Index
-	if *indexFile != "" {
+	var (
+		idx       *act.Index
+		recovered bool
+	)
+	switch {
+	case *walFile != "":
+		if *indexFile != "" {
+			if _, statErr := os.Stat(*indexFile); statErr == nil {
+				// A checkpoint snapshot exists: resume from it plus the log
+				// tail. The snapshot, not -polygons, is authoritative — it
+				// already folds in every checkpointed mutation.
+				idx, err = act.Recover(*indexFile, *walFile,
+					act.WithWAL(act.WALConfig{Policy: fsync, Interval: *fsyncEvery}))
+				recovered = true
+				break
+			}
+		}
+		if *polyFile == "" {
+			log.Fatalf("actserve: snapshot %s does not exist and no -polygons to build from", *indexFile)
+		}
+		idx, err = buildFromGeoJSON(*polyFile, *precision, gk,
+			act.WithWAL(act.WALConfig{
+				Path:         *walFile,
+				SnapshotPath: *indexFile,
+				Policy:       fsync,
+				Interval:     *fsyncEvery,
+			}))
+	case *indexFile != "":
 		idx, err = loadIndexFile(*indexFile)
-	} else {
+	default:
 		idx, err = buildFromGeoJSON(*polyFile, *precision, gk)
 	}
 	if err != nil {
@@ -100,13 +153,17 @@ func main() {
 	st := idx.Stats()
 	log.Printf("actserve: %d polygons, %d cells, %.1f MB, ε=%.1fm, listening on %s",
 		st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6, idx.PrecisionMeters(), *addr)
+	if ws := idx.WALStats(); ws.Enabled {
+		log.Printf("actserve: wal %s (fsync=%s): seq %d, %d records replayed",
+			*walFile, fsync, ws.Seq, ws.RecoveredRecords)
+	}
 
 	// Reload defaults follow what is actually being served: for -index,
 	// the loaded index's own precision and grid (the -precision/-grid
 	// flags only parameterize builds), so a plain {"polygons":...} reload
 	// cannot silently change the service's precision guarantee.
 	defaults := BuildDefaults{Precision: *precision, Grid: gk}
-	if *indexFile != "" {
+	if recovered || (*walFile == "" && *indexFile != "") {
 		defaults = BuildDefaults{Precision: idx.PrecisionMeters(), Grid: idx.GridKind()}
 	}
 	indexes := act.NewSwappable(idx)
@@ -137,6 +194,11 @@ func main() {
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Printf("actserve: %v", err)
+	}
+	// Close the startup index so an attached WAL flushes its tail and a
+	// reopened log sees a clean shutdown (zero records to replay).
+	if err := idx.Close(); err != nil {
+		log.Printf("actserve: closing index: %v", err)
 	}
 	log.Printf("actserve: drained, exiting")
 }

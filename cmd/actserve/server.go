@@ -39,7 +39,11 @@ type Server struct {
 	// otherwise trusted listener it must be set (or the endpoints fronted
 	// by real access control).
 	ReloadToken string
-	mux         *http.ServeMux
+	// MaxPolygonBytes caps a POST /polygons body; requests beyond it get
+	// 413. NewServer sets the default (maxPolygonBody); lower it on
+	// listeners where a 64 MB GeoJSON upload is not a legitimate request.
+	MaxPolygonBytes int64
+	mux             *http.ServeMux
 	// reloadMu serializes reloads: one in-flight rebuild at a time, while
 	// lookups and joins keep serving the current index.
 	reloadMu sync.Mutex
@@ -51,9 +55,10 @@ type Server struct {
 // NewServer wires the routes around the swappable index holder.
 func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
 	s := &Server{
-		indexes:  indexes,
-		defaults: defaults,
-		mux:      http.NewServeMux(),
+		indexes:         indexes,
+		defaults:        defaults,
+		MaxPolygonBytes: maxPolygonBody,
+		mux:             http.NewServeMux(),
 		pool: sync.Pool{
 			New: func() any { return &act.Result{} },
 		},
@@ -103,8 +108,23 @@ func parseGridKind(name string) (act.GridKind, error) {
 	}
 }
 
-// buildFromGeoJSON reads a polygon file and builds a fresh index.
-func buildFromGeoJSON(path string, precision float64, gk act.GridKind) (*act.Index, error) {
+// parseFsyncPolicy maps the -fsync flag spelling to the WAL policy.
+func parseFsyncPolicy(name string) (act.FsyncPolicy, error) {
+	switch name {
+	case "", "always":
+		return act.SyncAlways, nil
+	case "interval":
+		return act.SyncInterval, nil
+	case "off":
+		return act.SyncOff, nil
+	default:
+		return 0, fmt.Errorf("unknown fsync policy %q (want always, interval, or off)", name)
+	}
+}
+
+// buildFromGeoJSON reads a polygon file and builds a fresh index; extra
+// options (e.g. a WAL attachment) are applied on top of the build shape.
+func buildFromGeoJSON(path string, precision float64, gk act.GridKind, extra ...act.Option) (*act.Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -114,7 +134,8 @@ func buildFromGeoJSON(path string, precision float64, gk act.GridKind) (*act.Ind
 	if err != nil {
 		return nil, err
 	}
-	return act.New(polys, act.WithPrecision(precision), act.WithGrid(gk))
+	opts := append([]act.Option{act.WithPrecision(precision), act.WithGrid(gk)}, extra...)
+	return act.New(polys, opts...)
 }
 
 // loadIndexFile opens an index written with Index.WriteTo for serving.
@@ -310,7 +331,8 @@ func (s *Server) authorized(r *http.Request) bool {
 		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.ReloadToken)) == 1
 }
 
-// maxPolygonBody bounds a POST /polygons GeoJSON body.
+// maxPolygonBody is the default bound on a POST /polygons GeoJSON body
+// (Server.MaxPolygonBytes overrides it per instance).
 const maxPolygonBody = 64 << 20
 
 // insertResponse reports the polygons absorbed by POST /polygons.
@@ -340,8 +362,13 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "unauthorized", http.StatusUnauthorized)
 		return
 	}
-	polys, err := geojson.ReadPolygons(http.MaxBytesReader(w, r.Body, maxPolygonBody))
+	polys, err := geojson.ReadPolygons(http.MaxBytesReader(w, r.Body, s.MaxPolygonBytes))
 	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+			return
+		}
 		http.Error(w, "bad GeoJSON body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -540,6 +567,19 @@ type statsResponse struct {
 	DeltaPolygons int    `json:"deltaPolygons"`
 	Tombstones    int    `json:"tombstones"`
 	Compactions   uint64 `json:"compactions"`
+	// WALEnabled reports whether the live index has a write-ahead log; the
+	// fields after it are zero/-1 when it does not.
+	WALEnabled bool `json:"walEnabled"`
+	// WALSeq is the sequence number of the last logged mutation; WALBytes
+	// the current log file length.
+	WALSeq   uint64 `json:"walSeq"`
+	WALBytes int64  `json:"walBytes"`
+	// LastFsyncMillis is the Unix-milli wall time of the log's last
+	// successful fsync, or -1 if it has never fsynced (e.g. -fsync off).
+	LastFsyncMillis int64 `json:"lastFsyncMillis"`
+	// RecoveredRecords is the number of log records replayed when the live
+	// index came up — 0 after a clean shutdown or a fresh start.
+	RecoveredRecords int `json:"recoveredRecords"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -548,6 +588,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	idx, gen := s.indexes.LoadGeneration()
 	st := idx.Stats()
 	ds := idx.DeltaStats()
+	ws := idx.WALStats()
+	lastFsync := int64(-1)
+	if !ws.LastSync.IsZero() {
+		lastFsync = ws.LastSync.UnixMilli()
+	}
 	writeJSON(w, statsResponse{
 		NumPolygons:             st.NumPolygons,
 		IndexedCells:            st.IndexedCells,
@@ -564,6 +609,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		DeltaPolygons:           ds.DeltaPolygons,
 		Tombstones:              ds.Tombstones,
 		Compactions:             ds.Compactions,
+		WALEnabled:              ws.Enabled,
+		WALSeq:                  ws.Seq,
+		WALBytes:                ws.Bytes,
+		LastFsyncMillis:         lastFsync,
+		RecoveredRecords:        ws.RecoveredRecords,
 	})
 }
 

@@ -815,3 +815,77 @@ func TestMmapServeAndReloadRace(t *testing.T) {
 		t.Errorf("DELETE on mapped index: status %d, want 409", rec.Code)
 	}
 }
+
+// TestInsertBodyCap: a POST /polygons body beyond Server.MaxPolygonBytes is
+// refused with 413 before any polygon is parsed, and a body under the cap
+// still inserts.
+func TestInsertBodyCap(t *testing.T) {
+	s, _ := mutationServer(t, -1)
+	s.MaxPolygonBytes = 256
+
+	small := churnGeoJSON(0)
+	if len(small) > 256 {
+		t.Fatalf("test fixture is %d bytes, want <= 256", len(small))
+	}
+	if rec := do(t, s, http.MethodPost, "/polygons", small); rec.Code != http.StatusOK {
+		t.Fatalf("under-cap insert status %d: %s", rec.Code, rec.Body)
+	}
+
+	big := `{"type":"Polygon","coordinates":[[` + strings.Repeat("[0,0],", 100) + `[0,0]]]}`
+	if len(big) <= 256 {
+		t.Fatalf("oversize fixture is only %d bytes", len(big))
+	}
+	rec := do(t, s, http.MethodPost, "/polygons", big)
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("over-cap insert status %d, want 413: %s", rec.Code, rec.Body)
+	}
+	// The cap must not have let the oversize body mutate the index.
+	var st statsResponse
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.DeltaPolygons != 1 {
+		t.Fatalf("deltaPolygons = %d after rejected insert, want 1", st.DeltaPolygons)
+	}
+}
+
+// TestStatsDurabilityFields: /stats reports the WAL position for a
+// log-attached index and inert values for one without.
+func TestStatsDurabilityFields(t *testing.T) {
+	s, _ := testServer(t)
+	var st statsResponse
+	if err := json.Unmarshal(get(t, s, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.WALEnabled || st.WALSeq != 0 || st.LastFsyncMillis != -1 || st.RecoveredRecords != 0 {
+		t.Fatalf("no-WAL stats = %+v, want inert durability fields", st)
+	}
+
+	zone := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.70, Lng: -74.02}, {Lat: 40.70, Lng: -73.96},
+		{Lat: 40.76, Lng: -73.96}, {Lat: 40.76, Lng: -74.02},
+	}}
+	walPath := filepath.Join(t.TempDir(), "serve.wal")
+	idx, err := act.New([]*act.Polygon{zone},
+		act.WithPrecision(10), act.WithDeltaThreshold(-1),
+		act.WithWAL(act.WALConfig{Path: walPath}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	ws := NewServer(act.NewSwappable(idx), BuildDefaults{Precision: 10})
+
+	if rec := do(t, ws, http.MethodPost, "/polygons", churnGeoJSON(0)); rec.Code != http.StatusOK {
+		t.Fatalf("insert status %d: %s", rec.Code, rec.Body)
+	}
+	if err := json.Unmarshal(get(t, ws, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.WALEnabled || st.WALSeq != 1 || st.WALBytes <= 0 || st.RecoveredRecords != 0 {
+		t.Fatalf("WAL stats after insert = %+v", st)
+	}
+	// SyncAlways: the insert was fsynced before it was acknowledged.
+	if st.LastFsyncMillis <= 0 {
+		t.Fatalf("lastFsyncMillis = %d under SyncAlways", st.LastFsyncMillis)
+	}
+}

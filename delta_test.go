@@ -344,7 +344,8 @@ func TestMutationAPIContract(t *testing.T) {
 		t.Fatalf("Compact on deserialized index: %v", err)
 	}
 
-	// Remove errors and the permanent sparse-id-space gate.
+	// Remove errors, and a sparse id space serializes as v4 (it used to be
+	// the permanent ErrSparseIDSpace gate).
 	if err := idx.Remove(ctx, 99); !errors.Is(err, act.ErrUnknownPolygon) {
 		t.Fatalf("Remove unknown id: %v", err)
 	}
@@ -357,8 +358,16 @@ func TestMutationAPIContract(t *testing.T) {
 	if err := idx.Compact(ctx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := idx.WriteTo(&bytes.Buffer{}); !errors.Is(err, act.ErrSparseIDSpace) {
+	var sparse bytes.Buffer
+	if _, err := idx.WriteTo(&sparse); err != nil {
 		t.Fatalf("WriteTo with id-space holes: %v", err)
+	}
+	sparseLoaded, err := act.ReadIndex(bytes.NewReader(sparse.Bytes()))
+	if err != nil {
+		t.Fatalf("reading sparse (v4) index: %v", err)
+	}
+	if got, want := sparseLoaded.Stats().NumPolygons, idx.Stats().NumPolygons; got != want {
+		t.Fatalf("sparse round trip: %d live polygons, want %d", got, want)
 	}
 
 	// Cancelled contexts abort mutations before they land.

@@ -1,0 +1,399 @@
+package act
+
+// Durability: the checkpoint + log pair behind a crash-safe mutable index.
+//
+// An index built with WithWAL appends every Insert and Remove to a
+// write-ahead delta log (internal/wal) before the mutation is acknowledged
+// or served; a crashed process rebuilds deterministically by loading its
+// last base state and replaying the log tail — either New with the same
+// polygon set and the same WAL (the log replays onto the fresh build), or
+// Recover, which loads a serialized snapshot and replays on top of it.
+// Compaction closes the loop: when a snapshot path is configured, every
+// compaction atomically writes the fresh base to it and rotates the log,
+// so the log length is bounded by the churn between compactions.
+//
+// Replay is idempotent, keyed on the fact that polygon ids are never
+// reused: an insert record whose id already exists in the base is skipped
+// (the snapshot is newer than the log's checkpoint floor — the legal crash
+// window between snapshot publication and log rotation), an insert that
+// would leave an id gap is corruption, and a remove of an id that is not
+// alive is skipped. A torn final record — the expected shape of a crash
+// mid-append — is detected by its CRC and truncated away.
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"github.com/actindex/act/internal/cover"
+	"github.com/actindex/act/internal/delta"
+	"github.com/actindex/act/internal/geojson"
+	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/grid"
+	"github.com/actindex/act/internal/wal"
+)
+
+// FsyncPolicy selects when the write-ahead log forces appended records to
+// stable storage.
+type FsyncPolicy int
+
+const (
+	// SyncAlways fsyncs after every mutation (the default): no
+	// acknowledged Insert or Remove is ever lost, at the price of one disk
+	// flush per mutation.
+	SyncAlways FsyncPolicy = iota
+	// SyncInterval fsyncs on a background cadence (WALConfig.Interval,
+	// default 100ms): a crash loses at most one interval of acknowledged
+	// mutations.
+	SyncInterval
+	// SyncOff never fsyncs: records are written through to the kernel
+	// (surviving a process crash) but an OS crash or power loss can drop
+	// the tail still in the page cache.
+	SyncOff
+)
+
+// String implements fmt.Stringer.
+func (p FsyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+// walPolicy maps the public policy onto the log's.
+func (p FsyncPolicy) walPolicy() (wal.Policy, error) {
+	switch p {
+	case SyncAlways:
+		return wal.SyncAlways, nil
+	case SyncInterval:
+		return wal.SyncInterval, nil
+	case SyncOff:
+		return wal.SyncOff, nil
+	default:
+		return 0, fmt.Errorf("act: unknown fsync policy %d", int(p))
+	}
+}
+
+// WALConfig configures the write-ahead delta log attached by [WithWAL] and
+// [Recover].
+type WALConfig struct {
+	// Path is the log file, created if absent. Records left in it by a
+	// previous process are replayed when the index comes up. Required by
+	// WithWAL; ignored by Recover (which takes the path as an argument).
+	Path string
+	// SnapshotPath, when set, makes every compaction a checkpoint: the
+	// freshly compacted base is written to this path atomically
+	// (temp file + rename) and the log is truncated down to the mutations
+	// the snapshot does not cover. The written file is a regular index
+	// file — OpenIndex serves it, Recover resumes from it. When empty,
+	// compactions never truncate the log; replay then depends on
+	// rebuilding the same base (New with the same polygon set), and the
+	// log grows with total churn rather than churn-since-checkpoint.
+	SnapshotPath string
+	// Policy is the fsync policy (default SyncAlways).
+	Policy FsyncPolicy
+	// Interval is the SyncInterval flush cadence (default 100ms); ignored
+	// by the other policies.
+	Interval time.Duration
+}
+
+// WALStats is a point-in-time snapshot of the attached log's durability
+// counters; the zero value means no WAL is attached.
+type WALStats struct {
+	// Enabled reports whether the index has a write-ahead log attached.
+	Enabled bool
+	// Seq is the sequence number of the last logged (or recovered)
+	// mutation; BaseSeq the checkpoint floor — mutations at or below it
+	// are covered by the last checkpoint snapshot.
+	Seq     uint64
+	BaseSeq uint64
+	// Bytes is the current log file length.
+	Bytes int64
+	// LastSync is the wall time of the last successful fsync (zero if the
+	// log has never been fsynced).
+	LastSync time.Time
+	// Checkpoints counts log rotations since the log was attached.
+	Checkpoints uint64
+	// RecoveredRecords is the number of log records replayed when the
+	// index came up — 0 after a clean shutdown or a fresh start.
+	RecoveredRecords int
+}
+
+// WALStats returns the attached write-ahead log's durability counters, or
+// the zero value when the index has none.
+func (ix *Index) WALStats() WALStats {
+	if ix.wal == nil {
+		return WALStats{}
+	}
+	st := ix.wal.Stats()
+	return WALStats{
+		Enabled:          true,
+		Seq:              st.Seq,
+		BaseSeq:          st.BaseSeq,
+		Bytes:            st.Bytes,
+		LastSync:         st.LastSync,
+		Checkpoints:      st.Checkpoints,
+		RecoveredRecords: ix.walRecovered,
+	}
+}
+
+// Recover loads the base snapshot at indexPath, opens the write-ahead log
+// at walPath, and deterministically replays the log's tail on top of the
+// snapshot: the result serves exactly the polygon set of the crashed
+// process's last acknowledged mutation (under SyncAlways; weaker fsync
+// policies can lose their documented tail). A torn final record — the
+// normal residue of a crash mid-append — is truncated away.
+//
+// The recovered index is mutable: Insert and Remove work (and keep
+// appending to the same log, so repeated crash/recover cycles compose),
+// and indexPath doubles as the checkpoint snapshot target. It does not,
+// however, carry the original polygon set, so Compact reports
+// [ErrNoSources] — replayed mutations stay in the delta layer until a
+// process that builds from sources (New with WithWAL) takes over.
+// Replay uses the index's persisted precision, grid, and fanout with
+// standard refinement; adaptive-refinement settings (query sample, cell
+// budget) are not persisted and do not apply to replayed inserts.
+//
+// Options are honored where they apply (WithInterleave,
+// WithDeltaThreshold, WithBuildWorkers, and a WithWAL carrying the fsync
+// policy for the reattached log — its Path and SnapshotPath fields are
+// ignored here); build-shape options like WithPrecision are ignored, since
+// the snapshot fixes them.
+func Recover(indexPath, walPath string, opts ...Option) (*Index, error) {
+	var o Options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	ix, err := OpenIndex(indexPath)
+	if err != nil {
+		return nil, fmt.Errorf("act: recover: loading snapshot: %w", err)
+	}
+	if err := ix.promoteMutable(&o); err != nil {
+		ix.Close()
+		return nil, fmt.Errorf("act: recover: %w", err)
+	}
+	cfg := WALConfig{Path: walPath, SnapshotPath: indexPath}
+	if o.WAL != nil {
+		cfg.Policy = o.WAL.Policy
+		cfg.Interval = o.WAL.Interval
+	}
+	if err := ix.attachWAL(cfg); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	return ix, nil
+}
+
+// promoteMutable turns a freshly deserialized (immutable) index into a
+// mutable one: the build pipeline is reconstructed from the persisted
+// precision, grid, and fanout, and the alive set from the id column (dense
+// for v1–v3 files, the explicit column for v4). sources stays nil — the
+// original polygons are not recoverable from a snapshot — so the index
+// mutates but cannot compact.
+func (ix *Index) promoteMutable(o *Options) error {
+	ep := ix.live.Load()
+	coverer, err := cover.NewCoverer(ix.grid, ix.precision)
+	if err != nil {
+		return fmt.Errorf("reconstructing coverer: %w", err)
+	}
+	workers := o.BuildWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ix.pl = pipeline{
+		grid:    ix.grid,
+		coverer: coverer,
+		fanout:  ep.trie.Fanout(),
+		workers: workers,
+		hasGeom: ep.store != nil,
+	}
+	ix.interleave = o.Interleave
+	if o.DeltaThreshold != 0 {
+		ix.deltaThreshold = o.DeltaThreshold
+	}
+	ix.mutable = true
+	ix.alive = make([]bool, ix.idSpace.Load())
+	if ix.loadedIDs != nil {
+		for _, id := range ix.loadedIDs {
+			ix.alive[id] = true
+		}
+	} else {
+		for i := range ix.alive {
+			ix.alive[i] = true
+		}
+	}
+	return nil
+}
+
+// attachWAL opens (or creates) the configured log, replays any records a
+// previous process left in it, and wires the log into the mutation path.
+// Called at construction, before the index is shared.
+func (ix *Index) attachWAL(cfg WALConfig) error {
+	if cfg.Path == "" {
+		return errors.New("act: WAL config needs a Path")
+	}
+	pol, err := cfg.Policy.walPolicy()
+	if err != nil {
+		return err
+	}
+	log, rep, err := wal.Open(cfg.Path, wal.Options{Policy: pol, Interval: cfg.Interval})
+	if err != nil {
+		return fmt.Errorf("act: opening WAL %s: %w", cfg.Path, err)
+	}
+	if err := ix.replayRecords(rep.Records); err != nil {
+		log.Close()
+		return fmt.Errorf("act: replaying WAL %s: %w", cfg.Path, err)
+	}
+	// Resume the mutation sequence past everything the log has seen, so
+	// new records never collide with replayed (or checkpoint-covered)
+	// ones.
+	if st := log.Stats(); st.Seq > ix.seq {
+		ix.seq = st.Seq
+	}
+	ix.wal = log
+	ix.walRecovered = len(rep.Records)
+	ix.snapshotPath = cfg.SnapshotPath
+	return nil
+}
+
+// replayRecords applies recovered log records to a just-constructed index:
+// inserts are re-covered through the index's own pipeline and batched into
+// one delta overlay (built once — per-record overlay rebuilds would be
+// quadratic), removes tombstone. Replay is idempotent against the base:
+// records the base already contains are skipped, so the same log replays
+// correctly over a fresh build, the previous checkpoint snapshot, or a
+// snapshot that was published moments before the log was rotated.
+func (ix *Index) replayRecords(records []wal.Record) error {
+	if len(records) == 0 {
+		return nil
+	}
+	alive := ix.alive
+	live := ix.liveCount.Load()
+	var polys []delta.Poly
+	var tombs map[uint32]uint64
+	for i, rec := range records {
+		switch rec.Type {
+		case wal.TypeInsert:
+			if int(rec.ID) < len(alive) {
+				continue // already in the base: snapshot newer than the floor
+			}
+			if int(rec.ID) != len(alive) {
+				return fmt.Errorf("record %d: insert id %d would leave a gap (id space is %d)", i, rec.ID, len(alive))
+			}
+			ps, err := geojson.ReadPolygons(bytes.NewReader(rec.Data))
+			if err != nil {
+				return fmt.Errorf("record %d (insert %d): %w", i, rec.ID, err)
+			}
+			if len(ps) != 1 {
+				return fmt.Errorf("record %d (insert %d): record carries %d polygons, want 1", i, rec.ID, len(ps))
+			}
+			p := ps[0]
+			cov, err := ix.pl.cover(p)
+			if err != nil {
+				return fmt.Errorf("record %d (insert %d): %w", i, rec.ID, err)
+			}
+			var gp *geom.Polygon
+			if ix.pl.hasGeom {
+				if _, gp, err = grid.ProjectPolygon(ix.grid, p); err != nil {
+					return fmt.Errorf("record %d (insert %d): %w", i, rec.ID, err)
+				}
+			}
+			polys = append(polys, delta.Poly{ID: rec.ID, Cov: cov, Geom: gp, Seq: rec.Seq})
+			alive = append(alive, true)
+			if ix.srcComplete {
+				ix.sources = append(ix.sources, p)
+			}
+			live++
+		case wal.TypeRemove:
+			if int(rec.ID) >= len(alive) || !alive[rec.ID] {
+				continue // already gone: removal predates the snapshot
+			}
+			alive[rec.ID] = false
+			if ix.srcComplete {
+				ix.sources[rec.ID] = nil
+			}
+			live--
+			// Mirror Overlay.WithRemove: a removed delta polygon is
+			// dropped from the delta set, the tombstone kept either way.
+			for j, dp := range polys {
+				if dp.ID == rec.ID {
+					polys = append(polys[:j], polys[j+1:]...)
+					break
+				}
+			}
+			if tombs == nil {
+				tombs = make(map[uint32]uint64)
+			}
+			tombs[rec.ID] = rec.Seq
+		default:
+			return fmt.Errorf("record %d: unexpected record type %d", i, rec.Type)
+		}
+		if rec.Seq > ix.seq {
+			ix.seq = rec.Seq
+		}
+	}
+	ov, err := delta.New(ix.pl.fanout, polys, tombs)
+	if err != nil {
+		return err
+	}
+	ix.alive = alive
+	ix.idSpace.Store(int64(len(alive)))
+	ix.liveCount.Store(live)
+	if ov != nil {
+		ep := ix.live.Load()
+		ix.live.Swap(&epoch{trie: ep.trie, store: ep.store, ov: ov, stats: ep.stats})
+	}
+	return nil
+}
+
+// stageSnapshot writes a checkpoint snapshot of ep to a temp file next to
+// path, fsyncs it, and returns the temp name; commitSnapshot publishes it.
+// Splitting the two lets the expensive write run outside the mutation lock
+// while the cheap rename + log rotation run inside it.
+func stageSnapshot(path string, ep *epoch, kind GridKind, precision float64, ids []uint32, idSpace int64) (string, error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return "", err
+	}
+	if _, err := writeFlat(tmp, ep, kind, precision, ids, idSpace); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return tmp.Name(), nil
+}
+
+// commitSnapshot atomically publishes a staged snapshot: rename over the
+// target, then fsync the directory so the new link is durable. After this
+// returns, a crash at any point leaves a complete snapshot at path.
+func commitSnapshot(tmp, path string) error {
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -169,6 +169,17 @@ type Record struct {
 	LoadMillis *float64 `json:"loadMillis,omitempty"`
 	NumCPU     int      `json:"numCPU,omitempty"`
 	ScaleX     *float64 `json:"scaleX,omitempty"`
+	// Durability accounting, filled only by the wal experiment: WALPolicy
+	// is the fsync policy of the row ("none" = the log-free baseline),
+	// WALRecords the log length the row exercised (mutations applied, or
+	// records replayed), MutationsPerSec the acknowledged-mutation rate,
+	// and RecoverMillis the restart cost (build + replay) of a log that
+	// long. Pointers for the same reason as the refinement fields: a
+	// measured zero must survive serialization.
+	WALPolicy       string   `json:"walPolicy,omitempty"`
+	WALRecords      int      `json:"walRecords,omitempty"`
+	MutationsPerSec *float64 `json:"mutationsPerSec,omitempty"`
+	RecoverMillis   *float64 `json:"recoverMillis,omitempty"`
 }
 
 // record converts join stats into a Record.

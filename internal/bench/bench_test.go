@@ -205,6 +205,38 @@ func TestExperimentRunnersSmoke(t *testing.T) {
 			t.Errorf("delta row missing mutation accounting: %+v", r)
 		}
 	}
+
+	// The wal experiment, shrunk to smoke size: RunWAL itself asserts the
+	// replayed-record counts, so the smoke checks shape and accounting.
+	savedMut, savedLens := walMutations, walReplayLengths
+	walMutations, walReplayLengths = 8, []int{0, 8}
+	defer func() { walMutations, walReplayLengths = savedMut, savedLens }()
+	sb.Reset()
+	wrec, err := RunWAL(&sb, cfg)
+	if err != nil {
+		t.Fatalf("wal: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Durability") {
+		t.Error("wal output incomplete")
+	}
+	if want := len(walPolicies) + len(walReplayLengths); len(wrec) != want {
+		t.Errorf("wal produced %d records, want %d", len(wrec), want)
+	}
+	for _, r := range wrec {
+		if r.Experiment != "wal" || r.WALPolicy == "" {
+			t.Errorf("bad wal record %+v", r)
+		}
+		switch r.Joiner {
+		case "wal-replay":
+			if r.RecoverMillis == nil || *r.RecoverMillis <= 0 {
+				t.Errorf("wal replay row missing recovery accounting: %+v", r)
+			}
+		default:
+			if r.MutationsPerSec == nil || *r.MutationsPerSec <= 0 || r.WALRecords != walMutations {
+				t.Errorf("wal insert row missing mutation accounting: %+v", r)
+			}
+		}
+	}
 }
 
 func TestMeasureIndexJoin(t *testing.T) {

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geojson"
+	"github.com/actindex/act/internal/wal"
+)
+
+// walMutations is the insert count of one throughput measurement: large
+// enough that per-mutation cost dominates setup, small enough that the
+// SyncAlways row (one fsync per insert) stays within a smoke run. A var —
+// like walReplayLengths — so the test harness can shrink the experiment.
+var walMutations = 256
+
+// walReplayLengths are the log lengths (records) of the recovery-cost
+// curve; 0 is the no-replay baseline that isolates the build cost the
+// other rows include.
+var walReplayLengths = []int{0, 256, 1024, 4096}
+
+// walPolicies orders the fsync policies from strongest to weakest
+// guarantee, plus a no-WAL baseline ("none") that prices the log itself.
+var walPolicies = []struct {
+	name   string
+	policy act.FsyncPolicy
+	logged bool
+}{
+	{"none", 0, false},
+	{"always", act.SyncAlways, true},
+	{"interval", act.SyncInterval, true},
+	{"off", act.SyncOff, true},
+}
+
+// RunWAL measures the two durability costs of the write-ahead log. First,
+// mutation throughput per fsync policy: the same insert stream is applied
+// to an index without a WAL and to WAL-attached indexes under each policy,
+// so the rows read as "what one acknowledged mutation costs" — SyncAlways
+// pays a disk flush per insert, SyncInterval amortizes it, SyncOff only
+// pays the record write. Second, recovery time versus log length: a crash
+// is simulated at several log lengths and the restart (build + replay) is
+// timed, the curve that justifies checkpoint-on-compaction keeping logs
+// short. One Record per row lands in BENCH_7.json.
+func RunWAL(w io.Writer, cfg Config) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	section(w, "Durability: WAL mutation throughput and replay cost")
+
+	// The replay rows mutate with census blocks (realistic covering cost);
+	// the throughput rows use small synthetic zones so the log's own price
+	// is not drowned by the delta layer's per-insert overlay rebuild.
+	need := walReplayLengths[len(walReplayLengths)-1] + 512
+	// The generator drops a water fraction of the requested regions, so
+	// over-request and verify rather than reslice into thin air.
+	set, err := data.CensusBlocks(cfg.Seed, need*21/20+32)
+	if err != nil {
+		return nil, err
+	}
+	if len(set.Polygons) < need {
+		return nil, fmt.Errorf("wal: generator yielded %d polygons, need %d", len(set.Polygons), need)
+	}
+	base, rest := set.Polygons[:512], set.Polygons[512:]
+	const eps = 15 // middle of the harness's precision ladder
+
+	dir, err := os.MkdirTemp("", "actbench-wal")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+	var records []Record
+
+	fmt.Fprintf(w, "%-10s %10s %12s %14s\n", "fsync", "mutations", "elapsed", "mutations/s")
+	for i, pc := range walPolicies {
+		opts := []act.Option{act.WithPrecision(60), act.WithDeltaThreshold(-1)}
+		if pc.logged {
+			opts = append(opts, act.WithWAL(act.WALConfig{
+				Path:   filepath.Join(dir, fmt.Sprintf("policy-%d.wal", i)),
+				Policy: pc.policy,
+			}))
+		}
+		idx, err := act.New([]*act.Polygon{walZone(0)}, opts...)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		for m := 1; m <= walMutations; m++ {
+			if _, err := idx.Insert(ctx, walZone(m)); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start)
+		if err := idx.Close(); err != nil {
+			return nil, err
+		}
+		rate := float64(walMutations) / elapsed.Seconds()
+		rec := Record{
+			Experiment: "wal", Dataset: "zones", Joiner: "wal-insert-" + pc.name,
+			PrecisionM: 60, Threads: 1,
+			WALPolicy:       pc.name,
+			WALRecords:      walMutations,
+			MutationsPerSec: &rate,
+		}
+		records = append(records, rec)
+		fmt.Fprintf(w, "%-10s %10d %12s %14.0f\n", pc.name, walMutations, elapsed.Round(time.Millisecond), rate)
+	}
+
+	fmt.Fprintf(w, "\n%-12s %12s\n", "log records", "recover [ms]")
+	for _, n := range walReplayLengths {
+		// Fabricate the crashed process's log directly through the wal
+		// package (one insert record per polygon, ids continuing the base's
+		// id space) rather than via n live Inserts: the overlay rebuild an
+		// insert pays is quadratic in delta size and is not what this curve
+		// measures — only the restart is.
+		walPath := filepath.Join(dir, fmt.Sprintf("replay-%d.wal", n))
+		if err := fabricateLog(walPath, rest[:n], uint32(len(base))); err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		rec, err := act.New(base,
+			act.WithPrecision(eps), act.WithDeltaThreshold(-1),
+			act.WithWAL(act.WALConfig{Path: walPath, Policy: act.SyncOff}))
+		if err != nil {
+			return nil, err
+		}
+		ms := float64(time.Since(start).Microseconds()) / 1e3
+		if got := rec.WALStats().RecoveredRecords; got != n {
+			return nil, fmt.Errorf("wal: replay of %d-record log recovered %d", n, got)
+		}
+		if err := rec.Close(); err != nil {
+			return nil, err
+		}
+		records = append(records, Record{
+			Experiment: "wal", Dataset: set.Name, Joiner: "wal-replay",
+			PrecisionM: eps, Threads: 1,
+			WALPolicy:     "off",
+			WALRecords:    n,
+			RecoverMillis: &ms,
+		})
+		fmt.Fprintf(w, "%-12d %12.1f\n", n, ms)
+	}
+
+	fmt.Fprintln(w, "\nShape: SyncAlways prices one flush per acknowledged mutation; interval")
+	fmt.Fprintln(w, "and off converge on the no-WAL rate. Replay cost is linear in the log")
+	fmt.Fprintln(w, "tail, which checkpoint-on-compaction bounds by churn-since-checkpoint.")
+	return records, nil
+}
+
+// walZone returns a small square zone — the unit of mutation traffic in
+// the throughput rows, cheap enough to cover that the log dominates.
+func walZone(i int) *act.Polygon {
+	lat := 40.0 + float64(i%100)*0.02
+	lng := -74.0 + float64(i/100)*0.02
+	return &act.Polygon{Outer: []act.LatLng{
+		{Lat: lat, Lng: lng}, {Lat: lat, Lng: lng + 0.01},
+		{Lat: lat + 0.01, Lng: lng + 0.01}, {Lat: lat + 0.01, Lng: lng},
+	}}
+}
+
+// fabricateLog writes a fresh log of insert records (ids continuing at
+// nextID, the shape a crashed process leaves behind) for the replay rows.
+func fabricateLog(path string, polys []*act.Polygon, nextID uint32) error {
+	if err := os.RemoveAll(path); err != nil {
+		return err
+	}
+	l, _, err := wal.Open(path, wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	for i, p := range polys {
+		var buf bytes.Buffer
+		if err := geojson.WritePolygons(&buf, []*act.Polygon{p}); err != nil {
+			return err
+		}
+		rec := wal.Record{Type: wal.TypeInsert, Seq: uint64(i + 1), ID: nextID + uint32(i), Data: buf.Bytes()}
+		if err := l.Append(rec); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}

@@ -104,6 +104,18 @@ func build(fanout int, polys []Poly, tombs map[uint32]uint64) (*Overlay, error) 
 	return o, nil
 }
 
+// New assembles an overlay snapshot from a batch of delta polygons and
+// tombstones in one shot — the bulk counterpart to chaining WithInsert and
+// WithRemove, used by write-ahead-log replay, where rebuilding the delta
+// trie once per replayed record would be quadratic. polys must be in
+// insertion (ascending id) order and must not contain polygons whose id is
+// tombstoned (mirroring what the incremental path maintains: WithRemove
+// drops a removed delta polygon and keeps only its tombstone). Both
+// arguments are retained, not copied. Returns nil for an empty batch.
+func New(fanout int, polys []Poly, tombs map[uint32]uint64) (*Overlay, error) {
+	return build(fanout, polys, tombs)
+}
+
 // WithInsert returns a new overlay with p added to the delta layer. The
 // receiver may be nil (inserting into a clean index); fanout then sizes
 // the new delta trie's nodes and must match the base trie's fanout.

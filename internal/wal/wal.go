@@ -1,0 +1,558 @@
+// Package wal implements the write-ahead delta log behind a durable ACT
+// index: an append-only file of length-prefixed, per-record-CRC'd mutation
+// records (inserts carrying the polygon's GeoJSON and assigned id, removes
+// carrying the id, checkpoints marking how far a snapshot reaches).
+//
+// The log is the durability half of a checkpoint+log pair. Every mutation
+// is appended — and, depending on the fsync policy, forced to stable
+// storage — before the in-memory epoch swings, so a crashed process can be
+// rebuilt deterministically: load the last snapshot, replay the log tail.
+// Compaction rotates the log (Checkpoint): records already covered by the
+// freshly written snapshot are dropped and the survivors move to a new log
+// file swung in by atomic rename, so the log length is bounded by the churn
+// between checkpoints, not the index lifetime.
+//
+// Torn tails are expected, not fatal: a crash mid-append leaves a final
+// record with a short or CRC-mismatching body. Open detects the first
+// invalid record, truncates the file back to the last valid boundary, and
+// reports how many bytes were dropped — the replayed prefix is exactly the
+// mutations that were fully on disk. Corruption *before* the tail is
+// handled the same way (scan stops at the first bad record); bytes after it
+// are unreachable garbage by construction, never silently reinterpreted.
+//
+// File layout (little endian):
+//
+//	header   "ACTW" | version u32 (=1) | baseSeq u64        16 bytes
+//	records  repeated:
+//	  length u32      payload byte count
+//	  crc    u32      CRC-32 (IEEE) of the payload
+//	  payload:
+//	    type u8       1=insert, 2=remove, 3=checkpoint
+//	    seq  u64      mutation sequence number
+//	    id   u32      polygon id (0 for checkpoints)
+//	    data ...      insert: the polygon's GeoJSON; otherwise empty
+//
+// baseSeq is the checkpoint floor: every mutation with seq ≤ baseSeq is
+// already contained in the snapshot this log pairs with. Rotation writes it
+// into the new header and additionally emits a checkpoint record, so a log
+// inspected with standalone tooling is self-describing.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Policy selects when appended records are fsynced to stable storage.
+type Policy uint8
+
+const (
+	// SyncAlways fsyncs after every append: no acknowledged mutation is
+	// ever lost, at the price of one disk flush per mutation.
+	SyncAlways Policy = iota
+	// SyncInterval fsyncs dirty data on a background cadence (Options.
+	// Interval, default 100ms): a crash loses at most one interval of
+	// acknowledged mutations. The usual throughput/durability trade.
+	SyncInterval
+	// SyncOff never fsyncs: records are written through to the kernel
+	// (surviving a process crash) but an OS crash or power loss can drop
+	// the page-cache tail. Fastest; for workloads where the index is
+	// rebuildable from upstream data.
+	SyncOff
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncInterval:
+		return "interval"
+	case SyncOff:
+		return "off"
+	default:
+		return fmt.Sprintf("Policy(%d)", uint8(p))
+	}
+}
+
+// Options configures a log.
+type Options struct {
+	// Policy is the fsync policy (default SyncAlways — durability is the
+	// point; callers opt into weaker guarantees explicitly).
+	Policy Policy
+	// Interval is the SyncInterval flush cadence (default 100ms).
+	Interval time.Duration
+}
+
+// Type tags a record.
+type Type uint8
+
+const (
+	// TypeInsert records a polygon insert: ID is the assigned id, Data the
+	// polygon's GeoJSON encoding.
+	TypeInsert Type = 1
+	// TypeRemove records a polygon removal by id.
+	TypeRemove Type = 2
+	// TypeCheckpoint records that a snapshot containing every mutation
+	// with sequence ≤ Seq has been durably written.
+	TypeCheckpoint Type = 3
+)
+
+// Record is one mutation log entry.
+type Record struct {
+	Type Type
+	// Seq is the mutation sequence number; strictly increasing within a
+	// log.
+	Seq uint64
+	// ID is the polygon id the mutation concerns (unused by checkpoints).
+	ID uint32
+	// Data carries the insert's GeoJSON; empty otherwise.
+	Data []byte
+}
+
+// Replay is what Open recovered from an existing log.
+type Replay struct {
+	// BaseSeq is the checkpoint floor: the paired snapshot already
+	// contains every mutation with seq ≤ BaseSeq.
+	BaseSeq uint64
+	// Records are the mutation records to replay on top of the snapshot,
+	// in log order, checkpoint records and records at or below BaseSeq
+	// already filtered out.
+	Records []Record
+	// TruncatedBytes is how many bytes of torn or corrupt tail Open
+	// dropped (0 for a cleanly closed log).
+	TruncatedBytes int64
+}
+
+// Stats is a point-in-time snapshot of the log's durability counters.
+type Stats struct {
+	// Seq is the sequence number of the last appended (or recovered)
+	// record; BaseSeq the checkpoint floor.
+	Seq     uint64
+	BaseSeq uint64
+	// Bytes is the current log file length.
+	Bytes int64
+	// LastSync is the wall time of the last successful fsync (zero if the
+	// log has never been fsynced — e.g. under SyncOff).
+	LastSync time.Time
+	// Checkpoints counts log rotations performed over this handle's
+	// lifetime.
+	Checkpoints uint64
+}
+
+const (
+	logMagic   = "ACTW"
+	logVersion = 1
+	headerSize = 16
+	// recordOverhead is the fixed per-record framing: length + crc
+	// prefixes and the type/seq/id payload head.
+	recordOverhead = 8 + 13
+	// maxRecordBytes bounds one payload; anything larger in a length
+	// prefix is corruption, not data (a single polygon's GeoJSON is
+	// orders of magnitude smaller).
+	maxRecordBytes = 64 << 20
+)
+
+// ErrCorrupt reports a log whose header (not merely its tail) is
+// unreadable; such a file cannot be recovered from and is not truncated.
+var ErrCorrupt = errors.New("wal: corrupt log header")
+
+// Log is an open write-ahead log. Append, Sync, Checkpoint, Stats, and
+// Close are safe for concurrent use with each other; the caller serializes
+// Append against Checkpoint's snapshot semantics (the act layer holds its
+// mutation lock across both).
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+	opts Options
+
+	seq         uint64
+	baseSeq     uint64
+	bytes       int64
+	dirty       bool
+	lastSync    time.Time
+	checkpoints uint64
+	closed      bool
+	// stop ends the SyncInterval flusher goroutine.
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if absent) the log at path and recovers its
+// contents: records are scanned front to back, the first invalid record
+// truncates the file back to the last valid boundary, and everything after
+// the checkpoint floor is returned for replay. The returned log is
+// positioned for appends.
+func Open(path string, opts Options) (*Log, *Replay, error) {
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{f: f, path: path, opts: opts}
+	rep, err := l.recover()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if opts.Policy == SyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.flusher()
+	}
+	return l, rep, nil
+}
+
+// recover reads the header (writing a fresh one into an empty file), scans
+// the records, truncates any torn tail, and leaves the file positioned at
+// its end.
+func (l *Log) recover() (*Replay, error) {
+	fi, err := l.f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	if fi.Size() == 0 {
+		var hdr [headerSize]byte
+		copy(hdr[:], logMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], logVersion)
+		// baseSeq 0: a fresh log pairs with a snapshot of the unmutated
+		// base (or with a from-scratch build).
+		if _, err := l.f.Write(hdr[:]); err != nil {
+			return nil, err
+		}
+		if err := l.syncLocked(); err != nil {
+			return nil, err
+		}
+		l.bytes = headerSize
+		return &Replay{}, nil
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	br := bufio.NewReaderSize(l.f, 1<<20)
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:4]) != logMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != logVersion {
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	baseSeq := binary.LittleEndian.Uint64(hdr[8:])
+
+	records, good, err := scanRecords(br, headerSize)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Replay{BaseSeq: baseSeq, TruncatedBytes: fi.Size() - good}
+	l.seq, l.baseSeq, l.bytes = baseSeq, baseSeq, good
+	for _, r := range records {
+		if r.Seq > l.seq {
+			l.seq = r.Seq
+		}
+		if r.Type == TypeCheckpoint && r.Seq > rep.BaseSeq {
+			rep.BaseSeq = r.Seq
+		}
+	}
+	l.baseSeq = rep.BaseSeq
+	for _, r := range records {
+		if r.Type != TypeCheckpoint && r.Seq > rep.BaseSeq {
+			rep.Records = append(rep.Records, r)
+		}
+	}
+	if rep.TruncatedBytes > 0 {
+		if err := l.f.Truncate(good); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := l.f.Seek(good, io.SeekStart); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// scanRecords parses records until EOF or the first invalid record,
+// returning the parsed records and the byte offset one past the last valid
+// record. It never fails on malformed bytes — they simply end the scan —
+// so a torn or corrupt tail degrades to a shorter valid prefix.
+func scanRecords(br *bufio.Reader, start int64) ([]Record, int64, error) {
+	var records []Record
+	good := start
+	var prefix [8]byte
+	for {
+		if _, err := io.ReadFull(br, prefix[:]); err != nil {
+			// Clean EOF or a torn length/crc prefix: the log ends here.
+			return records, good, nil
+		}
+		length := binary.LittleEndian.Uint32(prefix[0:])
+		crc := binary.LittleEndian.Uint32(prefix[4:])
+		if length < 13 || length > maxRecordBytes {
+			return records, good, nil
+		}
+		payload := make([]byte, length)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return records, good, nil // torn body
+		}
+		if crc32.ChecksumIEEE(payload) != crc {
+			return records, good, nil // bit rot or torn write
+		}
+		rec := Record{
+			Type: Type(payload[0]),
+			Seq:  binary.LittleEndian.Uint64(payload[1:]),
+			ID:   binary.LittleEndian.Uint32(payload[9:]),
+		}
+		if len(payload) > 13 {
+			rec.Data = payload[13:]
+		}
+		switch rec.Type {
+		case TypeInsert, TypeRemove, TypeCheckpoint:
+		default:
+			return records, good, nil // unknown type: stop, do not guess
+		}
+		records = append(records, rec)
+		good += 8 + int64(length)
+	}
+}
+
+// encode lays rec out in its on-disk frame.
+func encode(rec Record) []byte {
+	length := 13 + len(rec.Data)
+	buf := make([]byte, 8+length)
+	binary.LittleEndian.PutUint32(buf[0:], uint32(length))
+	buf[8] = byte(rec.Type)
+	binary.LittleEndian.PutUint64(buf[9:], rec.Seq)
+	binary.LittleEndian.PutUint32(buf[17:], rec.ID)
+	copy(buf[21:], rec.Data)
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[8:]))
+	return buf
+}
+
+// Append writes one record to the log, fsyncing per the configured policy.
+// On error the in-memory counters are not advanced; the file may hold a
+// partial frame, which the next Open truncates away like any torn tail.
+func (l *Log) Append(rec Record) error {
+	if len(rec.Data) > maxRecordBytes-13 {
+		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(rec.Data), maxRecordBytes)
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	buf := encode(rec)
+	if _, err := l.f.Write(buf); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	l.bytes += int64(len(buf))
+	l.seq = rec.Seq
+	switch l.opts.Policy {
+	case SyncAlways:
+		if err := l.syncLocked(); err != nil {
+			return fmt.Errorf("wal: fsync: %w", err)
+		}
+	case SyncInterval:
+		l.dirty = true
+	}
+	return nil
+}
+
+// Sync forces buffered records to stable storage regardless of policy.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+func (l *Log) syncLocked() error {
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.lastSync = time.Now()
+	return nil
+}
+
+// flusher is the SyncInterval background goroutine: it fsyncs dirty data on
+// the configured cadence until Close.
+func (l *Log) flusher() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-l.stop:
+			return
+		case <-t.C:
+			l.mu.Lock()
+			if l.dirty && !l.closed {
+				_ = l.syncLocked()
+			}
+			l.mu.Unlock()
+		}
+	}
+}
+
+// Checkpoint rotates the log after a snapshot containing every mutation
+// with seq ≤ snapSeq has been durably written: records at or below the
+// floor are dropped, the survivors (plus a leading checkpoint record) move
+// to a fresh log file that replaces the old one by atomic rename. A crash
+// at any point leaves either the old log (fully covering the snapshot gap —
+// replay is idempotent) or the new one; never neither.
+//
+// The caller must serialize Checkpoint against Append (the act layer holds
+// its mutation lock across snapshot + rotation).
+func (l *Log) Checkpoint(snapSeq uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("wal: log is closed")
+	}
+	// Harvest the residual from the current file (records are on disk by
+	// definition of the append path; re-reading beats holding every record
+	// in memory forever).
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
+		return err
+	}
+	records, _, err := scanRecords(bufio.NewReaderSize(l.f, 1<<20), headerSize)
+	if err != nil {
+		return err
+	}
+
+	dir := filepath.Dir(l.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".rotate-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	var hdr [headerSize]byte
+	copy(hdr[:], logMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], logVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], snapSeq)
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	if _, err := bw.Write(encode(Record{Type: TypeCheckpoint, Seq: snapSeq})); err != nil {
+		tmp.Close()
+		return err
+	}
+	newSeq := snapSeq
+	for _, r := range records {
+		if r.Type == TypeCheckpoint || r.Seq <= snapSeq {
+			continue
+		}
+		if _, err := bw.Write(encode(r)); err != nil {
+			tmp.Close()
+			return err
+		}
+		if r.Seq > newSeq {
+			newSeq = r.Seq
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	fi, err := tmp.Stat()
+	if err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := os.Rename(tmp.Name(), l.path); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := syncDir(dir); err != nil {
+		tmp.Close()
+		return err
+	}
+	// The tmp handle now refers to the live log file (rename moved the
+	// inode, not the descriptor); swap it in positioned at the end.
+	if _, err := tmp.Seek(0, io.SeekEnd); err != nil {
+		tmp.Close()
+		return err
+	}
+	old := l.f
+	l.f = tmp
+	_ = old.Close()
+	l.baseSeq = snapSeq
+	l.seq = newSeq
+	l.bytes = fi.Size()
+	l.dirty = false
+	l.lastSync = time.Now()
+	l.checkpoints++
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed file is durably linked.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Stats returns the log's durability counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Seq:         l.seq,
+		BaseSeq:     l.baseSeq,
+		Bytes:       l.bytes,
+		LastSync:    l.lastSync,
+		Checkpoints: l.checkpoints,
+	}
+}
+
+// Path returns the log's file path.
+func (l *Log) Path() string { return l.path }
+
+// Close flushes and fsyncs outstanding records and closes the file. It is
+// idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	syncErr := l.f.Sync()
+	closeErr := l.f.Close()
+	stop := l.stop
+	l.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-l.done
+	}
+	if syncErr != nil {
+		return syncErr
+	}
+	return closeErr
+}

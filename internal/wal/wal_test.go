@@ -1,0 +1,268 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func openT(t *testing.T, path string, opts Options) (*Log, *Replay) {
+	t.Helper()
+	l, rep, err := Open(path, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", path, err)
+	}
+	return l, rep
+}
+
+func appendT(t *testing.T, l *Log, rec Record) {
+	t.Helper()
+	if err := l.Append(rec); err != nil {
+		t.Fatalf("Append(%+v): %v", rec, err)
+	}
+}
+
+// TestRoundTrip appends a mixed record stream, closes, and reopens: the
+// replay must return exactly the appended records in order.
+func TestRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, rep := openT(t, path, Options{})
+	if len(rep.Records) != 0 || rep.BaseSeq != 0 || rep.TruncatedBytes != 0 {
+		t.Fatalf("fresh log replay: %+v", rep)
+	}
+	recs := []Record{
+		{Type: TypeInsert, Seq: 1, ID: 0, Data: []byte(`{"geo":"json"}`)},
+		{Type: TypeInsert, Seq: 2, ID: 1, Data: bytes.Repeat([]byte("x"), 1000)},
+		{Type: TypeRemove, Seq: 3, ID: 0},
+		{Type: TypeInsert, Seq: 4, ID: 2, Data: []byte("{}")},
+	}
+	for _, r := range recs {
+		appendT(t, l, r)
+	}
+	st := l.Stats()
+	if st.Seq != 4 || st.BaseSeq != 0 {
+		t.Fatalf("stats after appends: %+v", st)
+	}
+	if st.LastSync.IsZero() {
+		t.Fatal("SyncAlways log never fsynced")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if err := l.Append(recs[0]); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+
+	l2, rep2 := openT(t, path, Options{})
+	defer l2.Close()
+	if rep2.TruncatedBytes != 0 {
+		t.Fatalf("clean log truncated %d bytes", rep2.TruncatedBytes)
+	}
+	if len(rep2.Records) != len(recs) {
+		t.Fatalf("replayed %d records, want %d", len(rep2.Records), len(recs))
+	}
+	for i, r := range rep2.Records {
+		w := recs[i]
+		if r.Type != w.Type || r.Seq != w.Seq || r.ID != w.ID || !bytes.Equal(r.Data, w.Data) {
+			t.Fatalf("record %d: got %+v, want %+v", i, r, w)
+		}
+	}
+	if st := l2.Stats(); st.Seq != 4 {
+		t.Fatalf("recovered seq %d, want 4", st.Seq)
+	}
+	// The log must accept appends after recovery.
+	appendT(t, l2, Record{Type: TypeRemove, Seq: 5, ID: 1})
+}
+
+// TestTornTail cuts the log at every byte boundary inside the final record:
+// each cut must recover exactly the records before it and truncate the
+// garbage, and the reopened log must accept appends.
+func TestTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	l, _ := openT(t, path, Options{})
+	appendT(t, l, Record{Type: TypeInsert, Seq: 1, ID: 0, Data: []byte(`{"a":1}`)})
+	preLast := l.Stats().Bytes
+	appendT(t, l, Record{Type: TypeInsert, Seq: 2, ID: 1, Data: []byte(`{"b":2222}`)})
+	full := l.Stats().Bytes
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(blob)) != full {
+		t.Fatalf("file is %d bytes, stats say %d", len(blob), full)
+	}
+
+	for cut := preLast; cut <= full; cut++ {
+		p := filepath.Join(dir, "cut.log")
+		if err := os.WriteFile(p, blob[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		lc, rep := openT(t, p, Options{})
+		wantRecs, wantTrunc := 1, cut-preLast
+		if cut == full {
+			wantRecs, wantTrunc = 2, 0
+		}
+		if len(rep.Records) != wantRecs || rep.TruncatedBytes != wantTrunc {
+			t.Fatalf("cut %d: %d records, %d truncated; want %d, %d",
+				cut, len(rep.Records), rep.TruncatedBytes, wantRecs, wantTrunc)
+		}
+		if fi, err := os.Stat(p); err != nil || fi.Size() != cut-wantTrunc {
+			t.Fatalf("cut %d: file not truncated to last valid boundary: %v %d", cut, err, fi.Size())
+		}
+		// Appends after a torn-tail recovery must survive a further reopen.
+		seq := rep.Records[len(rep.Records)-1].Seq
+		appendT(t, lc, Record{Type: TypeRemove, Seq: seq + 1, ID: 0})
+		if err := lc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, rep2 := openT(t, p, Options{})
+		if len(rep2.Records) != wantRecs+1 {
+			t.Fatalf("cut %d: after append, replay has %d records, want %d", cut, len(rep2.Records), wantRecs+1)
+		}
+	}
+}
+
+// TestMidLogCorruption flips a byte inside an early record: the scan must
+// stop there, dropping it and everything after.
+func TestMidLogCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{})
+	appendT(t, l, Record{Type: TypeInsert, Seq: 1, ID: 0, Data: []byte(`{"a":1}`)})
+	first := l.Stats().Bytes
+	appendT(t, l, Record{Type: TypeInsert, Seq: 2, ID: 1, Data: []byte(`{"b":2}`)})
+	l.Close()
+
+	blob, _ := os.ReadFile(path)
+	blob[headerSize+12] ^= 0xff // inside the first record's payload
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep := openT(t, path, Options{})
+	if len(rep.Records) != 0 {
+		t.Fatalf("replayed %d records after corrupting the first", len(rep.Records))
+	}
+	if fi, _ := os.Stat(path); fi.Size() != headerSize {
+		t.Fatalf("file not truncated to header: %d bytes", fi.Size())
+	}
+	_ = first
+}
+
+// TestCorruptHeader: a damaged header (unlike a damaged tail) is not
+// recoverable and must be reported, not truncated.
+func TestCorruptHeader(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	if err := os.WriteFile(path, []byte("NOTAWALFILE12345"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on bad magic: %v", err)
+	}
+	// Truncated header: shorter than headerSize but non-empty.
+	if err := os.WriteFile(path, []byte(logMagic), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Open(path, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on short header: %v", err)
+	}
+}
+
+// TestCheckpoint rotates mid-stream: records at or below the floor vanish,
+// the survivors and new appends persist across reopen, and baseSeq moves.
+func TestCheckpoint(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{})
+	for seq := uint64(1); seq <= 4; seq++ {
+		appendT(t, l, Record{Type: TypeInsert, Seq: seq, ID: uint32(seq - 1), Data: []byte(`{}`)})
+	}
+	grown := l.Stats().Bytes
+	if err := l.Checkpoint(3); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	st := l.Stats()
+	if st.BaseSeq != 3 || st.Seq != 4 || st.Checkpoints != 1 {
+		t.Fatalf("stats after checkpoint: %+v", st)
+	}
+	if st.Bytes >= grown {
+		t.Fatalf("rotation did not shrink the log: %d -> %d bytes", grown, st.Bytes)
+	}
+	// The post-rotation handle must keep appending to the *new* file.
+	appendT(t, l, Record{Type: TypeRemove, Seq: 5, ID: 2})
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, rep := openT(t, path, Options{})
+	defer l2.Close()
+	if rep.BaseSeq != 3 {
+		t.Fatalf("recovered BaseSeq %d, want 3", rep.BaseSeq)
+	}
+	var seqs []uint64
+	for _, r := range rep.Records {
+		seqs = append(seqs, r.Seq)
+	}
+	if len(seqs) != 2 || seqs[0] != 4 || seqs[1] != 5 {
+		t.Fatalf("replayed seqs %v, want [4 5]", seqs)
+	}
+
+	// Checkpointing everything empties the replay set entirely.
+	if err := l2.Checkpoint(5); err != nil {
+		t.Fatal(err)
+	}
+	l2.Close()
+	_, rep2 := openT(t, path, Options{})
+	if len(rep2.Records) != 0 || rep2.BaseSeq != 5 {
+		t.Fatalf("after full checkpoint: %+v", rep2)
+	}
+}
+
+// TestSyncInterval exercises the background flusher: a dirty append is
+// fsynced without an explicit Sync call.
+func TestSyncInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Policy: SyncInterval, Interval: 5 * time.Millisecond})
+	defer l.Close()
+	base := l.Stats().LastSync
+	appendT(t, l, Record{Type: TypeInsert, Seq: 1, ID: 0, Data: []byte(`{}`)})
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if l.Stats().LastSync.After(base) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("background flusher never fsynced the dirty append")
+}
+
+// TestOversizeRecord: a record beyond the frame bound is rejected before
+// touching the file.
+func TestOversizeRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Policy: SyncOff})
+	defer l.Close()
+	before := l.Stats().Bytes
+	err := l.Append(Record{Type: TypeInsert, Seq: 1, Data: make([]byte, maxRecordBytes)})
+	if err == nil {
+		t.Fatal("oversize append succeeded")
+	}
+	if l.Stats().Bytes != before {
+		t.Fatal("oversize append wrote bytes")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	for p, want := range map[Policy]string{SyncAlways: "always", SyncInterval: "interval", SyncOff: "off", Policy(9): "Policy(9)"} {
+		if got := p.String(); got != want {
+			t.Fatalf("Policy(%d).String() = %q, want %q", p, got, want)
+		}
+	}
+}

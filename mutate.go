@@ -1,14 +1,18 @@
 package act
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"os"
 
 	"github.com/actindex/act/internal/delta"
+	"github.com/actindex/act/internal/geojson"
 	"github.com/actindex/act/internal/geom"
 	"github.com/actindex/act/internal/grid"
 	"github.com/actindex/act/internal/supercover"
+	"github.com/actindex/act/internal/wal"
 )
 
 // Live index mutation.
@@ -29,12 +33,19 @@ import (
 // Mutation errors.
 var (
 	// ErrImmutable is reported by Insert, Remove, and Compact on an index
-	// that has no source polygons to rebuild from — one loaded with
-	// ReadIndex. Build the index in-process (New/BuildIndex) to mutate it.
+	// that was loaded with ReadIndex or OpenIndex. Build the index
+	// in-process (New/BuildIndex) or resurrect it with [Recover] to
+	// mutate it.
 	ErrImmutable = errors.New("act: index was deserialized without source polygons and cannot be mutated")
 	// ErrUnknownPolygon is reported by Remove for an id that was never
 	// assigned or has already been removed.
 	ErrUnknownPolygon = errors.New("act: unknown or already-removed polygon id")
+	// ErrNoSources is reported by Compact on a mutable index that carries
+	// no source polygons to rebuild the base from — one resurrected by
+	// [Recover]. Such an index serves and absorbs mutations (they land in
+	// the delta layer and the write-ahead log), but only a process holding
+	// the original polygon set can fold the delta into a fresh base.
+	ErrNoSources = errors.New("act: index carries no source polygons; compaction needs an index built in-process")
 )
 
 // DeltaStats describes the state of the index's mutation layer.
@@ -111,7 +122,7 @@ func (ix *Index) Insert(ctx context.Context, p *Polygon) (uint32, error) {
 	if !ix.mutable {
 		return 0, ErrImmutable
 	}
-	if len(ix.sources) > supercover.MaxPolygonID {
+	if len(ix.alive) > supercover.MaxPolygonID {
 		return 0, fmt.Errorf("act: insert: the 2^30 polygon id space is exhausted")
 	}
 	cov, err := ix.pl.cover(p)
@@ -124,15 +135,31 @@ func (ix *Index) Insert(ctx context.Context, p *Polygon) (uint32, error) {
 			return 0, fmt.Errorf("act: insert: %w", err)
 		}
 	}
-	id := uint32(len(ix.sources))
+	id := uint32(len(ix.alive))
 	ep := ix.live.Load()
 	ov, err := ep.ov.WithInsert(ix.pl.fanout, delta.Poly{ID: id, Cov: cov, Geom: gp, Seq: ix.seq + 1})
 	if err != nil {
 		return 0, err
 	}
+	// Write-ahead: the record must be durably logged (per the fsync
+	// policy) before the mutation is acknowledged or served. On append
+	// failure nothing below commits, so log and index stay consistent.
+	if ix.wal != nil {
+		var buf bytes.Buffer
+		if err := geojson.WritePolygons(&buf, []*Polygon{p}); err != nil {
+			return 0, fmt.Errorf("act: insert: encoding WAL record: %w", err)
+		}
+		rec := wal.Record{Type: wal.TypeInsert, Seq: ix.seq + 1, ID: id, Data: buf.Bytes()}
+		if err := ix.wal.Append(rec); err != nil {
+			return 0, fmt.Errorf("act: insert: %w", err)
+		}
+	}
 	ix.seq++
-	ix.sources = append(ix.sources, p)
-	ix.idSpace.Store(int64(len(ix.sources)))
+	ix.alive = append(ix.alive, true)
+	if ix.srcComplete {
+		ix.sources = append(ix.sources, p)
+	}
+	ix.idSpace.Store(int64(len(ix.alive)))
 	ix.liveCount.Add(1)
 	ix.live.Swap(&epoch{trie: ep.trie, store: ep.store, ov: ov, stats: ep.stats})
 	ix.maybeCompact(ov)
@@ -155,7 +182,7 @@ func (ix *Index) Remove(ctx context.Context, id uint32) error {
 	if !ix.mutable {
 		return ErrImmutable
 	}
-	if int(id) >= len(ix.sources) || ix.sources[id] == nil {
+	if int(id) >= len(ix.alive) || !ix.alive[id] {
 		return fmt.Errorf("%w: %d", ErrUnknownPolygon, id)
 	}
 	ep := ix.live.Load()
@@ -163,8 +190,17 @@ func (ix *Index) Remove(ctx context.Context, id uint32) error {
 	if err != nil {
 		return err
 	}
+	if ix.wal != nil {
+		rec := wal.Record{Type: wal.TypeRemove, Seq: ix.seq + 1, ID: id}
+		if err := ix.wal.Append(rec); err != nil {
+			return fmt.Errorf("act: remove: %w", err)
+		}
+	}
 	ix.seq++
-	ix.sources[id] = nil
+	ix.alive[id] = false
+	if ix.srcComplete {
+		ix.sources[id] = nil
+	}
 	ix.liveCount.Add(-1)
 	ix.live.Swap(&epoch{trie: ep.trie, store: ep.store, ov: ov, stats: ep.stats})
 	ix.maybeCompact(ov)
@@ -179,7 +215,9 @@ func (ix *Index) Remove(ctx context.Context, id uint32) error {
 // running is simply dropped — the running compaction's residual check will
 // re-trigger on the next mutation if needed.
 func (ix *Index) maybeCompact(ov *delta.Overlay) {
-	if ix.deltaThreshold < 0 || ov == nil {
+	// Recovered indexes have no sources to rebuild from: auto-compaction
+	// would only spin a goroutine into ErrNoSources.
+	if ix.deltaThreshold < 0 || ov == nil || !ix.srcComplete {
 		return
 	}
 	pending := ov.Pending()
@@ -226,6 +264,10 @@ func (ix *Index) compactLocked(ctx context.Context) error {
 		ix.mu.Unlock()
 		return ErrImmutable
 	}
+	if !ix.srcComplete {
+		ix.mu.Unlock()
+		return ErrNoSources
+	}
 	ep := ix.live.Load()
 	if ep.ov == nil {
 		ix.mu.Unlock()
@@ -237,14 +279,33 @@ func (ix *Index) compactLocked(ctx context.Context) error {
 	ix.mu.Unlock()
 
 	entries := make([]buildEntry, 0, len(srcs))
+	ids := make([]uint32, 0, len(srcs))
 	for id, src := range srcs {
 		if src != nil {
 			entries = append(entries, buildEntry{id: uint32(id), src: src})
+			ids = append(ids, uint32(id))
 		}
 	}
 	trie, store, stats, err := ix.pl.run(ctx, entries, len(srcs))
 	if err != nil {
 		return err
+	}
+
+	// Stage the checkpoint snapshot before taking the mutation lock: the
+	// compacted epoch is immutable, so the expensive file write needs no
+	// exclusion — only the rename + log rotation below does.
+	fresh := &epoch{trie: trie, store: store, stats: stats}
+	var snapTmp string
+	if ix.wal != nil && ix.snapshotPath != "" {
+		var idCol []uint32
+		if len(ids) != len(srcs) {
+			idCol = ids // sparse: the snapshot needs the v4 id column
+		}
+		snapTmp, err = stageSnapshot(ix.snapshotPath, fresh, ix.kind, ix.precision, idCol, int64(len(srcs)))
+		if err != nil {
+			return fmt.Errorf("act: compact: staging checkpoint snapshot: %w", err)
+		}
+		defer os.Remove(snapTmp) // no-op once renamed into place
 	}
 
 	ix.mu.Lock()
@@ -256,5 +317,19 @@ func (ix *Index) compactLocked(ctx context.Context) error {
 	}
 	ix.live.Swap(&epoch{trie: trie, store: store, ov: residual, stats: stats})
 	ix.compactions.Add(1)
+	// Checkpoint: publish the staged snapshot, then truncate the log down
+	// to the records the snapshot does not cover. Order matters — the
+	// snapshot must be durably linked before any log record is dropped; a
+	// crash between the two leaves snapshot + full log, which replays
+	// idempotently. An error here does not undo the in-memory compaction
+	// (the epoch already swung); the log simply keeps its full history.
+	if snapTmp != "" {
+		if err := commitSnapshot(snapTmp, ix.snapshotPath); err != nil {
+			return fmt.Errorf("act: compact: publishing checkpoint snapshot: %w", err)
+		}
+		if err := ix.wal.Checkpoint(snapSeq); err != nil {
+			return fmt.Errorf("act: compact: rotating WAL: %w", err)
+		}
+	}
 	return nil
 }

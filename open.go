@@ -76,14 +76,14 @@ func OpenIndex(path string) (*Index, error) {
 		return nil, fmt.Errorf("act: bad index magic %q", head[:4])
 	}
 	version := binary.LittleEndian.Uint32(head[4:])
-	if version < 1 || version > indexVersion {
+	if version < 1 || version > indexVersionSparse {
 		return nil, fmt.Errorf("act: unsupported index version %d", version)
 	}
 	if version < 3 || !mmapSupported || !hostLittleEndian() {
 		return readIndexFrom(f)
 	}
 	if _, err := io.ReadFull(f, head[8:]); err != nil {
-		return nil, fmt.Errorf("act: read v3 header: %w", err)
+		return nil, fmt.Errorf("act: read flat header: %w", err)
 	}
 	h, err := decodeFlatHeader(&head)
 	if err != nil {
@@ -114,8 +114,8 @@ func OpenIndex(path string) (*Index, error) {
 	return ix, nil
 }
 
-// assembleMapped aliases the flat sections of a mapped v3 file and builds
-// the serving index around them.
+// assembleMapped aliases the flat sections of a mapped flat file (v3 or
+// v4) and builds the serving index around them.
 func assembleMapped(h *flatHeader, m *mapping) (*Index, error) {
 	arenaWords := h.numNodes * uint64(h.fanout)
 	var nodes []uint64
@@ -126,11 +126,21 @@ func assembleMapped(h *flatHeader, m *mapping) (*Index, error) {
 	if h.tableLen > 0 {
 		table = unsafe.Slice((*uint32)(unsafe.Pointer(&m.data[h.tableOff])), h.tableLen)
 	}
+	var ids []uint32
+	if h.version >= indexVersionSparse {
+		// The id column is tiny relative to the arena; decode (and
+		// validate) a heap copy rather than aliasing the mapping, so the
+		// index keeps working even after the mapping is closed mid-teardown.
+		var err error
+		if ids, err = decodeIDColumn(m.data[h.idsOff():h.idsEnd()], h.idSpace); err != nil {
+			return nil, err
+		}
+	}
 	var geomSrc io.Reader
 	if h.hasGeom {
 		geomSrc = bytes.NewReader(m.data[h.geomOff:])
 	}
-	ix, err := assembleV3(h, nodes, table, geomSrc)
+	ix, err := assembleFlat(h, nodes, table, ids, geomSrc)
 	if err != nil {
 		return nil, err
 	}
@@ -157,18 +167,28 @@ func readIndexFrom(f *os.File) (*Index, error) {
 // (OpenIndex's zero-copy path) rather than heap memory.
 func (ix *Index) Mapped() bool { return ix.mapped != nil }
 
-// Close releases the file mapping of an index opened with OpenIndex. It is
-// idempotent, and a no-op for heap-backed indexes — so generic teardown can
-// always Close. After Close the index must not be used: its trie aliases
-// the released pages. Indexes that are simply dropped (a reload swapping in
-// a successor) need no explicit Close; the mapping is released when the
-// collector proves no reader can touch it anymore.
+// Close releases the resources an index holds beyond heap memory: the
+// file mapping of an index opened with OpenIndex, and the write-ahead log
+// of an index attached to one (WithWAL or Recover) — the log is synced and
+// its file handle closed. Close is idempotent, and a no-op for plain
+// heap-backed indexes — so generic teardown can always Close. After Close
+// the index must not be used: a mapped trie aliases the released pages,
+// and mutations can no longer reach the log. Mapped indexes that are
+// simply dropped (a reload swapping in a successor) need no explicit
+// Close; the mapping is released when the collector proves no reader can
+// touch it anymore.
 func (ix *Index) Close() error {
-	if ix.mapped == nil {
-		return nil
+	var err error
+	if ix.wal != nil {
+		err = ix.wal.Close()
 	}
-	ix.cleanup.Stop()
-	return ix.mapped.close()
+	if ix.mapped != nil {
+		ix.cleanup.Stop()
+		if merr := ix.mapped.close(); err == nil {
+			err = merr
+		}
+	}
+	return err
 }
 
 // keepMapped fences the end of a read path: it keeps ix — and through it

@@ -88,6 +88,25 @@ func WithDeltaThreshold(n int) Option {
 	return func(o *Options) { o.DeltaThreshold = n }
 }
 
+// WithWAL attaches a write-ahead delta log to the index: every Insert and
+// Remove appends its record to cfg.Path — and, per cfg.Policy, reaches
+// stable storage — before the mutation is acknowledged or served, so a
+// crashed process can rebuild its exact mutation state. Records a previous
+// process left in the log are replayed onto the fresh build during New
+// (deterministically: replayed inserts keep their original ids and
+// sequence numbers), which is the restart story for a build-from-polygons
+// deployment: run New with the same polygon set and the same log, and the
+// index comes back as it was.
+//
+// With cfg.SnapshotPath set, every compaction checkpoints: the compacted
+// base is written there atomically and the log truncated to the residual.
+// [Recover] resumes from such a snapshot without the polygon set. See
+// WALConfig for the knobs and the "Durability & crash recovery" section of
+// the README for the full model.
+func WithWAL(cfg WALConfig) Option {
+	return func(o *Options) { o.WAL = &cfg }
+}
+
 // New builds an index over the polygon set, configured by functional
 // options. It is the primary constructor of the v2 API; BuildIndex remains
 // as a compatibility wrapper over the same build pipeline.

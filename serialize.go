@@ -16,19 +16,19 @@ import (
 	"github.com/actindex/act/internal/grid"
 )
 
-// Index serialization, version 3 — the flat, mmap-servable layout
+// Index serialization, versions 3 and 4 — the flat, mmap-servable layout
 // (little endian throughout):
 //
 //	offset 0:    header, 264 bytes
 //	  magic     "ACTX"          4 bytes
-//	  version   uint32          currently 3
+//	  version   uint32          3 (dense ids) or 4 (sparse ids)
 //	  gridKind  uint32
 //	  flags     uint32          bit 0: a geometry section follows the table
 //	  fanout    uint32
-//	  pad       uint32          zero
+//	  idSpace   uint32          v4: ids ever assigned; v3: zero padding
 //	  precision, achieved       2 × float64
 //	  cells     uint64          indexed covering cells (stats)
-//	  numPolys  uint64          indexed polygon count (stats)
+//	  numPolys  uint64          live (stored) polygon count
 //	  numNodes  uint64          trie nodes, sentinel included
 //	  tableLen  uint64          lookup-table words (uint32 each)
 //	  arenaOff  uint64          = flatPageSize (4096): arena start
@@ -38,13 +38,26 @@ import (
 //	  roots     6 × uint64      per-face trie roots
 //	  skips     6 × uint64      root path-compression bit counts
 //	  prefixes  6 × uint64      root path-compression prefixes
-//	  arenaCRC  uint64          CRC-64/ECMA of arena + table bytes
+//	  arenaCRC  uint64          CRC-64/ECMA of arena + table (+ id column)
 //	  headerCRC uint64          CRC-64/ECMA of header bytes [0, 256)
 //	zero padding to arenaOff
 //	arenaOff:  node arena       numNodes·fanout × uint64, canonical BFS order
 //	tableOff:  lookup table     tableLen × uint32
+//	idsOff:    id column        v4 only: numPolys × uint32, strictly
+//	                            ascending live polygon ids, 8-aligned after
+//	                            the table ((tableEnd+7)&^7)
 //	geomOff:   geometry section geostore.Store.WriteTo blob (own magic,
 //	                            version, CRC) — present only when flag set
+//
+// Version 3 describes a dense id space: numPolys polygons with implicit
+// ids 0..numPolys-1. Version 4 adds sparse id spaces — the id column names
+// the live ids explicitly, idSpace records how many ids were ever assigned
+// — so a compacted index whose removals left permanent holes serializes.
+// WriteTo picks the lowest version that can represent the index (v3 when
+// dense, v4 when sparse); the geometry section stays dense either way,
+// storing the live polygons in id-column order and remapped to their
+// sparse ids at load. The arenaCRC of a v4 file also covers the id column
+// (not the alignment padding around it).
 //
 // The arena starts on a page boundary and its words are stored exactly as
 // the trie serves them in memory, so OpenIndex can map the file and alias
@@ -58,13 +71,17 @@ import (
 // header, so the exact-refinement geometry can evolve without breaking the
 // trie format. Version-1 files (which inlined raw projected rings between
 // the header and the trie) and version-2 files (header + core trie blob +
-// geometry section) still load via their original copying readers;
-// version-3 files written with WithGeometryStore(false) load in
-// approximate-only mode.
+// geometry section) still load via their original copying readers; flat
+// files written with WithGeometryStore(false) load in approximate-only
+// mode.
 
 const (
-	indexMagic   = "ACTX"
-	indexVersion = 3
+	indexMagic = "ACTX"
+	// indexVersion is the dense flat format; indexVersionSparse the flat
+	// format with an explicit id column. WriteTo emits the lowest version
+	// that represents the index.
+	indexVersion       = 3
+	indexVersionSparse = 4
 
 	// flatHeaderSize is the full v3 header including headerCRC;
 	// flatHeaderCRCBytes the prefix that checksum covers.
@@ -88,23 +105,27 @@ func (b *byteCounter) Write(p []byte) (int, error) {
 	return n, err
 }
 
-// Serialization errors for mutated indexes. The on-disk format describes a
-// static index with a dense id space; persisting live-mutated state is the
-// delta-log follow-up tracked in the ROADMAP.
+// Serialization errors for mutated indexes.
 var (
 	// ErrPendingMutations is returned by WriteTo while the delta layer is
-	// non-empty. Call Compact first: a compacted insert-only index
-	// serializes normally.
+	// non-empty. Call Compact first: a compacted index serializes normally.
 	ErrPendingMutations = errors.New("act: index has uncompacted mutations; Compact before WriteTo")
-	// ErrSparseIDSpace is returned by WriteTo when removals have left
-	// permanent holes in the id space — the v2 format requires dense ids.
+	// ErrSparseIDSpace was returned by WriteTo when removals had left
+	// permanent holes in the id space, which the dense v3 format could not
+	// represent.
+	//
+	// Deprecated: the v4 format serializes sparse id spaces, so WriteTo no
+	// longer returns this error. The variable remains for callers that
+	// matched it with errors.Is.
 	ErrSparseIDSpace = errors.New("act: removals left holes in the polygon id space; serializing such an index is not supported")
 )
 
 var flatCRCTable = crc64.MakeTable(crc64.ECMA)
 
-// flatHeader is the parsed 264-byte v3 header.
+// flatHeader is the parsed 264-byte flat header (versions 3 and 4).
 type flatHeader struct {
+	version   uint32
+	idSpace   uint64 // ids ever assigned; == numPolys for v3
 	gridKind  uint32
 	hasGeom   bool
 	fanout    uint32
@@ -127,12 +148,30 @@ type flatHeader struct {
 // tableEnd returns the byte offset one past the lookup table.
 func (h *flatHeader) tableEnd() uint64 { return h.tableOff + h.tableLen*4 }
 
+// idsOff returns the byte offset of the v4 id column (8-aligned past the
+// table). A v3 header has no column; idsOff and idsEnd collapse to
+// tableEnd so size arithmetic works uniformly across versions.
+func (h *flatHeader) idsOff() uint64 {
+	if h.version < indexVersionSparse {
+		return h.tableEnd()
+	}
+	return (h.tableEnd() + 7) &^ 7
+}
+
+// idsEnd returns the byte offset one past the id column.
+func (h *flatHeader) idsEnd() uint64 {
+	if h.version < indexVersionSparse {
+		return h.tableEnd()
+	}
+	return h.idsOff() + h.numPolys*4
+}
+
 // encode lays the header out in its on-disk byte form, computing headerCRC.
 func (h *flatHeader) encode() [flatHeaderSize]byte {
 	var buf [flatHeaderSize]byte
 	le := binary.LittleEndian
 	copy(buf[0:], indexMagic)
-	le.PutUint32(buf[4:], indexVersion)
+	le.PutUint32(buf[4:], h.version)
 	le.PutUint32(buf[8:], h.gridKind)
 	var flags uint32
 	if h.hasGeom {
@@ -140,7 +179,10 @@ func (h *flatHeader) encode() [flatHeaderSize]byte {
 	}
 	le.PutUint32(buf[12:], flags)
 	le.PutUint32(buf[16:], h.fanout)
-	// buf[20:24] is reserved padding, zero.
+	if h.version >= indexVersionSparse {
+		le.PutUint32(buf[20:], uint32(h.idSpace))
+	}
+	// For v3, buf[20:24] is reserved padding, zero.
 	le.PutUint64(buf[24:], math.Float64bits(h.precision))
 	le.PutUint64(buf[32:], math.Float64bits(h.achieved))
 	le.PutUint64(buf[40:], h.cells)
@@ -161,17 +203,19 @@ func (h *flatHeader) encode() [flatHeaderSize]byte {
 	return buf
 }
 
-// decodeFlatHeader parses and cross-validates a v3 header whose magic and
-// version bytes are already verified. Every offset relationship the layout
-// promises is checked here, so both readers (copying and mmap) can trust
-// the header's geometry of the file afterwards — all that remains is
-// checking it against the actual file length.
+// decodeFlatHeader parses and cross-validates a flat header (v3 or v4)
+// whose magic and version bytes are already verified. Every offset
+// relationship the layout promises is checked here, so both readers
+// (copying and mmap) can trust the header's geometry of the file
+// afterwards — all that remains is checking it against the actual file
+// length.
 func decodeFlatHeader(buf *[flatHeaderSize]byte) (*flatHeader, error) {
 	le := binary.LittleEndian
 	if got, want := le.Uint64(buf[flatHeaderCRCBytes:]), crc64.Checksum(buf[:flatHeaderCRCBytes], flatCRCTable); got != want {
 		return nil, fmt.Errorf("act: header checksum mismatch: file %016x, computed %016x", got, want)
 	}
 	h := &flatHeader{
+		version:   le.Uint32(buf[4:]),
 		gridKind:  le.Uint32(buf[8:]),
 		hasGeom:   le.Uint32(buf[12:])&1 == 1,
 		fanout:    le.Uint32(buf[16:]),
@@ -209,13 +253,28 @@ func decodeFlatHeader(buf *[flatHeaderSize]byte) (*flatHeader, error) {
 		// count slices.
 		return nil, fmt.Errorf("act: implausible polygon count %d", h.numPolys)
 	}
+	switch h.version {
+	case indexVersion:
+		// Dense: the id space is the polygon count, ids implicit.
+		h.idSpace = h.numPolys
+	case indexVersionSparse:
+		h.idSpace = uint64(le.Uint32(buf[20:]))
+		if h.idSpace > 1<<30 {
+			return nil, fmt.Errorf("act: implausible id space %d", h.idSpace)
+		}
+		if h.numPolys > h.idSpace {
+			return nil, fmt.Errorf("act: %d live polygons exceed id space %d", h.numPolys, h.idSpace)
+		}
+	default:
+		return nil, fmt.Errorf("act: unsupported flat index version %d", h.version)
+	}
 	if h.arenaOff != flatPageSize {
 		return nil, fmt.Errorf("act: arena offset %d is not the page boundary %d", h.arenaOff, flatPageSize)
 	}
 	if h.tableOff != h.arenaOff+h.numNodes*uint64(h.fanout)*8 {
 		return nil, fmt.Errorf("act: table offset %d inconsistent with arena size", h.tableOff)
 	}
-	end := h.tableEnd()
+	end := h.idsEnd()
 	if h.hasGeom {
 		if h.geomOff != (end+7)&^7 || h.fileSize <= h.geomOff {
 			return nil, fmt.Errorf("act: geometry offset %d inconsistent with table end %d", h.geomOff, end)
@@ -242,24 +301,21 @@ func writeZeros(w io.Writer, n int64) error {
 	return nil
 }
 
-// WriteTo serializes the index in the v3 flat layout, loadable with
+// WriteTo serializes the index in the flat layout, loadable with
 // ReadIndex from any stream and servable zero-copy with OpenIndex from a
 // file. It implements io.WriterTo. The byte stream is a pure function of
 // the index state: serialize → ReadIndex → serialize round-trips
 // bit-exactly.
 //
-// Only clean, dense indexes serialize: WriteTo reports ErrPendingMutations
-// while uncompacted mutations exist, and ErrSparseIDSpace once removals
-// have left holes in the id space (ids are stable forever, so holes never
-// close). An index that has only ever seen inserts serializes normally
-// after a Compact.
+// Only compacted indexes serialize: WriteTo reports ErrPendingMutations
+// while uncompacted mutations exist. A dense index (no removals, or none
+// that left holes) writes the v3 format; an index whose removals left
+// permanent holes in the id space (ids are stable forever, so holes never
+// close) writes v4, which carries an explicit id column.
 func (ix *Index) WriteTo(w io.Writer) (int64, error) {
-	ep := ix.live.Load()
-	if ep.ov != nil {
-		return 0, ErrPendingMutations
-	}
-	if ix.mutable && ix.liveCount.Load() != ix.idSpace.Load() {
-		return 0, ErrSparseIDSpace
+	ep, ids, idSpace, err := ix.serializableState()
+	if err != nil {
+		return 0, err
 	}
 	// The grid kind is carried on the Index since build (or load) time;
 	// persist it directly instead of reverse-inferring it from the grid's
@@ -269,13 +325,62 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	default:
 		return 0, fmt.Errorf("act: cannot serialize unknown grid kind %v", ix.kind)
 	}
+	return writeFlat(w, ep, ix.kind, ix.precision, ids, idSpace)
+}
+
+// serializableState snapshots the epoch plus, when the id space is sparse,
+// the sorted live-id column. Mutable indexes are snapshotted under the
+// mutation lock so the column is consistent with the epoch it describes;
+// immutable (loaded) indexes are frozen, their column (if any) came off
+// disk.
+func (ix *Index) serializableState() (*epoch, []uint32, int64, error) {
+	if !ix.mutable {
+		ep := ix.live.Load()
+		if ep.ov != nil {
+			return nil, nil, 0, ErrPendingMutations
+		}
+		return ep, ix.loadedIDs, ix.idSpace.Load(), nil
+	}
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ep := ix.live.Load()
+	if ep.ov != nil {
+		return nil, nil, 0, ErrPendingMutations
+	}
+	idSpace := len(ix.alive)
+	live := 0
+	for _, ok := range ix.alive {
+		if ok {
+			live++
+		}
+	}
+	if live == idSpace {
+		return ep, nil, int64(idSpace), nil
+	}
+	ids := make([]uint32, 0, live)
+	for id, ok := range ix.alive {
+		if ok {
+			ids = append(ids, uint32(id))
+		}
+	}
+	return ep, ids, int64(idSpace), nil
+}
+
+// writeFlat serializes one compacted epoch in the flat layout: v3 when ids
+// is nil (dense id space), v4 otherwise — ids is then the strictly
+// ascending column of live polygon ids and idSpace the number of ids ever
+// assigned. The v4 geometry section stays a dense geostore blob holding
+// the live polygons in id-column order; the loader remaps them to their
+// sparse ids.
+func writeFlat(w io.Writer, ep *epoch, kind GridKind, precision float64, ids []uint32, idSpace int64) (int64, error) {
 	f := ep.trie.Flat()
 	arenaWords := uint64(len(f.Nodes))
 	h := flatHeader{
-		gridKind:  uint32(ix.kind),
+		version:   indexVersion,
+		gridKind:  uint32(kind),
 		hasGeom:   ep.store != nil,
 		fanout:    f.Fanout,
-		precision: ix.precision,
+		precision: precision,
 		achieved:  ep.stats.AchievedPrecisionMeters,
 		cells:     uint64(ep.stats.IndexedCells),
 		numPolys:  uint64(ep.stats.NumPolygons),
@@ -290,10 +395,39 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		arenaCRC: f.SectionCRC(),
 	}
 	h.tableOff = h.arenaOff + arenaWords*8
-	h.fileSize = h.tableEnd()
+	var idBytes []byte
+	geomStore := ep.store
+	if ids != nil {
+		h.version = indexVersionSparse
+		h.idSpace = uint64(idSpace)
+		h.numPolys = uint64(len(ids))
+		idBytes = make([]byte, 4*len(ids))
+		for i, id := range ids {
+			binary.LittleEndian.PutUint32(idBytes[4*i:], id)
+		}
+		// The arena checksum of a v4 file also covers the id column (not
+		// the alignment padding around it).
+		h.arenaCRC = crc64.Update(h.arenaCRC, flatCRCTable, idBytes)
+		if h.hasGeom {
+			dense := make([]*geom.Polygon, len(ids))
+			for i, id := range ids {
+				p := ep.store.Polygon(id)
+				if p == nil {
+					return 0, fmt.Errorf("act: live polygon %d has no stored geometry", id)
+				}
+				dense[i] = p
+			}
+			st, err := geostore.New(dense)
+			if err != nil {
+				return 0, fmt.Errorf("act: collecting live geometry: %w", err)
+			}
+			geomStore = st
+		}
+	}
+	h.fileSize = h.idsEnd()
 	if h.hasGeom {
 		h.geomOff = (h.fileSize + 7) &^ 7
-		h.fileSize = h.geomOff + uint64(ep.store.SerializedSize())
+		h.fileSize = h.geomOff + uint64(geomStore.SerializedSize())
 	}
 	bc := &byteCounter{w: w}
 	bw := bufio.NewWriterSize(bc, 1<<20)
@@ -307,8 +441,16 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 	if err := f.WriteSection(bw); err != nil {
 		return bc.n, err
 	}
+	if idBytes != nil {
+		if err := writeZeros(bw, int64(h.idsOff()-h.tableEnd())); err != nil {
+			return bc.n, err
+		}
+		if _, err := bw.Write(idBytes); err != nil {
+			return bc.n, err
+		}
+	}
 	if h.hasGeom {
-		if err := writeZeros(bw, int64(h.geomOff-h.tableEnd())); err != nil {
+		if err := writeZeros(bw, int64(h.geomOff-h.idsEnd())); err != nil {
 			return bc.n, err
 		}
 	}
@@ -316,7 +458,7 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 		return bc.n, err
 	}
 	if h.hasGeom {
-		if _, err := ep.store.WriteTo(bc); err != nil {
+		if _, err := geomStore.WriteTo(bc); err != nil {
 			return bc.n, err
 		}
 	}
@@ -324,13 +466,13 @@ func (ix *Index) WriteTo(w io.Writer) (int64, error) {
 }
 
 // ReadIndex loads an index serialized with WriteTo, copying it onto the
-// heap — the streaming counterpart to OpenIndex, which serves v3 files
-// zero-copy from a mapping. All three format versions load: version-1
+// heap — the streaming counterpart to OpenIndex, which serves flat files
+// zero-copy from a mapping. All four format versions load: version-1
 // files with their inline geometry lifted into a geometry store, version-2
-// files via the blob reader, version-3 files via a streaming copy of the
-// flat sections with the arena checksum verified. Files without a geometry
-// section load in approximate-only mode (HasGeometry reports false and
-// exact joins report ErrNoGeometry).
+// files via the blob reader, version-3 and version-4 files via a streaming
+// copy of the flat sections with the arena checksum verified. Files
+// without a geometry section load in approximate-only mode (HasGeometry
+// reports false and exact joins report ErrNoGeometry).
 func ReadIndex(r io.Reader) (*Index, error) {
 	// core.ReadTrie and geostore.Read each wrap their reader in
 	// bufio.NewReaderSize(r, 1<<20); passing an equally-sized *bufio.Reader
@@ -350,11 +492,11 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	if err := read(&version); err != nil {
 		return nil, err
 	}
-	if version < 1 || version > indexVersion {
+	if version < 1 || version > indexVersionSparse {
 		return nil, fmt.Errorf("act: unsupported index version %d", version)
 	}
-	if version == 3 {
-		return readIndexV3(br)
+	if version >= 3 {
+		return readIndexFlat(br, version)
 	}
 	if err := read(&gk); err != nil {
 		return nil, err
@@ -465,18 +607,18 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	return ix, nil
 }
 
-// readIndexV3 loads a v3 flat file from a stream: the copying path, used
-// for piped input and as the fallback when mapping is unavailable. It reads
-// the flat sections into fresh heap slices and verifies the arena checksum
-// — the two costs OpenIndex exists to avoid.
-func readIndexV3(br *bufio.Reader) (*Index, error) {
+// readIndexFlat loads a flat file (v3 or v4) from a stream: the copying
+// path, used for piped input and as the fallback when mapping is
+// unavailable. It reads the flat sections into fresh heap slices and
+// verifies the arena checksum — the two costs OpenIndex exists to avoid.
+func readIndexFlat(br *bufio.Reader, version uint32) (*Index, error) {
 	var buf [flatHeaderSize]byte
 	// The caller consumed magic and version; reconstitute them so the
 	// header checksum can be computed over the full on-disk prefix.
 	copy(buf[0:], indexMagic)
-	binary.LittleEndian.PutUint32(buf[4:], indexVersion)
+	binary.LittleEndian.PutUint32(buf[4:], version)
 	if _, err := io.ReadFull(br, buf[8:]); err != nil {
-		return nil, fmt.Errorf("act: read v3 header: %w", err)
+		return nil, fmt.Errorf("act: read flat header: %w", err)
 	}
 	h, err := decodeFlatHeader(&buf)
 	if err != nil {
@@ -490,24 +632,55 @@ func readIndexV3(br *bufio.Reader) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	var ids []uint32
+	if h.version >= indexVersionSparse {
+		if _, err := io.CopyN(io.Discard, br, int64(h.idsOff()-h.tableEnd())); err != nil {
+			return nil, fmt.Errorf("act: skip table padding: %w", err)
+		}
+		idBytes := make([]byte, h.numPolys*4)
+		if _, err := io.ReadFull(br, idBytes); err != nil {
+			return nil, fmt.Errorf("act: read id column: %w", err)
+		}
+		crc.Write(idBytes)
+		if ids, err = decodeIDColumn(idBytes, h.idSpace); err != nil {
+			return nil, err
+		}
+	}
 	if got := crc.Sum64(); got != h.arenaCRC {
 		return nil, fmt.Errorf("act: arena checksum mismatch: file %016x, computed %016x", h.arenaCRC, got)
 	}
 	if h.hasGeom {
-		if _, err := io.CopyN(io.Discard, br, int64(h.geomOff-h.tableEnd())); err != nil {
-			return nil, fmt.Errorf("act: skip table padding: %w", err)
+		if _, err := io.CopyN(io.Discard, br, int64(h.geomOff-h.idsEnd())); err != nil {
+			return nil, fmt.Errorf("act: skip id-column padding: %w", err)
 		}
 	}
-	return assembleV3(h, nodes, table, br)
+	return assembleFlat(h, nodes, table, ids, br)
 }
 
-// assembleV3 builds a servable Index from a validated v3 header and its
-// flat trie words — heap copies from readIndexV3 or mapping-backed aliases
-// from OpenIndex; geomSrc must be positioned at the geometry section when
-// the header declares one. All cross-section consistency checks (trie
-// structure, polygon-id ranges, geometry count) live here so both load
-// paths enforce exactly the same invariants.
-func assembleV3(h *flatHeader, nodes []uint64, table []uint32, geomSrc io.Reader) (*Index, error) {
+// decodeIDColumn parses and validates a v4 id column: strictly ascending
+// polygon ids below idSpace.
+func decodeIDColumn(b []byte, idSpace uint64) ([]uint32, error) {
+	ids := make([]uint32, len(b)/4)
+	for i := range ids {
+		ids[i] = binary.LittleEndian.Uint32(b[4*i:])
+		if uint64(ids[i]) >= idSpace {
+			return nil, fmt.Errorf("act: id column entry %d: id %d outside id space %d", i, ids[i], idSpace)
+		}
+		if i > 0 && ids[i] <= ids[i-1] {
+			return nil, fmt.Errorf("act: id column not strictly ascending at entry %d", i)
+		}
+	}
+	return ids, nil
+}
+
+// assembleFlat builds a servable Index from a validated flat header and
+// its flat trie words — heap copies from readIndexFlat or mapping-backed
+// aliases from OpenIndex; ids is the decoded v4 id column (nil for v3) and
+// geomSrc must be positioned at the geometry section when the header
+// declares one. All cross-section consistency checks (trie structure,
+// polygon-id ranges, geometry count) live here so both load paths enforce
+// exactly the same invariants.
+func assembleFlat(h *flatHeader, nodes []uint64, table []uint32, ids []uint32, geomSrc io.Reader) (*Index, error) {
 	trie, err := core.TrieFromFlat(core.Flat{
 		Fanout:   h.fanout,
 		Roots:    h.roots,
@@ -529,12 +702,12 @@ func assembleV3(h *flatHeader, nodes []uint64, table []uint32, geomSrc io.Reader
 		return nil, fmt.Errorf("act: unknown grid kind %d", h.gridKind)
 	}
 	// Lookups return polygon ids straight out of the trie, and Join sizes
-	// its per-polygon count slices from the header — an id at or beyond
-	// numPolys would make counts[polygon]++ panic later, so reject the
-	// mismatch at load time.
+	// its per-polygon count slices from the id space — an id at or beyond
+	// it would make counts[polygon]++ panic later, so reject the mismatch
+	// at load time. (For v3, idSpace == numPolys.)
 	maxRef, hasRefs := trie.MaxPolygonRef()
-	if hasRefs && uint64(maxRef) >= h.numPolys {
-		return nil, fmt.Errorf("act: trie references polygon %d, header says %d polygons", maxRef, h.numPolys)
+	if hasRefs && uint64(maxRef) >= h.idSpace {
+		return nil, fmt.Errorf("act: trie references polygon %d, header id space is %d", maxRef, h.idSpace)
 	}
 	var store *geostore.Store
 	if h.hasGeom {
@@ -546,12 +719,22 @@ func assembleV3(h *flatHeader, nodes []uint64, table []uint32, geomSrc io.Reader
 			return nil, fmt.Errorf("act: geometry section has %d polygons, header says %d",
 				st.NumPolygons(), h.numPolys)
 		}
+		if ids != nil {
+			// v4: the section stores the live polygons densely in id-column
+			// order; remap each to its sparse id so trie refs index the
+			// store directly.
+			slots := make([]*geom.Polygon, h.idSpace)
+			for i, id := range ids {
+				slots[id] = st.Polygon(uint32(i))
+			}
+			st = geostore.NewSparse(slots)
+		}
 		store = st
 	} else if h.numPolys > 0 {
 		// Approximate-only files have no geometry section to cross-check
-		// the header count against, and Join allocates count slices from
-		// it. Honest builds give every polygon at least one covering cell,
-		// so an inflated count (beyond maxRef+1) is corruption, not data.
+		// the header count against. Honest builds give every live polygon
+		// at least one covering cell, so a live count beyond the maximum
+		// distinct-reference count (maxRef+1) is corruption, not data.
 		if !hasRefs || h.numPolys > uint64(maxRef)+1 {
 			return nil, fmt.Errorf("act: header claims %d polygons but the trie references at most %d", h.numPolys, maxRef)
 		}
@@ -566,11 +749,13 @@ func assembleV3(h *flatHeader, nodes []uint64, table []uint32, geomSrc io.Reader
 		AchievedPrecisionMeters: h.achieved,
 	}
 	// A deserialized index carries no source polygons, so it serves but
-	// cannot be mutated (Insert/Remove/Compact report ErrImmutable).
+	// cannot be mutated (Insert/Remove/Compact report ErrImmutable);
+	// Recover promotes it when a write-ahead log accompanies the file.
 	ix := &Index{grid: g, kind: GridKind(h.gridKind), precision: h.precision}
 	ix.deltaThreshold = defaultDeltaThreshold
+	ix.loadedIDs = ids
 	ix.liveCount.Store(int64(h.numPolys))
-	ix.idSpace.Store(int64(h.numPolys))
+	ix.idSpace.Store(int64(h.idSpace))
 	ix.live.Swap(&epoch{trie: trie, store: store, stats: stats})
 	return ix, nil
 }
