@@ -211,6 +211,11 @@ type Index struct {
 	// the index carries no rebuild inputs (deserialized or recovered).
 	sources []*geo.Polygon
 	mutable bool
+	// follower marks a replication follower (OpenFollower): internally
+	// mutable — ApplyReplicated lands primary records in the overlay and
+	// compaction folds them down — but closed to client mutations (Insert
+	// and Remove report ErrFollower).
+	follower bool
 	// srcComplete reports that sources holds every live polygon, so
 	// compaction can rebuild the base. True for indexes built in-process;
 	// false for indexes resurrected by Recover, whose base polygons exist

@@ -14,6 +14,9 @@
 //	                                      # base+delta lookups vs pure base
 //	actbench -experiment wal              # durability: mutation throughput
 //	                                      # per fsync policy + replay cost
+//	actbench -experiment replica          # replication: follower catch-up
+//	                                      # throughput + steady-state lag
+//	                                      # vs primary mutation rate
 //	actbench -experiment ablation         # design-choice ablations
 //	actbench -experiment all              # everything
 //
@@ -48,7 +51,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig3 | scale (alias fig4) | exact | interleave | delta | wal | ablation | all")
+	experiment := flag.String("experiment", "all", "table1 | fig3 | scale (alias fig4) | exact | interleave | delta | wal | replica | ablation | all")
 	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
 	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
@@ -160,10 +163,15 @@ func main() {
 	// subsystem's tracked artefact (mutation throughput per fsync policy,
 	// and recovery time versus replayed log length).
 	measured("wal", "7", func() ([]bench.Record, error) { return bench.RunWAL(w, cfg) })
+	// The replica experiment's records land in BENCH_8.json: the
+	// replication subsystem's tracked artefact (follower catch-up
+	// throughput per backlog length, and mean sequence lag per primary
+	// mutation rate).
+	measured("replica", "8", func() ([]bench.Record, error) { return bench.RunReplica(w, cfg) })
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
-	case "table1", "fig3", "scale", "exact", "interleave", "delta", "wal", "ablation", "all":
+	case "table1", "fig3", "scale", "exact", "interleave", "delta", "wal", "replica", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

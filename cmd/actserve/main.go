@@ -56,6 +56,17 @@
 // top) when it does not. /stats reports the log position (walSeq,
 // walBytes, lastFsyncMillis, recoveredRecords).
 //
+// With both -wal and -index set, the server is also a replication primary:
+// GET /replication/snapshot serves the checkpoint snapshot and GET
+// /replication/stream serves the log as a resumable record stream. A second
+// actserve started with -replicate-from http://primary:8080 serves a
+// read-only replica: it bootstraps from the snapshot, applies streamed
+// records as they arrive (lookups and joins never block on replication),
+// reconnects with backoff across stream loss, and re-bootstraps when a
+// primary checkpoint outruns it. On a follower the mutating endpoints
+// answer 409 pointing at the primary, and /stats reports the role plus the
+// replication position and lag.
+//
 // The index is held in an act.Swappable; handlers load it once per
 // request, so every request sees one consistent index. On SIGINT/SIGTERM
 // the server stops accepting connections and drains in-flight requests
@@ -75,6 +86,7 @@ import (
 	"time"
 
 	"github.com/actindex/act"
+	"github.com/actindex/act/internal/replica"
 )
 
 func main() {
@@ -89,7 +101,19 @@ func main() {
 	walFile := flag.String("wal", "", "write-ahead log file: mutations are logged before acknowledgement and replayed on restart")
 	fsyncFlag := flag.String("fsync", "always", "WAL fsync policy: always | interval | off")
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence for -fsync interval")
+	replicateFrom := flag.String("replicate-from", "", "primary base URL to follow (e.g. http://primary:8080): serve a read-only replica fed by its WAL stream")
+	replicaDir := flag.String("replica-dir", "", "directory for downloaded bootstrap snapshots in -replicate-from mode (default: a temp dir)")
 	flag.Parse()
+
+	if *replicateFrom != "" {
+		if *polyFile != "" || *indexFile != "" || *walFile != "" {
+			fmt.Fprintln(os.Stderr, "actserve: -replicate-from takes its data from the primary; -polygons, -index, and -wal do not apply")
+			flag.Usage()
+			os.Exit(2)
+		}
+		runFollower(*replicateFrom, *replicaDir, *addr, *reloadToken, *pprofFlag, *drain)
+		return
+	}
 
 	// Without a WAL, exactly one source; with one, -polygons and -index
 	// compose (build source and checkpoint snapshot), but at least one of
@@ -169,6 +193,12 @@ func main() {
 	indexes := act.NewSwappable(idx)
 	handler := NewServer(indexes, defaults)
 	handler.ReloadToken = *reloadToken
+	if *walFile != "" && *indexFile != "" {
+		// The durability pair doubles as the replication feed: followers
+		// bootstrap from the checkpoint snapshot and tail the log.
+		handler.EnablePrimary(replica.NewPrimary(idx, *walFile, *indexFile))
+		log.Printf("actserve: replication primary: followers bootstrap from %s and stream %s", *indexFile, *walFile)
+	}
 	if *pprofFlag {
 		handler.EnablePprof()
 		log.Printf("actserve: pprof endpoints enabled under /debug/pprof/")
@@ -198,6 +228,82 @@ func main() {
 	// Close the startup index so an attached WAL flushes its tail and a
 	// reopened log sees a clean shutdown (zero records to replay).
 	if err := idx.Close(); err != nil {
+		log.Printf("actserve: closing index: %v", err)
+	}
+	log.Printf("actserve: drained, exiting")
+}
+
+// runFollower serves a read-only replica: it bootstraps from the primary's
+// checkpoint snapshot, follows its log stream, and swaps re-bootstrapped
+// indexes in under live traffic. Lookups, joins, and /stats serve normally;
+// the mutating endpoints answer 409 pointing at the primary.
+func runFollower(primaryURL, dir, addr, reloadToken string, pprofOn bool, drain time.Duration) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "actserve-replica-*")
+		if err != nil {
+			log.Fatalf("actserve: %v", err)
+		}
+		defer os.RemoveAll(d)
+		dir = d
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fol := replica.NewFollower(primaryURL, dir)
+	if err := fol.Bootstrap(ctx); err != nil {
+		log.Fatalf("actserve: bootstrapping from %s: %v", primaryURL, err)
+	}
+	idx := fol.Index()
+	st := idx.Stats()
+	log.Printf("actserve: follower of %s: %d polygons, %.1f MB, ε=%.1fm, listening on %s",
+		primaryURL, st.NumPolygons, float64(st.TotalBytes())/1e6, idx.PrecisionMeters(), addr)
+
+	indexes := act.NewSwappable(idx)
+	// OnSwap is set after the initial Bootstrap, so it fires only for
+	// re-bootstraps (a primary checkpoint outran this replica): swing the
+	// fresh index in exactly like a /reload would. Swapped-out indexes are
+	// memory-mapped snapshots; their mappings are released by the runtime
+	// once the last in-flight request on them retires.
+	fol.OnSwap = func(ix *act.Index) {
+		indexes.Swap(ix)
+		log.Printf("actserve: follower re-bootstrapped from %s (generation %d)", primaryURL, indexes.Generation())
+	}
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		fol.Run(ctx)
+	}()
+
+	handler := NewServer(indexes, BuildDefaults{Precision: idx.PrecisionMeters(), Grid: idx.GridKind()})
+	handler.ReloadToken = reloadToken
+	handler.EnableFollower(fol)
+	if pprofOn {
+		handler.EnablePprof()
+		log.Printf("actserve: pprof endpoints enabled under /debug/pprof/")
+	}
+	srv := &http.Server{Addr: addr, Handler: handler}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		log.Fatalf("actserve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("actserve: signal received, draining in-flight requests (max %s)", drain)
+	shCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		log.Printf("actserve: shutdown: %v", err)
+		os.Exit(1)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("actserve: %v", err)
+	}
+	// The replication loop has quit (its context is done); now the serving
+	// index can close without racing an apply.
+	<-runDone
+	if err := fol.Index().Close(); err != nil {
 		log.Printf("actserve: closing index: %v", err)
 	}
 	log.Printf("actserve: drained, exiting")

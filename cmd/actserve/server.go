@@ -16,6 +16,7 @@ import (
 
 	"github.com/actindex/act"
 	"github.com/actindex/act/internal/geojson"
+	"github.com/actindex/act/internal/replica"
 )
 
 // BuildDefaults are the server's index-build parameters, used when a
@@ -43,7 +44,18 @@ type Server struct {
 	// 413. NewServer sets the default (maxPolygonBody); lower it on
 	// listeners where a 64 MB GeoJSON upload is not a legitimate request.
 	MaxPolygonBytes int64
-	mux             *http.ServeMux
+	// MaxJoinBytes and MaxReloadBytes cap the POST /join and POST /reload
+	// bodies the same way (defaults maxJoinBody and maxReloadBody).
+	MaxJoinBytes   int64
+	MaxReloadBytes int64
+	mux            *http.ServeMux
+	// role is what /stats reports: "standalone" until EnablePrimary or
+	// EnableFollower flips it.
+	role string
+	// follower is set by EnableFollower: the replication client whose
+	// stream position /stats reports, and whose presence turns the
+	// mutating endpoints into write-to-the-primary redirects.
+	follower *replica.Follower
 	// reloadMu serializes reloads: one in-flight rebuild at a time, while
 	// lookups and joins keep serving the current index.
 	reloadMu sync.Mutex
@@ -58,7 +70,10 @@ func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
 		indexes:         indexes,
 		defaults:        defaults,
 		MaxPolygonBytes: maxPolygonBody,
+		MaxJoinBytes:    maxJoinBody,
+		MaxReloadBytes:  maxReloadBody,
 		mux:             http.NewServeMux(),
+		role:            "standalone",
 		pool: sync.Pool{
 			New: func() any { return &act.Result{} },
 		},
@@ -93,6 +108,25 @@ func (s *Server) EnablePprof() {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// EnablePrimary mounts the primary-side replication endpoints (the
+// checkpoint snapshot and the resumable log record stream) and reports the
+// server as a replication primary in /stats. Call before the first request
+// is served.
+func (s *Server) EnablePrimary(p *replica.Primary) {
+	p.Mount(s.mux)
+	s.role = "primary"
+}
+
+// EnableFollower marks the server as a replication follower: /stats
+// reports the stream position and lag, and the mutating endpoints — which
+// would diverge the replica — answer 409 pointing at the primary. The
+// follower's OnSwap hook keeps s serving each re-bootstrapped index. Call
+// before the first request is served.
+func (s *Server) EnableFollower(f *replica.Follower) {
+	s.role = "follower"
+	s.follower = f
 }
 
 // parseGridKind maps the wire/flag spelling of a grid to its kind. The
@@ -254,7 +288,10 @@ type joinTrailer struct {
 // abort instead of joining the rest of the batch into the void.
 func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	var req joinRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJoinBody)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxJoinBytes)).Decode(&req); err != nil {
+		if tooLarge(w, err) {
+			return
+		}
 		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
@@ -324,6 +361,19 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	_ = bw.Flush()
 }
 
+// tooLarge answers a body-read error that was really the MaxBytesReader
+// tripping with 413 and the limit that was exceeded, and reports whether it
+// did so. Every bounded-body endpoint routes its read errors through here,
+// so an oversized body is consistently "too large", never "bad JSON".
+func tooLarge(w http.ResponseWriter, err error) bool {
+	var tooBig *http.MaxBytesError
+	if !errors.As(err, &tooBig) {
+		return false
+	}
+	http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+	return true
+}
+
 // authorized checks the mutating-endpoint bearer token; an empty
 // configured token admits everyone (trusted-listener mode).
 func (s *Server) authorized(r *http.Request) bool {
@@ -364,9 +414,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	polys, err := geojson.ReadPolygons(http.MaxBytesReader(w, r.Body, s.MaxPolygonBytes))
 	if err != nil {
-		var tooBig *http.MaxBytesError
-		if errors.As(err, &tooBig) {
-			http.Error(w, fmt.Sprintf("body exceeds %d bytes", tooBig.Limit), http.StatusRequestEntityTooLarge)
+		if tooLarge(w, err) {
 			return
 		}
 		http.Error(w, "bad GeoJSON body: "+err.Error(), http.StatusBadRequest)
@@ -378,7 +426,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	}
 	idx := s.indexes.Load()
 	if !idx.Mutable() {
-		http.Error(w, "index was loaded from a file and cannot be mutated; use /reload", http.StatusConflict)
+		http.Error(w, immutableMsg(idx), http.StatusConflict)
 		return
 	}
 	ids := make([]uint32, 0, len(polys))
@@ -400,6 +448,15 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		Tombstones:    ds.Tombstones,
 		Epoch:         idx.Epoch(),
 	})
+}
+
+// immutableMsg explains a mutation 409: a replication follower redirects
+// writes to the primary; a file-loaded index points at /reload.
+func immutableMsg(idx *act.Index) string {
+	if idx.Follower() {
+		return "index is a replication follower; send writes to the primary"
+	}
+	return "index was loaded from a file and cannot be mutated; use /reload"
 }
 
 // removeResponse reports a DELETE /polygons/{id}.
@@ -425,7 +482,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	}
 	idx := s.indexes.Load()
 	if !idx.Mutable() {
-		http.Error(w, "index was loaded from a file and cannot be mutated; use /reload", http.StatusConflict)
+		http.Error(w, immutableMsg(idx), http.StatusConflict)
 		return
 	}
 	if err := idx.Remove(r.Context(), uint32(id64)); err != nil {
@@ -470,6 +527,10 @@ type reloadResponse struct {
 	Grid        string  `json:"grid"`
 }
 
+// maxReloadBody bounds a POST /reload body: two file paths and two
+// overrides fit in a fraction of this.
+const maxReloadBody = 1 << 20
+
 // handleReload builds or deserializes a replacement index and swaps it in
 // atomically. The rebuild happens on this handler's goroutine while every
 // other request keeps serving the current index; in-flight requests that
@@ -481,8 +542,17 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req reloadRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.MaxReloadBytes)).Decode(&req); err != nil {
+		if tooLarge(w, err) {
+			return
+		}
 		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if s.follower != nil {
+		// A reload would swap the replicated index out from under the
+		// replication loop; the follower's state is the primary's to change.
+		http.Error(w, "server is a replication follower; reload the primary instead", http.StatusConflict)
 		return
 	}
 	if (req.Polygons == "") == (req.Index == "") {
@@ -580,6 +650,29 @@ type statsResponse struct {
 	// RecoveredRecords is the number of log records replayed when the live
 	// index came up — 0 after a clean shutdown or a fresh start.
 	RecoveredRecords int `json:"recoveredRecords"`
+	// Role is "standalone", "primary" (replication endpoints mounted), or
+	// "follower" (tracking a primary via -replicate-from).
+	Role string `json:"role"`
+	// Replication is the follower's stream position (follower role only).
+	Replication *replicationStats `json:"replication,omitempty"`
+}
+
+// replicationStats is the /stats view of a follower's stream position.
+type replicationStats struct {
+	// Connected reports whether the record stream is currently open.
+	Connected bool `json:"connected"`
+	// AppliedSeq is the last primary sequence applied to the serving
+	// index; PrimarySeq the newest the primary has announced; Lag their
+	// distance (0 = caught up).
+	AppliedSeq uint64 `json:"appliedSeq"`
+	PrimarySeq uint64 `json:"primarySeq"`
+	Lag        uint64 `json:"lag"`
+	// Reconnects counts stream reconnections, Bootstraps snapshot
+	// downloads (1 is the initial bootstrap).
+	Reconnects uint64 `json:"reconnects"`
+	Bootstraps uint64 `json:"bootstraps"`
+	// LastError is the most recent sync error, empty while healthy.
+	LastError string `json:"lastError,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
@@ -592,6 +685,19 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	lastFsync := int64(-1)
 	if !ws.LastSync.IsZero() {
 		lastFsync = ws.LastSync.UnixMilli()
+	}
+	var repl *replicationStats
+	if s.follower != nil {
+		rs := s.follower.Status()
+		repl = &replicationStats{
+			Connected:  rs.Connected,
+			AppliedSeq: rs.AppliedSeq,
+			PrimarySeq: rs.PrimarySeq,
+			Lag:        rs.Lag(),
+			Reconnects: rs.Reconnects,
+			Bootstraps: rs.Bootstraps,
+			LastError:  rs.LastError,
+		}
 	}
 	writeJSON(w, statsResponse{
 		NumPolygons:             st.NumPolygons,
@@ -614,6 +720,8 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		WALBytes:                ws.Bytes,
 		LastFsyncMillis:         lastFsync,
 		RecoveredRecords:        ws.RecoveredRecords,
+		Role:                    s.role,
+		Replication:             repl,
 	})
 }
 

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -14,6 +15,7 @@ import (
 	"time"
 
 	"github.com/actindex/act"
+	"github.com/actindex/act/internal/replica"
 )
 
 func testServer(t *testing.T) (*Server, *act.Index) {
@@ -887,5 +889,157 @@ func TestStatsDurabilityFields(t *testing.T) {
 	// SyncAlways: the insert was fsynced before it was acknowledged.
 	if st.LastFsyncMillis <= 0 {
 		t.Fatalf("lastFsyncMillis = %d under SyncAlways", st.LastFsyncMillis)
+	}
+}
+
+// TestBodyCaps413: every bounded-body endpoint refuses an oversized body
+// with 413 and the limit it tripped — never the generic 400 a JSON syntax
+// error gets — and still serves a well-formed body under the cap.
+func TestBodyCaps413(t *testing.T) {
+	pad := strings.Repeat(`{"lat":40.72,"lng":-74.0},`, 40)
+	cases := []struct {
+		name, path string
+		cap        func(s *Server)
+		under      string // must not be refused as too large
+		over       string // valid JSON beyond the cap: must be 413
+	}{
+		{
+			name: "join", path: "/join",
+			cap:   func(s *Server) { s.MaxJoinBytes = 128 },
+			under: `{"points":[{"lat":40.72,"lng":-74.0}]}`,
+			over:  `{"points":[` + pad + `{"lat":40.72,"lng":-74.0}]}`,
+		},
+		{
+			name: "reload", path: "/reload",
+			cap:   func(s *Server) { s.MaxReloadBytes = 128 },
+			under: `{"polygons":"` + filepath.Join(t.TempDir(), "absent.geojson") + `"}`,
+			over:  `{"polygons":"` + strings.Repeat("x", 256) + `"}`,
+		},
+		{
+			name: "polygons", path: "/polygons",
+			cap:   func(s *Server) { s.MaxPolygonBytes = 128 },
+			under: churnGeoJSON(0),
+			over:  `{"type":"Polygon","coordinates":[[` + strings.Repeat("[0,0],", 100) + `[0,0]]]}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, _ := mutationServer(t, -1)
+			tc.cap(s)
+			if len(tc.under) > 128 {
+				t.Fatalf("under-cap fixture is %d bytes, want <= 128", len(tc.under))
+			}
+			if len(tc.over) <= 128 {
+				t.Fatalf("over-cap fixture is only %d bytes", len(tc.over))
+			}
+			rec := do(t, s, http.MethodPost, tc.path, tc.over)
+			if rec.Code != http.StatusRequestEntityTooLarge {
+				t.Fatalf("over-cap status %d, want 413: %s", rec.Code, rec.Body)
+			}
+			if !strings.Contains(rec.Body.String(), "body exceeds 128 bytes") {
+				t.Fatalf("over-cap message %q does not name the limit", rec.Body)
+			}
+			rec = do(t, s, http.MethodPost, tc.path, tc.under)
+			if rec.Code == http.StatusRequestEntityTooLarge || rec.Code == http.StatusBadRequest {
+				t.Fatalf("under-cap status %d: %s", rec.Code, rec.Body)
+			}
+		})
+	}
+}
+
+// TestReplicationRoles: a WAL-backed server with EnablePrimary serves the
+// replication endpoints and reports role "primary"; a server wrapped around
+// a live follower reports its stream position in /stats, serves lookups,
+// and answers every mutating endpoint 409 pointing at the primary.
+func TestReplicationRoles(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "primary.wal")
+	snapPath := filepath.Join(dir, "primary.snapshot")
+	zone := &act.Polygon{Outer: []act.LatLng{
+		{Lat: 40.70, Lng: -74.02}, {Lat: 40.70, Lng: -73.96},
+		{Lat: 40.76, Lng: -73.96}, {Lat: 40.76, Lng: -74.02},
+	}}
+	// Auto-compaction off: with a one-polygon base the first insert would
+	// otherwise checkpoint immediately, rotating the log past the follower
+	// mid-bootstrap — handled (it re-bootstraps), but the Bootstraps == 1
+	// assertion below wants a quiet primary.
+	idx, err := act.New([]*act.Polygon{zone},
+		act.WithPrecision(10),
+		act.WithDeltaThreshold(-1),
+		act.WithWAL(act.WALConfig{Path: walPath, SnapshotPath: snapPath}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+
+	ps := NewServer(act.NewSwappable(idx), BuildDefaults{Precision: 10})
+	ps.EnablePrimary(replica.NewPrimary(idx, walPath, snapPath))
+	var st statsResponse
+	if err := json.Unmarshal(get(t, ps, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "primary" || st.Replication != nil {
+		t.Fatalf("primary stats: role %q, replication %+v", st.Role, st.Replication)
+	}
+	if rec := get(t, ps, replica.SnapshotPath); rec.Code != http.StatusOK {
+		t.Fatalf("primary snapshot endpoint: status %d: %s", rec.Code, rec.Body)
+	}
+
+	// A real follower fed over HTTP, caught up to one acknowledged insert.
+	psrv := httptest.NewServer(ps)
+	defer psrv.Close()
+	fol := replica.NewFollower(psrv.URL, t.TempDir())
+	fol.BackoffMin = time.Millisecond
+	ctx, cancel := context.WithCancel(context.Background())
+	runDone := make(chan struct{})
+	go func() {
+		defer close(runDone)
+		fol.Run(ctx)
+	}()
+	defer func() {
+		cancel()
+		<-runDone
+		if fidx := fol.Index(); fidx != nil {
+			fidx.Close()
+		}
+	}()
+	if rec := do(t, ps, http.MethodPost, "/polygons", churnGeoJSON(0)); rec.Code != http.StatusOK {
+		t.Fatalf("primary insert status %d: %s", rec.Code, rec.Body)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for fol.Status().AppliedSeq < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never caught up")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	fs := NewServer(act.NewSwappable(fol.Index()), BuildDefaults{Precision: 10})
+	fs.EnableFollower(fol)
+	if err := json.Unmarshal(get(t, fs, "/stats").Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "follower" || st.Replication == nil {
+		t.Fatalf("follower stats: role %q, replication %+v", st.Role, st.Replication)
+	}
+	if st.Replication.AppliedSeq < 1 || st.Replication.Bootstraps != 1 || st.Replication.Lag != st.Replication.PrimarySeq-st.Replication.AppliedSeq {
+		t.Fatalf("follower replication stats: %+v", st.Replication)
+	}
+	if rec := get(t, fs, "/lookup?lat=40.73&lng=-74.0"); rec.Code != http.StatusOK ||
+		!strings.Contains(rec.Body.String(), `"matched":true`) {
+		t.Fatalf("follower lookup: status %d: %s", rec.Code, rec.Body)
+	}
+	for _, m := range []struct{ method, path, body string }{
+		{http.MethodPost, "/polygons", churnGeoJSON(1)},
+		{http.MethodDelete, "/polygons/0", ""},
+		{http.MethodPost, "/reload", `{"polygons":"x.geojson"}`},
+	} {
+		rec := do(t, fs, m.method, m.path, m.body)
+		if rec.Code != http.StatusConflict {
+			t.Fatalf("%s %s on follower: status %d, want 409: %s", m.method, m.path, rec.Code, rec.Body)
+		}
+		if !strings.Contains(rec.Body.String(), "primary") {
+			t.Fatalf("%s %s on follower: %q does not point at the primary", m.method, m.path, rec.Body)
+		}
 	}
 }

@@ -147,6 +147,18 @@ func (ix *Index) WALStats() WALStats {
 	}
 }
 
+// WALUpdates returns the attached log's update channel: it is closed on
+// the next append, rotation, or close of the log, at which point callers
+// re-check the log state and call WALUpdates again for a fresh channel.
+// Nil when the index has no WAL or the log is already closed — the
+// replication stream treats nil as its shutdown signal.
+func (ix *Index) WALUpdates() <-chan struct{} {
+	if ix.wal == nil {
+		return nil
+	}
+	return ix.wal.Updates()
+}
+
 // Recover loads the base snapshot at indexPath, opens the write-ahead log
 // at walPath, and deterministically replays the log's tail on top of the
 // snapshot: the result serves exactly the polygon set of the crashed
@@ -156,10 +168,10 @@ func (ix *Index) WALStats() WALStats {
 //
 // The recovered index is mutable: Insert and Remove work (and keep
 // appending to the same log, so repeated crash/recover cycles compose),
-// and indexPath doubles as the checkpoint snapshot target. It does not,
-// however, carry the original polygon set, so Compact reports
-// [ErrNoSources] — replayed mutations stay in the delta layer until a
-// process that builds from sources (New with WithWAL) takes over.
+// and indexPath doubles as the checkpoint snapshot target. The original
+// polygon set is not recoverable from a snapshot, so compaction rebuilds
+// from the live epoch instead (base cells + delta coverings, see Compact) —
+// recovered indexes checkpoint and keep their logs bounded like built ones.
 // Replay uses the index's persisted precision, grid, and fanout with
 // standard refinement; adaptive-refinement settings (query sample, cell
 // budget) are not persisted and do not apply to replayed inserts.

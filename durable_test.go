@@ -10,7 +10,6 @@ package act_test
 
 import (
 	"context"
-	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -130,7 +129,8 @@ func TestWALReplayOnNew(t *testing.T) {
 // writes the snapshot and truncates the log, post-checkpoint mutations
 // accumulate in the log tail, and Recover — without the source polygons —
 // reproduces the pre-crash state from snapshot + tail. Recovered indexes
-// mutate (durably) but cannot compact.
+// mutate durably AND compact (via the epoch rebuild), so crash/recover
+// cycles compose without the log ever growing unbounded.
 func TestRecoverCheckpointCycle(t *testing.T) {
 	dir := t.TempDir()
 	walPath := filepath.Join(dir, "delta.wal")
@@ -216,10 +216,25 @@ func TestRecoverCheckpointCycle(t *testing.T) {
 	}
 	checkDeltaEquivalence(t, rec, ls, pts, 250, 1, 0)
 
-	// No sources → no compaction; mutations still work and hit the log.
-	if err := rec.Compact(ctx); !errors.Is(err, act.ErrNoSources) {
+	// A recovered index has no sources, but compaction works anyway: the
+	// epoch path rebuilds from base cells + delta coverings, writes a fresh
+	// checkpoint snapshot, and rotates the log — the recovered process is a
+	// first-class durable primary, not a read-mostly stopgap.
+	preCompact := rec.WALStats()
+	if err := rec.Compact(ctx); err != nil {
 		t.Fatalf("Compact on recovered index: %v", err)
 	}
+	if ds := rec.DeltaStats(); ds.Pending != 0 || ds.Compactions != 1 {
+		t.Fatalf("delta stats after recovered compaction: %+v", ds)
+	}
+	recWS := rec.WALStats()
+	if recWS.Checkpoints != preCompact.Checkpoints+1 || recWS.BaseSeq != recWS.Seq {
+		t.Fatalf("WAL stats after recovered compaction: %+v (before: %+v)", recWS, preCompact)
+	}
+	if rec.NumPolygons() != len(ls.polys) {
+		t.Fatalf("compacted recovered index has %d polygons, want %d", rec.NumPolygons(), len(ls.polys))
+	}
+	checkDeltaEquivalence(t, rec, ls, pts, 250, 1, 2)
 	id2, err := rec.Insert(ctx, pool[8])
 	if err != nil {
 		t.Fatalf("Insert on recovered index: %v", err)

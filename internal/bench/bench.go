@@ -180,6 +180,15 @@ type Record struct {
 	WALRecords      int      `json:"walRecords,omitempty"`
 	MutationsPerSec *float64 `json:"mutationsPerSec,omitempty"`
 	RecoverMillis   *float64 `json:"recoverMillis,omitempty"`
+	// Replication accounting, filled only by the replica experiment:
+	// CatchUpPerSec is the record rate at which a bootstrapping follower
+	// drained a WALRecords-long primary log (snapshot fetch + stream +
+	// apply, end to end), and ReplicaLagSeqs the mean sequence-number lag a
+	// steady follower showed while the primary mutated at MutationsPerSec.
+	// Pointers again: a measured zero lag is the headline result, not an
+	// absent field.
+	CatchUpPerSec  *float64 `json:"catchUpPerSec,omitempty"`
+	ReplicaLagSeqs *float64 `json:"replicaLagSeqs,omitempty"`
 }
 
 // record converts join stats into a Record.

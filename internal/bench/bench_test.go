@@ -239,6 +239,49 @@ func TestExperimentRunnersSmoke(t *testing.T) {
 	}
 }
 
+// The replica experiment gets its own smoke run (it spins up real HTTP
+// servers and a streaming follower, so it doesn't belong in the shared
+// measured-experiments pass above). Shrunk to a backlog and a single rate
+// small enough for CI; RunReplica itself asserts the follower converged on
+// the primary's polygon count.
+func TestRunReplicaSmoke(t *testing.T) {
+	savedLens, savedRates, savedMuts, savedBase :=
+		replicaCatchUpLengths, replicaLagRates, replicaLagMutations, replicaBase
+	replicaCatchUpLengths, replicaLagRates, replicaLagMutations, replicaBase =
+		[]int{12}, []int{200}, 6, 16
+	defer func() {
+		replicaCatchUpLengths, replicaLagRates, replicaLagMutations, replicaBase =
+			savedLens, savedRates, savedMuts, savedBase
+	}()
+	var sb strings.Builder
+	recs, err := RunReplica(&sb, tinyConfig())
+	if err != nil {
+		t.Fatalf("replica: %v", err)
+	}
+	if !strings.Contains(sb.String(), "Replication") {
+		t.Error("replica output incomplete")
+	}
+	if want := len(replicaCatchUpLengths) + len(replicaLagRates); len(recs) != want {
+		t.Fatalf("replica produced %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Experiment != "replica" {
+			t.Errorf("bad replica record %+v", r)
+		}
+		switch r.Joiner {
+		case "replica-catchup":
+			if r.CatchUpPerSec == nil || *r.CatchUpPerSec <= 0 || r.WALRecords != replicaCatchUpLengths[0] {
+				t.Errorf("catch-up row missing accounting: %+v", r)
+			}
+		default:
+			if r.MutationsPerSec == nil || *r.MutationsPerSec <= 0 ||
+				r.ReplicaLagSeqs == nil || *r.ReplicaLagSeqs < 0 {
+				t.Errorf("lag row missing accounting: %+v", r)
+			}
+		}
+	}
+}
+
 func TestMeasureIndexJoin(t *testing.T) {
 	set, err := data.GeneratePolygons(data.PolygonConfig{
 		Name: "m", NumRegions: 6, Lattice: 48, Seed: 9,

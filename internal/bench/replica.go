@@ -1,0 +1,274 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/geojson"
+	"github.com/actindex/act/internal/replica"
+	"github.com/actindex/act/internal/wal"
+)
+
+// replicaCatchUpLengths are the log lengths (records behind) of the
+// catch-up curve: how fast a freshly bootstrapped follower drains a
+// primary that kept mutating while it was away. Vars — like the wal
+// experiment's knobs — so the test harness can shrink the experiment.
+var replicaCatchUpLengths = []int{256, 1024, 4096}
+
+// replicaLagRates are the primary mutation rates (inserts per second) of
+// the steady-state curve, and replicaLagMutations how many mutations each
+// rate row applies while sampling the follower's lag.
+var (
+	replicaLagRates     = []int{16, 64, 256}
+	replicaLagMutations = 64
+)
+
+// replicaBase is the primary's base polygon count: big enough that the
+// snapshot fetch is a real part of bootstrap cost, small enough that the
+// experiment stays within a smoke run.
+var replicaBase = 256
+
+// RunReplica measures the two costs of primary → follower replication.
+// First, catch-up throughput: a follower bootstraps against a primary
+// whose log holds N records the snapshot does not, and the time from
+// connect to AppliedSeq == N prices the whole pipeline — snapshot fetch,
+// record stream, batched ApplyReplicated, epoch swings, and the follower's
+// own compactions. Second, steady-state lag: the primary mutates at a
+// fixed rate while a caught-up follower tails the stream, and the mean
+// sequence-number gap sampled at each mutation tick is the replication lag
+// a reader on the follower actually experiences. One Record per row lands
+// in BENCH_8.json.
+func RunReplica(w io.Writer, cfg Config) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	section(w, "Replication: follower catch-up throughput and steady-state lag")
+
+	dir, err := os.MkdirTemp("", "actbench-replica")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+	ctx := context.Background()
+	var records []Record
+
+	fmt.Fprintf(w, "%-12s %12s %14s\n", "log records", "catch-up", "records/s")
+	for _, n := range replicaCatchUpLengths {
+		rate, err := measureCatchUp(ctx, filepath.Join(dir, fmt.Sprintf("catchup-%d", n)), n)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, Record{
+			Experiment: "replica", Dataset: "zones", Joiner: "replica-catchup",
+			PrecisionM: 60, Threads: 1,
+			WALRecords:    n,
+			CatchUpPerSec: &rate,
+		})
+		fmt.Fprintf(w, "%-12d %12s %14.0f\n", n,
+			(time.Duration(float64(n) / rate * float64(time.Second))).Round(time.Millisecond), rate)
+	}
+
+	fmt.Fprintf(w, "\n%-14s %12s %12s\n", "mutations/s", "achieved", "mean lag")
+	for _, target := range replicaLagRates {
+		achieved, lag, err := measureLag(ctx, filepath.Join(dir, fmt.Sprintf("lag-%d", target)), target)
+		if err != nil {
+			return nil, err
+		}
+		records = append(records, Record{
+			Experiment: "replica", Dataset: "zones",
+			Joiner:     fmt.Sprintf("replica-lag-%d", target),
+			PrecisionM: 60, Threads: 1,
+			WALRecords:      replicaLagMutations,
+			MutationsPerSec: &achieved,
+			ReplicaLagSeqs:  &lag,
+		})
+		fmt.Fprintf(w, "%-14d %12.0f %12.2f\n", target, achieved, lag)
+	}
+
+	fmt.Fprintln(w, "\nShape: catch-up is bounded by batched apply + follower compaction, not")
+	fmt.Fprintln(w, "the wire; steady-state lag stays near zero until the mutation rate")
+	fmt.Fprintln(w, "outruns one apply round-trip, then grows as batching absorbs the burst.")
+	return records, nil
+}
+
+// measureCatchUp builds a primary whose log is n records ahead of its
+// snapshot, then times a cold follower from first contact to AppliedSeq n.
+// Returns the end-to-end records/second.
+func measureCatchUp(ctx context.Context, dir string, n int) (float64, error) {
+	primary, srv, err := startPrimary(dir, n)
+	if err != nil {
+		return 0, err
+	}
+	defer srv.Close()
+	defer primary.Close()
+
+	fol := replica.NewFollower(srv.URL, filepath.Join(dir, "follower"))
+	runCtx, cancel := context.WithCancel(ctx)
+	runDone := make(chan error, 1)
+	start := time.Now()
+	go func() { runDone <- fol.Run(runCtx) }()
+	if err := waitForSeq(fol, uint64(n), 120*time.Second); err != nil {
+		cancel()
+		<-runDone
+		return 0, fmt.Errorf("replica: catch-up over %d records: %w", n, err)
+	}
+	elapsed := time.Since(start)
+	cancel()
+	<-runDone
+	idx := fol.Index()
+	if got, want := idx.NumPolygons(), replicaBase+n; got != want {
+		idx.Close()
+		return 0, fmt.Errorf("replica: caught-up follower has %d polygons, want %d", got, want)
+	}
+	if err := idx.Close(); err != nil {
+		return 0, err
+	}
+	return float64(n) / elapsed.Seconds(), nil
+}
+
+// measureLag runs a caught-up follower against a primary mutating at
+// target inserts/second and samples the sequence gap at every mutation
+// tick. Returns the achieved mutation rate and the mean sampled lag.
+func measureLag(ctx context.Context, dir string, target int) (achieved, meanLag float64, err error) {
+	primary, srv, err := startPrimary(dir, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer srv.Close()
+	defer primary.Close()
+
+	fol := replica.NewFollower(srv.URL, filepath.Join(dir, "follower"))
+	runCtx, cancel := context.WithCancel(ctx)
+	runDone := make(chan error, 1)
+	go func() { runDone <- fol.Run(runCtx) }()
+	defer func() {
+		cancel()
+		<-runDone
+		if idx := fol.Index(); idx != nil {
+			idx.Close()
+		}
+	}()
+	if err := waitForSeq(fol, 0, 60*time.Second); err != nil {
+		return 0, 0, fmt.Errorf("replica: lag bootstrap: %w", err)
+	}
+
+	tick := time.NewTicker(time.Second / time.Duration(target))
+	defer tick.Stop()
+	var lagSum float64
+	start := time.Now()
+	for m := 1; m <= replicaLagMutations; m++ {
+		<-tick.C
+		// Sample before mutating: the gap at the tick boundary is the
+		// steady-state lag at this rate, not the unavoidable one-record
+		// window right after an acknowledged insert.
+		if m > 1 {
+			lagSum += float64(primary.WALStats().Seq - fol.Status().AppliedSeq)
+		}
+		if _, err := primary.Insert(ctx, walZone(replicaBase+m)); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	if err := waitForSeq(fol, uint64(replicaLagMutations), 60*time.Second); err != nil {
+		return 0, 0, fmt.Errorf("replica: lag convergence: %w", err)
+	}
+	return float64(replicaLagMutations) / elapsed.Seconds(),
+		lagSum / float64(replicaLagMutations-1), nil
+}
+
+// startPrimary builds a durable primary whose snapshot sits n records
+// behind its log (the state a follower bootstrapping mid-churn sees) and
+// serves its replication endpoints. The log is fabricated offline — like
+// the wal experiment's replay rows — so building the backlog doesn't pay
+// n live overlay rebuilds that aren't what the curve measures.
+func startPrimary(dir string, n int) (*act.Index, *httptest.Server, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	walPath := filepath.Join(dir, "primary.wal")
+	snapPath := filepath.Join(dir, "primary.snapshot")
+
+	base := make([]*act.Polygon, replicaBase)
+	for i := range base {
+		base[i] = walZone(i)
+	}
+	// Checkpoint the clean base (floor 0) so every fabricated record stays
+	// in the log for the follower, then append the backlog offline and
+	// reopen: the reopen replays the backlog into the primary's own state,
+	// so follower and primary converge on the same polygons.
+	idx, err := act.New(base,
+		act.WithPrecision(60), act.WithDeltaThreshold(-1),
+		act.WithWAL(act.WALConfig{Path: walPath, SnapshotPath: snapPath, Policy: act.SyncOff}))
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := idx.Checkpoint(context.Background()); err != nil {
+		idx.Close()
+		return nil, nil, err
+	}
+	if err := idx.Close(); err != nil {
+		return nil, nil, err
+	}
+	if n > 0 {
+		if err := appendInserts(walPath, n); err != nil {
+			return nil, nil, err
+		}
+	}
+	idx, err = act.New(base,
+		act.WithPrecision(60), act.WithDeltaThreshold(-1),
+		act.WithWAL(act.WALConfig{Path: walPath, SnapshotPath: snapPath, Policy: act.SyncOff}))
+	if err != nil {
+		return nil, nil, err
+	}
+	if got := idx.WALStats().RecoveredRecords; got != n {
+		idx.Close()
+		return nil, nil, fmt.Errorf("replica: reopen replayed %d records, want %d", got, n)
+	}
+	mux := http.NewServeMux()
+	replica.NewPrimary(idx, walPath, snapPath).Mount(mux)
+	return idx, httptest.NewServer(mux), nil
+}
+
+// appendInserts extends an existing (closed) log with n insert records,
+// ids and seqs continuing where the checkpointed base left off.
+func appendInserts(path string, n int) error {
+	l, _, err := wal.Open(path, wal.Options{Policy: wal.SyncOff})
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	for i := 0; i < n; i++ {
+		var buf bytes.Buffer
+		if err := geojson.WritePolygons(&buf, []*act.Polygon{walZone(replicaBase + i)}); err != nil {
+			return err
+		}
+		rec := wal.Record{Type: wal.TypeInsert, Seq: uint64(i + 1), ID: uint32(replicaBase + i), Data: buf.Bytes()}
+		if err := l.Append(rec); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// waitForSeq polls the follower until AppliedSeq reaches want (and, for
+// want 0, until the bootstrap has published an index at all).
+func waitForSeq(f *replica.Follower, want uint64, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		st := f.Status()
+		if st.AppliedSeq >= want && f.Index() != nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("follower stuck at seq %d (want %d), last error: %v",
+				st.AppliedSeq, want, st.LastError)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

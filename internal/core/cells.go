@@ -1,0 +1,134 @@
+package core
+
+// Cell re-enumeration: the inverse of the insertion pipeline. A built trie
+// is a lossless encoding of its prefix-free super covering — every terminal
+// entry (or denormalized run of identical terminal entries) is one covering
+// cell with a decodable reference set. Cells walks the arena and hands that
+// covering back, which is what lets an index compact without its source
+// polygons: the current base's cells re-enter the super-covering merge
+// directly, no geometry or re-covering required.
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/supercover"
+)
+
+// Cells enumerates the covering cells stored in the trie: visit is called
+// once per cell with the cell id and its decoded polygon references.
+// Denormalized entry runs are coalesced back into the shallowest aligned
+// cell carrying their shared value, so the enumeration is a valid
+// prefix-free covering equivalent to (not necessarily identical to) the one
+// the trie was built from — value-identical sibling cells merge, which is
+// lossless for lookups. The refs slice is reused between calls: the callee
+// must not retain it. Cells stops at, and returns, the first error visit
+// reports. Face and block order is deterministic but not cell-id order.
+func (t *Trie) Cells(visit func(cell cellid.ID, refs []supercover.Ref) error) error {
+	w := cellWalker{t: t, visit: visit}
+	for face := 0; face < cellid.NumFaces; face++ {
+		if t.roots[face] == 0 {
+			continue
+		}
+		w.face = face
+		if err := w.node(t.roots[face], t.rootPrefix[face], t.rootSkip[face]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// cellWalker carries the enumeration state of one Cells call.
+type cellWalker struct {
+	t       *Trie
+	visit   func(cell cellid.ID, refs []supercover.Ref) error
+	face    int
+	scratch []supercover.Ref
+}
+
+// node enumerates the subtree rooted at the given node. key holds the path
+// bits consumed so far, top-aligned in 64 bits; consumed counts them.
+func (w *cellWalker) node(node, key uint64, consumed uint) error {
+	if consumed >= 2*cellid.MaxLevel {
+		return fmt.Errorf("core: trie path at %d bits exceeds the %d-bit cell space", consumed, 2*cellid.MaxLevel)
+	}
+	return w.block(node, 0, uint64(w.t.fanout), key, consumed)
+}
+
+// block enumerates the aligned entry range [base, base+size) of node. When
+// every entry in the block holds the same terminal value it is one covering
+// cell (the denormalization of insert replicated a shallow cell across
+// exactly such a block); otherwise the block splits into its four aligned
+// quarters, down to single entries, which recurse into child nodes.
+func (w *cellWalker) block(node, base, size, key uint64, consumed uint) error {
+	t := w.t
+	slot := node*uint64(t.fanout) + base
+	entries := t.nodes[slot : slot+size]
+	first := entries[0]
+	uniform := true
+	for _, e := range entries[1:] {
+		if e != first {
+			uniform = false
+			break
+		}
+	}
+	if uniform && (first == 0 || first&tagMask != tagChild) {
+		if first == 0 {
+			return nil // uncovered gap
+		}
+		// One cell: the block's shared path is key plus the top bits of the
+		// block's base index (its low log2(size) bits are zero by alignment).
+		totalBits := consumed + t.bits - uint(bits.TrailingZeros64(size))
+		if totalBits > 2*cellid.MaxLevel {
+			return fmt.Errorf("core: trie cell at %d path bits is deeper than level %d", totalBits, cellid.MaxLevel)
+		}
+		cellKey := key | base<<(64-consumed-t.bits)
+		pos := cellKey>>4<<1 | 1 // any leaf under the cell; Parent trims it
+		cell := cellid.FromFacePosLevel(w.face, pos, int(totalBits)/2)
+		w.scratch = t.appendEntryRefs(first, w.scratch[:0])
+		return w.visit(cell, w.scratch)
+	}
+	if size == 1 {
+		// A lone non-uniform slot is a child pointer (terminals and empties
+		// were handled above).
+		childKey := key | base<<(64-consumed-t.bits)
+		return w.node(first>>2, childKey, consumed+t.bits)
+	}
+	quarter := size / 4
+	for i := uint64(0); i < 4; i++ {
+		if err := w.block(node, base+i*quarter, quarter, key, consumed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// appendEntryRefs decodes a terminal entry's reference set into dst.
+func (t *Trie) appendEntryRefs(entry uint64, dst []supercover.Ref) []supercover.Ref {
+	switch entry & tagMask {
+	case tagOne:
+		return appendRefPayload(dst, uint32(entry>>2))
+	case tagTwo:
+		return appendRefPayload(appendRefPayload(dst, uint32(entry>>2&payloadMax)), uint32(entry>>33))
+	default: // tagOffset
+		off := uint32(entry >> 2)
+		nTrue := t.table[off]
+		off++
+		for _, id := range t.table[off : off+nTrue] {
+			dst = append(dst, supercover.Ref{PolygonID: id, Interior: true})
+		}
+		off += nTrue
+		nCand := t.table[off]
+		off++
+		for _, id := range t.table[off : off+nCand] {
+			dst = append(dst, supercover.Ref{PolygonID: id})
+		}
+		return dst
+	}
+}
+
+// appendRefPayload decodes one 31-bit payload into a Ref.
+func appendRefPayload(dst []supercover.Ref, p uint32) []supercover.Ref {
+	return append(dst, supercover.Ref{PolygonID: p >> 1, Interior: p&1 != 0})
+}

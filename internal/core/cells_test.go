@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/supercover"
+)
+
+// refSet flattens a Result into a set of (id, class) pairs.
+func refSet(res *Result) map[supercover.Ref]bool {
+	out := map[supercover.Ref]bool{}
+	for _, id := range res.True {
+		out[supercover.Ref{PolygonID: id, Interior: true}] = true
+	}
+	for _, id := range res.Candidates {
+		out[supercover.Ref{PolygonID: id}] = true
+	}
+	return out
+}
+
+// TestCellsCoalescesDenormalization: a shallow cell denormalized across a
+// run of entries must come back as exactly one cell at its original level.
+func TestCellsCoalescesDenormalization(t *testing.T) {
+	cell := cellid.FromFace(2).Child(3)
+	sc := buildSC(t, map[uint32]struct{ boundary, interior []cellid.ID }{
+		9: {interior: []cellid.ID{cell}},
+	})
+	for _, f := range fanouts {
+		trie, err := Build(sc, Config{Fanout: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []cellid.ID
+		err = trie.Cells(func(c cellid.ID, refs []supercover.Ref) error {
+			got = append(got, c)
+			if len(refs) != 1 || refs[0] != (supercover.Ref{PolygonID: 9, Interior: true}) {
+				t.Errorf("fanout %d: cell %v refs = %v", f, c, refs)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("fanout %d: %v", f, err)
+		}
+		if len(got) != 1 || got[0] != cell {
+			t.Errorf("fanout %d: Cells = %v, want [%v]", f, got, cell)
+		}
+	}
+}
+
+// TestCellsRoundTrip builds a trie from randomized coverings, re-enumerates
+// its cells, feeds them through supercover.Builder.AddCell into a second
+// trie, and checks the two tries are lookup-identical — the invariant epoch
+// compaction rests on. The rebuilt covering must also be prefix-free (Build
+// rejects overlap) and at most as large as the original (coalescing never
+// splits).
+func TestCellsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 20; trial++ {
+		polys := map[uint32]struct{ boundary, interior []cellid.ID }{}
+		nPolys := 1 + rng.Intn(6)
+		for p := 0; p < nPolys; p++ {
+			var entry struct{ boundary, interior []cellid.ID }
+			for c := 0; c < 1+rng.Intn(10); c++ {
+				leaf := cellid.FromFaceIJ(rng.Intn(3), rng.Intn(cellid.MaxSize), rng.Intn(cellid.MaxSize))
+				cell := leaf.Parent(1 + rng.Intn(cellid.MaxLevel))
+				if rng.Intn(2) == 0 {
+					entry.boundary = append(entry.boundary, cell)
+				} else {
+					entry.interior = append(entry.interior, cell)
+				}
+			}
+			polys[uint32(p)] = entry
+		}
+		sc := buildSC(t, polys)
+		for _, f := range fanouts {
+			trie, err := Build(sc, Config{Fanout: f})
+			if err != nil {
+				t.Fatalf("trial %d fanout %d: %v", trial, f, err)
+			}
+			var rb supercover.Builder
+			cells := 0
+			err = trie.Cells(func(c cellid.ID, refs []supercover.Ref) error {
+				cells++
+				if len(refs) == 0 {
+					t.Fatalf("trial %d fanout %d: cell %v with no refs", trial, f, c)
+				}
+				return rb.AddCell(c, refs)
+			})
+			if err != nil {
+				t.Fatalf("trial %d fanout %d: Cells: %v", trial, f, err)
+			}
+			if cells > sc.NumCells() {
+				t.Errorf("trial %d fanout %d: %d enumerated cells > %d original",
+					trial, f, cells, sc.NumCells())
+			}
+			sc2 := rb.Build()
+			trie2, err := Build(sc2, Config{Fanout: f})
+			if err != nil {
+				t.Fatalf("trial %d fanout %d: rebuild: %v", trial, f, err)
+			}
+			var res, res2 Result
+			for q := 0; q < 400; q++ {
+				var leaf cellid.ID
+				if q%2 == 0 && sc.NumCells() > 0 {
+					cell := sc.Cell(rng.Intn(sc.NumCells()))
+					span := uint64(cell.RangeMax()-cell.RangeMin()) / 2
+					leaf = cellid.ID(uint64(cell.RangeMin()) + 2*uint64(rng.Int63n(int64(span+1))))
+				} else {
+					leaf = cellid.FromFaceIJ(rng.Intn(3), rng.Intn(cellid.MaxSize), rng.Intn(cellid.MaxSize))
+				}
+				res.Reset()
+				res2.Reset()
+				hit := trie.Lookup(leaf, &res)
+				hit2 := trie2.Lookup(leaf, &res2)
+				if hit != hit2 {
+					t.Fatalf("trial %d fanout %d leaf %v: hit %v vs rebuilt %v", trial, f, leaf, hit, hit2)
+				}
+				if !hit {
+					continue
+				}
+				got, want := refSet(&res2), refSet(&res)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d fanout %d leaf %v: rebuilt %v, want %v", trial, f, leaf, got, want)
+				}
+				for r := range want {
+					if !got[r] {
+						t.Fatalf("trial %d fanout %d leaf %v: rebuilt covering misses %v", trial, f, leaf, r)
+					}
+				}
+			}
+		}
+	}
+}

@@ -345,3 +345,14 @@ func (o *Overlay) Polys() []Poly {
 	}
 	return o.polys
 }
+
+// Tombstones returns the overlay's removed-id map, keyed to each removal's
+// sequence number. The map is internal storage shared with the overlay —
+// callers must not modify it; copy before merging (the replication batch
+// path does).
+func (o *Overlay) Tombstones() map[uint32]uint64 {
+	if o == nil {
+		return nil
+	}
+	return o.tombs
+}

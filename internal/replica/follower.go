@@ -1,0 +1,310 @@
+package replica
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/wal"
+)
+
+// Status is a point-in-time snapshot of a follower's replication state.
+type Status struct {
+	// Connected reports whether a record stream is currently open.
+	Connected bool
+	// AppliedSeq is the last primary sequence applied to the serving
+	// index; PrimarySeq the newest sequence the stream has announced
+	// (records or heartbeats). PrimarySeq - AppliedSeq is the lag.
+	AppliedSeq uint64
+	PrimarySeq uint64
+	// Reconnects counts stream (re)connections beyond the first;
+	// Bootstraps counts snapshot downloads (1 after a clean start).
+	Reconnects uint64
+	Bootstraps uint64
+	// LastError is the most recent sync error ("" while healthy).
+	LastError string
+}
+
+// Lag returns the sequence distance to the primary.
+func (s Status) Lag() uint64 {
+	if s.PrimarySeq > s.AppliedSeq {
+		return s.PrimarySeq - s.AppliedSeq
+	}
+	return 0
+}
+
+// maxBatchRecords caps one ApplyReplicated batch during catch-up: big
+// enough to amortize the overlay rebuild, small enough that the epoch
+// swings (and compaction triggers) keep pace with the stream.
+const maxBatchRecords = 256
+
+// Follower tracks a replication primary: it bootstraps from the primary's
+// checkpoint snapshot, applies the streamed log records, and keeps
+// retrying with backoff across stream loss, primary restarts, and log
+// rotations (a 410 from the primary re-bootstraps from the fresh
+// snapshot). The serving index is exposed through Index and republished
+// through OnSwap after each bootstrap.
+type Follower struct {
+	primaryURL string
+	dir        string
+	opts       []act.Option
+	client     *http.Client
+
+	// OnSwap, when set, is called with each newly bootstrapped index
+	// (including the first) — the hook a server uses to swing the new
+	// index into its act.Swappable. The previous index must not be closed
+	// here: in-flight readers may still hold it, and its mapping is
+	// released by the collector once they retire. Set before Run.
+	OnSwap func(*act.Index)
+	// Backoff bounds the reconnect delay (min grows to max by doubling).
+	// Defaults: 100ms to 5s. Set before Run.
+	BackoffMin, BackoffMax time.Duration
+
+	mu        sync.Mutex
+	idx       *act.Index
+	status    Status
+	connected bool // a stream has been opened at least once
+}
+
+// NewFollower wires a follower of the primary at primaryURL (scheme +
+// host, no path). Downloaded snapshots land in dir; opts are passed to
+// act.OpenFollower (WithDeltaThreshold etc.).
+func NewFollower(primaryURL, dir string, opts ...act.Option) *Follower {
+	return &Follower{
+		primaryURL: primaryURL,
+		dir:        dir,
+		opts:       opts,
+		client:     &http.Client{},
+		BackoffMin: 100 * time.Millisecond,
+		BackoffMax: 5 * time.Second,
+	}
+}
+
+// Index returns the serving index (nil before the first bootstrap).
+func (f *Follower) Index() *act.Index {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.idx
+}
+
+// Status returns the current replication status.
+func (f *Follower) Status() Status {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.status
+}
+
+// Bootstrap downloads the primary's checkpoint snapshot, opens it as a
+// follower index, and publishes it (OnSwap). The stream resumes from the
+// snapshot's announced floor; anything between the floor and the
+// snapshot's true content is absorbed by idempotent replay. Run calls this
+// as needed; calling it once before Run lets a server fail fast (and serve
+// immediately) instead of coming up empty.
+func (f *Follower) Bootstrap(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.primaryURL+SnapshotPath, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: snapshot request: %s: %s", resp.Status, body)
+	}
+	baseSeq, err := strconv.ParseUint(resp.Header.Get(HeaderBaseSeq), 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: snapshot response lacks a valid %s header: %w", HeaderBaseSeq, err)
+	}
+
+	// Land the snapshot atomically (temp + rename): a crash mid-download
+	// never leaves a torn file where the next start expects an index.
+	if err := os.MkdirAll(f.dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(f.dir, "follower.snapshot")
+	tmp, err := os.CreateTemp(f.dir, "follower.snapshot.tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	if _, err := io.Copy(tmp, resp.Body); err != nil {
+		tmp.Close()
+		return fmt.Errorf("replica: downloading snapshot: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+
+	idx, err := act.OpenFollower(path, f.opts...)
+	if err != nil {
+		return fmt.Errorf("replica: opening snapshot: %w", err)
+	}
+	f.mu.Lock()
+	f.idx = idx
+	f.status.Bootstraps++
+	f.status.AppliedSeq = baseSeq
+	if f.status.PrimarySeq < baseSeq {
+		f.status.PrimarySeq = baseSeq
+	}
+	f.mu.Unlock()
+	if f.OnSwap != nil {
+		f.OnSwap(idx)
+	}
+	return nil
+}
+
+// errBootstrap signals that the primary's floor passed our resume point:
+// re-bootstrap from the snapshot instead of backing off.
+var errBootstrap = errors.New("replica: primary checkpointed past the resume point")
+
+// Run drives the replication loop until ctx is cancelled: bootstrap when
+// needed, stream, apply, and reconnect with exponential backoff on stream
+// loss. It returns ctx.Err() on cancellation.
+func (f *Follower) Run(ctx context.Context) error {
+	backoff := f.BackoffMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := f.syncOnce(ctx)
+		if err == nil || errors.Is(err, errBootstrap) {
+			// Made progress (stream ended cleanly) or told to re-bootstrap:
+			// go around immediately.
+			backoff = f.BackoffMin
+			continue
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		f.mu.Lock()
+		f.status.Connected = false
+		f.status.LastError = err.Error()
+		f.mu.Unlock()
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > f.BackoffMax {
+			backoff = f.BackoffMax
+		}
+	}
+}
+
+// syncOnce runs one connection lifetime: ensure an index exists, open the
+// stream at the current position, and apply records until the stream ends.
+// A clean end (primary closed the stream, e.g. after rotating past us)
+// returns nil; errBootstrap means download the new snapshot first.
+func (f *Follower) syncOnce(ctx context.Context) error {
+	f.mu.Lock()
+	idx, after := f.idx, f.status.AppliedSeq
+	f.mu.Unlock()
+	if idx == nil {
+		if err := f.Bootstrap(ctx); err != nil {
+			return err
+		}
+		f.mu.Lock()
+		idx, after = f.idx, f.status.AppliedSeq
+		f.mu.Unlock()
+	}
+
+	u := f.primaryURL + StreamPath + "?after=" + url.QueryEscape(strconv.FormatUint(after, 10))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return fmt.Errorf("replica: stream request: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusGone {
+		// Our position fell below the checkpoint floor; the records we
+		// need exist only in the newer snapshot now.
+		f.mu.Lock()
+		f.idx = nil
+		f.mu.Unlock()
+		return errBootstrap
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("replica: stream request: %s: %s", resp.Status, body)
+	}
+	f.mu.Lock()
+	if f.connected {
+		f.status.Reconnects++
+	}
+	f.connected = true
+	f.status.Connected = true
+	f.status.LastError = ""
+	f.mu.Unlock()
+	defer func() {
+		f.mu.Lock()
+		f.status.Connected = false
+		f.mu.Unlock()
+	}()
+
+	br := bufio.NewReaderSize(resp.Body, 1<<20)
+	batch := make([]wal.Record, 0, maxBatchRecords)
+	for {
+		// Block for one frame, then drain whatever else is already
+		// buffered: catch-up applies in big amortized batches, steady
+		// state applies each mutation as it arrives.
+		rec, err := wal.ReadFrame(br)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				return nil // primary ended the stream on a boundary
+			}
+			return fmt.Errorf("replica: stream: %w", err)
+		}
+		batch = append(batch[:0], rec)
+		for len(batch) < maxBatchRecords && br.Buffered() > 0 {
+			rec, err := wal.ReadFrame(br)
+			if err != nil {
+				break // torn buffer tail: apply what we have, fail next read
+			}
+			batch = append(batch, rec)
+		}
+		if err := f.apply(ctx, idx, batch); err != nil {
+			return err
+		}
+	}
+}
+
+// apply lands one batch on the index and rolls the status counters.
+func (f *Follower) apply(ctx context.Context, idx *act.Index, batch []wal.Record) error {
+	if err := idx.ApplyReplicated(ctx, batch); err != nil {
+		return fmt.Errorf("replica: applying batch: %w", err)
+	}
+	var newest uint64
+	for _, rec := range batch {
+		if rec.Seq > newest {
+			newest = rec.Seq
+		}
+	}
+	f.mu.Lock()
+	if applied := idx.AppliedSeq(); applied > f.status.AppliedSeq {
+		f.status.AppliedSeq = applied
+	}
+	if newest > f.status.PrimarySeq {
+		f.status.PrimarySeq = newest
+	}
+	f.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,256 @@
+// Package replica implements primary → follower replication for durable
+// ACT indexes over HTTP.
+//
+// The primary is an ordinary durable index (a WAL plus a checkpoint
+// snapshot): Primary serves the snapshot for bootstrapping and the log as
+// a resumable record stream, reusing the log's own length-prefixed,
+// per-record-CRC'd frame layout on the wire — a stream cut mid-record is
+// detected exactly like a torn tail on disk, and the follower resumes from
+// the last whole record. The follower (Follower) bootstraps from the
+// snapshot, applies streamed records into its delta overlay in batches
+// (act.Index.ApplyReplicated), and swings epochs as batches land, so
+// readers on the follower never block; background compaction folds the
+// overlay down and keeps a long-lived follower's memory bounded.
+//
+// The handshake is sequence-based. A follower asks for records after seq N;
+// the primary answers 410 Gone when N has fallen below the log's checkpoint
+// floor (the records were folded into a newer snapshot), which tells the
+// follower to bootstrap from the current snapshot instead of replaying a
+// hole. Log rotation mid-stream ends the stream the same way when the new
+// floor passed the follower; otherwise the stream reopens the rotated file
+// and carries on. Everything the follower applies is idempotent, so any
+// overlap between snapshot and resume point is absorbed.
+package replica
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/wal"
+)
+
+// Wire protocol names.
+const (
+	// SnapshotPath is the bootstrap endpoint: the current checkpoint
+	// snapshot as an octet stream, with HeaderBaseSeq carrying the seq
+	// floor the snapshot covers.
+	SnapshotPath = "/replication/snapshot"
+	// StreamPath is the record stream endpoint; the "after" query
+	// parameter carries the follower's resume sequence.
+	StreamPath = "/replication/stream"
+	// HeaderBaseSeq is the response header carrying the checkpoint floor:
+	// on a snapshot response, the floor the snapshot covers; on a 410, the
+	// floor the follower's resume point fell below.
+	HeaderBaseSeq = "X-Act-Base-Seq"
+)
+
+// defaultHeartbeat is the idle-stream heartbeat cadence: a synthetic
+// checkpoint frame carrying the primary's current sequence, letting the
+// follower measure lag (and the connection prove liveness) without data.
+const defaultHeartbeat = 2 * time.Second
+
+// Primary serves a durable index's snapshot and log stream to followers.
+// It holds only read handles: the index keeps writing its WAL and rotating
+// it at checkpoints exactly as without replication.
+type Primary struct {
+	idx          *act.Index
+	walPath      string
+	snapshotPath string
+	// Heartbeat is the idle-stream heartbeat cadence (default 2s); tests
+	// shrink it. Set before the first request.
+	Heartbeat time.Duration
+}
+
+// NewPrimary wires a primary around a durable index. walPath and
+// snapshotPath name the index's own log and checkpoint snapshot files (the
+// same paths the index was built or recovered with).
+func NewPrimary(idx *act.Index, walPath, snapshotPath string) *Primary {
+	return &Primary{idx: idx, walPath: walPath, snapshotPath: snapshotPath, Heartbeat: defaultHeartbeat}
+}
+
+// Mount registers the replication endpoints on mux.
+func (p *Primary) Mount(mux *http.ServeMux) {
+	mux.HandleFunc("GET "+SnapshotPath, p.handleSnapshot)
+	mux.HandleFunc("GET "+StreamPath, p.handleStream)
+}
+
+// handleSnapshot serves the checkpoint snapshot, forcing one first when
+// none exists yet (a primary that has never compacted). The seq floor is
+// read from the log BEFORE the file is opened: a checkpoint racing in
+// between makes the served file newer than the advertised floor, which the
+// follower's idempotent replay absorbs — the reverse order could advertise
+// a floor the file does not reach.
+func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	if _, err := os.Stat(p.snapshotPath); errors.Is(err, fs.ErrNotExist) {
+		if err := p.idx.Checkpoint(r.Context()); err != nil {
+			http.Error(w, "creating bootstrap snapshot: "+err.Error(), http.StatusServiceUnavailable)
+			return
+		}
+	}
+	baseSeq := p.idx.WALStats().BaseSeq
+	f, err := os.Open(p.snapshotPath)
+	if err != nil {
+		http.Error(w, "opening snapshot: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		http.Error(w, "snapshot stat: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.FormatInt(fi.Size(), 10))
+	w.Header().Set(HeaderBaseSeq, strconv.FormatUint(baseSeq, 10))
+	_, _ = io.Copy(w, f)
+}
+
+// handleStream serves the log as a long-lived record stream: every record
+// with seq > after, in log order, in the log's own frame layout, followed
+// by whatever the log appends for as long as the follower stays connected.
+// Idle periods carry heartbeat checkpoint frames with the primary's
+// current sequence. The stream ends when the client goes away, the log
+// closes, or a rotation moves the floor past the follower (who then
+// re-syncs and is told 410 → bootstrap).
+func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
+	var after uint64
+	if s := r.URL.Query().Get("after"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			http.Error(w, `bad "after" sequence`, http.StatusBadRequest)
+			return
+		}
+		after = v
+	}
+	f, base, err := p.openLog()
+	if err != nil {
+		http.Error(w, "opening log: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	defer func() { f.Close() }()
+	if after < base {
+		// The resume point predates the checkpoint floor: those records
+		// were folded into a newer snapshot. Hand the follower the
+		// snapshot, not a hole.
+		w.Header().Set(HeaderBaseSeq, strconv.FormatUint(base, 10))
+		http.Error(w, "resume point is below the checkpoint floor; bootstrap from the snapshot", http.StatusGone)
+		return
+	}
+
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.WriteHeader(http.StatusOK)
+	if flusher != nil {
+		flusher.Flush()
+	}
+
+	heartbeat := p.Heartbeat
+	if heartbeat <= 0 {
+		heartbeat = defaultHeartbeat
+	}
+	tick := time.NewTicker(heartbeat)
+	defer tick.Stop()
+
+	lastSent := after
+	offset := int64(wal.HeaderSize)
+	for {
+		// Fetch the wake channel before draining, so an append that lands
+		// during the scan re-arms the loop instead of being missed. A nil
+		// channel means the log closed — the primary is shutting down.
+		updates := p.idx.WALUpdates()
+		if updates == nil {
+			return
+		}
+
+		// Drain everything currently on disk past our offset. The tail may
+		// be torn mid-write (we read through an independent handle); that
+		// simply ends the drain and the next wake retries from the same
+		// offset.
+		if _, err := f.Seek(offset, io.SeekStart); err != nil {
+			return
+		}
+		br := bufio.NewReaderSize(f, 1<<20)
+		progress := false
+		for {
+			rec, err := wal.ReadFrame(br)
+			if err != nil {
+				break // clean EOF or a not-yet-complete tail
+			}
+			offset += int64(wal.FrameOverhead + len(rec.Data))
+			if rec.Seq <= lastSent {
+				continue // at or below the resume point (or a stale marker)
+			}
+			if _, err := w.Write(wal.EncodeFrame(rec)); err != nil {
+				return // client went away
+			}
+			lastSent = rec.Seq
+			progress = true
+		}
+		if progress && flusher != nil {
+			flusher.Flush()
+		}
+
+		select {
+		case <-r.Context().Done():
+			return
+		case <-updates:
+			// New data or a rotation; fall through to the rotation check.
+		case <-tick.C:
+			hb := wal.Record{Type: wal.TypeCheckpoint, Seq: p.idx.WALStats().Seq}
+			if _, err := w.Write(wal.EncodeFrame(hb)); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+
+		// Rotation check: Checkpoint swings a fresh file in by rename, so
+		// our handle keeps reading the orphaned old inode. When the path
+		// points elsewhere, reopen — and if the new floor passed what this
+		// follower has, end the stream: the records it needs live only in
+		// the snapshot now, and the re-sync gets 410 → bootstrap.
+		cur, err := os.Stat(p.walPath)
+		if err != nil {
+			return
+		}
+		if fi, err := f.Stat(); err != nil || os.SameFile(fi, cur) {
+			if err != nil {
+				return
+			}
+			continue
+		}
+		f.Close()
+		var newBase uint64
+		if f, newBase, err = p.openLog(); err != nil {
+			return
+		}
+		if newBase > lastSent {
+			return
+		}
+		offset = int64(wal.HeaderSize) // rescan; seq ≤ lastSent frames skip
+	}
+}
+
+// openLog opens an independent read handle on the log and validates its
+// header, returning the handle and the checkpoint floor.
+func (p *Primary) openLog() (*os.File, uint64, error) {
+	f, err := os.Open(p.walPath)
+	if err != nil {
+		return nil, 0, err
+	}
+	base, err := wal.ReadHeader(f)
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("log header: %w", err)
+	}
+	return f, base, nil
+}

@@ -96,6 +96,22 @@ func (b *Builder) Add(polygonID uint32, cov *cover.Covering) error {
 	return nil
 }
 
+// AddCell registers one already-merged covering cell with explicit
+// references — the re-ingestion path used when the original per-polygon
+// coverings are gone and the cells come straight out of an existing trie
+// (core.Trie.Cells): epoch compaction feeds a base's cells through here and
+// the delta polygons' coverings through Add, and Build's pushdown resolves
+// any overlap between the two exactly as it does between polygons.
+func (b *Builder) AddCell(cell cellid.ID, refs []Ref) error {
+	for _, r := range refs {
+		if r.PolygonID > MaxPolygonID {
+			return fmt.Errorf("supercover: polygon id %d exceeds the 30-bit limit", r.PolygonID)
+		}
+		b.pairs = append(b.pairs, pair{cell: cell, ref: r})
+	}
+	return nil
+}
+
 // Build merges everything added so far into a prefix-free super covering.
 func (b *Builder) Build() *SuperCovering {
 	// Sort in "interval order": by first leaf, then shallower (larger)

@@ -161,9 +161,26 @@ const (
 	maxRecordBytes = 64 << 20
 )
 
+// HeaderSize is the length of the log file header; records start at this
+// offset. Exported for replication, which tails the log file through an
+// independent read handle.
+const HeaderSize = headerSize
+
+// FrameOverhead is the fixed framing cost of one record: the length and
+// CRC prefixes plus the type/seq/id payload head. A full frame occupies
+// FrameOverhead + len(Data) bytes, on disk and on the wire alike.
+const FrameOverhead = recordOverhead
+
 // ErrCorrupt reports a log whose header (not merely its tail) is
 // unreadable; such a file cannot be recovered from and is not truncated.
 var ErrCorrupt = errors.New("wal: corrupt log header")
+
+// ErrTornFrame reports a record frame that ends mid-body, fails its CRC,
+// or carries an impossible length or type. On disk this is a torn tail
+// (the scan stops there); on a replication stream it is a connection cut
+// mid-record — the receiver drops the fragment and resumes from the last
+// whole record, exactly as crash recovery does.
+var ErrTornFrame = errors.New("wal: torn or corrupt record frame")
 
 // Log is an open write-ahead log. Append, Sync, Checkpoint, Stats, and
 // Close are safe for concurrent use with each other; the caller serializes
@@ -182,6 +199,9 @@ type Log struct {
 	lastSync    time.Time
 	checkpoints uint64
 	closed      bool
+	// notify is closed and replaced whenever the log grows, rotates, or
+	// closes — the broadcast replication tailers block on (Updates).
+	notify chan struct{}
 	// stop ends the SyncInterval flusher goroutine.
 	stop chan struct{}
 	done chan struct{}
@@ -200,7 +220,7 @@ func Open(path string, opts Options) (*Log, *Replay, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{f: f, path: path, opts: opts}
+	l := &Log{f: f, path: path, opts: opts, notify: make(chan struct{})}
 	rep, err := l.recover()
 	if err != nil {
 		f.Close()
@@ -241,17 +261,10 @@ func (l *Log) recover() (*Replay, error) {
 		return nil, err
 	}
 	br := bufio.NewReaderSize(l.f, 1<<20)
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	baseSeq, err := ReadHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	if string(hdr[:4]) != logMagic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
-	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != logVersion {
-		return nil, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
-	}
-	baseSeq := binary.LittleEndian.Uint64(hdr[8:])
 
 	records, good, err := scanRecords(br, headerSize)
 	if err != nil {
@@ -284,6 +297,64 @@ func (l *Log) recover() (*Replay, error) {
 	return rep, nil
 }
 
+// ReadHeader reads and validates a log file header, returning its
+// checkpoint floor (baseSeq). Replication serves the log through an
+// independent read handle; this is that reader's entry point.
+func ReadHeader(r io.Reader) (baseSeq uint64, err error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if string(hdr[:4]) != logMagic {
+		return 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != logVersion {
+		return 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	}
+	return binary.LittleEndian.Uint64(hdr[8:]), nil
+}
+
+// ReadFrame reads one record frame from r, verifying its CRC. It returns
+// io.EOF when r ends cleanly on a frame boundary and ErrTornFrame when the
+// frame is cut short, fails its checksum, or carries an impossible length
+// or type — the wire-side twin of the on-disk tail scan, so a replication
+// stream detects a torn record exactly as crash recovery does.
+func ReadFrame(r io.Reader) (Record, error) {
+	var prefix [8]byte
+	if _, err := io.ReadFull(r, prefix[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF // clean boundary
+		}
+		return Record{}, ErrTornFrame // mid-prefix cut
+	}
+	length := binary.LittleEndian.Uint32(prefix[0:])
+	crc := binary.LittleEndian.Uint32(prefix[4:])
+	if length < 13 || length > maxRecordBytes {
+		return Record{}, ErrTornFrame
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, ErrTornFrame // torn body
+	}
+	if crc32.ChecksumIEEE(payload) != crc {
+		return Record{}, ErrTornFrame // bit rot or torn write
+	}
+	rec := Record{
+		Type: Type(payload[0]),
+		Seq:  binary.LittleEndian.Uint64(payload[1:]),
+		ID:   binary.LittleEndian.Uint32(payload[9:]),
+	}
+	if len(payload) > 13 {
+		rec.Data = payload[13:]
+	}
+	switch rec.Type {
+	case TypeInsert, TypeRemove, TypeCheckpoint:
+	default:
+		return Record{}, ErrTornFrame // unknown type: stop, do not guess
+	}
+	return rec, nil
+}
+
 // scanRecords parses records until EOF or the first invalid record,
 // returning the parsed records and the byte offset one past the last valid
 // record. It never fails on malformed bytes — they simply end the scan —
@@ -291,41 +362,20 @@ func (l *Log) recover() (*Replay, error) {
 func scanRecords(br *bufio.Reader, start int64) ([]Record, int64, error) {
 	var records []Record
 	good := start
-	var prefix [8]byte
 	for {
-		if _, err := io.ReadFull(br, prefix[:]); err != nil {
-			// Clean EOF or a torn length/crc prefix: the log ends here.
+		rec, err := ReadFrame(br)
+		if err != nil {
+			// Clean EOF or a torn/corrupt frame: the log ends here.
 			return records, good, nil
-		}
-		length := binary.LittleEndian.Uint32(prefix[0:])
-		crc := binary.LittleEndian.Uint32(prefix[4:])
-		if length < 13 || length > maxRecordBytes {
-			return records, good, nil
-		}
-		payload := make([]byte, length)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return records, good, nil // torn body
-		}
-		if crc32.ChecksumIEEE(payload) != crc {
-			return records, good, nil // bit rot or torn write
-		}
-		rec := Record{
-			Type: Type(payload[0]),
-			Seq:  binary.LittleEndian.Uint64(payload[1:]),
-			ID:   binary.LittleEndian.Uint32(payload[9:]),
-		}
-		if len(payload) > 13 {
-			rec.Data = payload[13:]
-		}
-		switch rec.Type {
-		case TypeInsert, TypeRemove, TypeCheckpoint:
-		default:
-			return records, good, nil // unknown type: stop, do not guess
 		}
 		records = append(records, rec)
-		good += 8 + int64(length)
+		good += int64(recordOverhead + len(rec.Data))
 	}
 }
+
+// EncodeFrame lays rec out in its frame — the length/CRC-prefixed layout
+// shared by the log file and the replication wire protocol.
+func EncodeFrame(rec Record) []byte { return encode(rec) }
 
 // encode lays rec out in its on-disk frame.
 func encode(rec Record) []byte {
@@ -358,15 +408,38 @@ func (l *Log) Append(rec Record) error {
 	}
 	l.bytes += int64(len(buf))
 	l.seq = rec.Seq
-	switch l.opts.Policy {
-	case SyncAlways:
+	// Every policy marks the file dirty; SyncAlways clears it immediately
+	// below, and Close flushes whatever is still pending (so even SyncOff
+	// leaves a durable file behind a clean shutdown).
+	l.dirty = true
+	if l.opts.Policy == SyncAlways {
 		if err := l.syncLocked(); err != nil {
 			return fmt.Errorf("wal: fsync: %w", err)
 		}
-	case SyncInterval:
-		l.dirty = true
 	}
+	l.bumpLocked()
 	return nil
+}
+
+// bumpLocked wakes everyone blocked on Updates: the current notify channel
+// is closed and replaced. Caller holds l.mu.
+func (l *Log) bumpLocked() {
+	close(l.notify)
+	l.notify = make(chan struct{})
+}
+
+// Updates returns a channel that is closed the next time the log grows,
+// rotates, or closes. Wait on it, re-check the log state (Stats), then call
+// Updates again for a fresh channel — the replication stream tails the log
+// this way instead of polling. Once the log is closed, Updates returns nil
+// (the woken waiter's signal to stop tailing).
+func (l *Log) Updates() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.notify
 }
 
 // Sync forces buffered records to stable storage regardless of policy.
@@ -505,6 +578,7 @@ func (l *Log) Checkpoint(snapSeq uint64) error {
 	l.dirty = false
 	l.lastSync = time.Now()
 	l.checkpoints++
+	l.bumpLocked() // rotation moved the floor; tailers must re-handshake
 	return nil
 }
 
@@ -534,7 +608,9 @@ func (l *Log) Stats() Stats {
 // Path returns the log's file path.
 func (l *Log) Path() string { return l.path }
 
-// Close flushes and fsyncs outstanding records and closes the file. It is
+// Close flushes outstanding records (fsyncing only when something is
+// actually pending — a SyncAlways log pays no extra flush) and closes the
+// file. Waiters on Updates are woken and observe the closed log. It is
 // idempotent.
 func (l *Log) Close() error {
 	l.mu.Lock()
@@ -543,14 +619,23 @@ func (l *Log) Close() error {
 		return nil
 	}
 	l.closed = true
-	syncErr := l.f.Sync()
-	closeErr := l.f.Close()
+	close(l.notify) // final broadcast; closed stays closed
 	stop := l.stop
 	l.mu.Unlock()
+	// Retire the flusher before the final flush: once it has exited, no
+	// goroutine can touch the file again and the sync below is the last
+	// write-path operation — no flush-after-close window, no double fsync.
 	if stop != nil {
 		close(stop)
 		<-l.done
 	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var syncErr error
+	if l.dirty {
+		syncErr = l.f.Sync()
+	}
+	closeErr := l.f.Close()
 	if syncErr != nil {
 		return syncErr
 	}

@@ -3,8 +3,11 @@ package wal
 import (
 	"bytes"
 	"errors"
+	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -264,5 +267,159 @@ func TestPolicyString(t *testing.T) {
 		if got := p.String(); got != want {
 			t.Fatalf("Policy(%d).String() = %q, want %q", p, got, want)
 		}
+	}
+}
+
+// TestReadFrameCuts feeds EncodeFrame output through ReadFrame with the
+// stream cut at every byte offset: cuts on frame boundaries must read back
+// the whole prefix and end with io.EOF, cuts inside a frame must surface
+// ErrTornFrame — the wire-side twin of TestTornTail.
+func TestReadFrameCuts(t *testing.T) {
+	recs := []Record{
+		{Type: TypeInsert, Seq: 1, ID: 0, Data: []byte(`{"geo":"json"}`)},
+		{Type: TypeRemove, Seq: 2, ID: 0},
+		{Type: TypeCheckpoint, Seq: 2},
+		{Type: TypeInsert, Seq: 3, ID: 1, Data: bytes.Repeat([]byte("y"), 100)},
+	}
+	var stream []byte
+	boundary := map[int]int{0: 0} // byte offset -> whole frames before it
+	for i, r := range recs {
+		stream = append(stream, EncodeFrame(r)...)
+		boundary[len(stream)] = i + 1
+	}
+	for cut := 0; cut <= len(stream); cut++ {
+		br := bytes.NewReader(stream[:cut])
+		var got []Record
+		var err error
+		for {
+			var rec Record
+			if rec, err = ReadFrame(br); err != nil {
+				break
+			}
+			got = append(got, rec)
+		}
+		whole, onBoundary := boundary[cut]
+		if onBoundary {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("cut %d (boundary): err = %v, want io.EOF", cut, err)
+			}
+		} else {
+			whole = len(got)
+			if !errors.Is(err, ErrTornFrame) {
+				t.Fatalf("cut %d (mid-frame): err = %v, want ErrTornFrame", cut, err)
+			}
+		}
+		if len(got) != whole {
+			t.Fatalf("cut %d: read %d frames, want %d", cut, len(got), whole)
+		}
+		for i, r := range got {
+			w := recs[i]
+			if r.Type != w.Type || r.Seq != w.Seq || r.ID != w.ID || !bytes.Equal(r.Data, w.Data) {
+				t.Fatalf("cut %d frame %d: got %+v, want %+v", cut, i, r, w)
+			}
+		}
+	}
+	// A flipped payload byte must fail the CRC, not decode.
+	bad := append([]byte(nil), EncodeFrame(recs[0])...)
+	bad[9] ^= 0x40
+	if _, err := ReadFrame(bytes.NewReader(bad)); !errors.Is(err, ErrTornFrame) {
+		t.Fatalf("corrupt frame: err = %v, want ErrTornFrame", err)
+	}
+}
+
+// TestUpdatesBroadcast checks the tailer wake-up channel: Append and
+// Checkpoint close and replace it, Close closes it for good.
+func TestUpdatesBroadcast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.log")
+	l, _ := openT(t, path, Options{Policy: SyncOff})
+	ch := l.Updates()
+	select {
+	case <-ch:
+		t.Fatal("notified before any append")
+	default:
+	}
+	appendT(t, l, Record{Type: TypeInsert, Seq: 1, ID: 0, Data: []byte("{}")})
+	select {
+	case <-ch:
+	default:
+		t.Fatal("append did not notify")
+	}
+	ch = l.Updates()
+	if err := l.Checkpoint(1); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("rotation did not notify")
+	}
+	ch = l.Updates()
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-ch:
+	default:
+		t.Fatal("close did not notify")
+	}
+	// After Close, Updates returns nil: the woken waiter's signal that the
+	// log is gone and tailing should stop.
+	if l.Updates() != nil {
+		t.Fatal("Updates after Close returned a non-nil channel")
+	}
+}
+
+// TestCloseUnderConcurrentAppends closes the log while appender goroutines
+// are mid-flight — the -race regression test for the Close/flusher
+// interaction: the flusher must not flush a closed file, losing appenders
+// must fail cleanly, and the bytes that made it down must reopen as an
+// untruncated record prefix.
+func TestCloseUnderConcurrentAppends(t *testing.T) {
+	for _, pol := range []Policy{SyncAlways, SyncInterval, SyncOff} {
+		t.Run(pol.String(), func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "wal.log")
+			l, _ := openT(t, path, Options{Policy: pol, Interval: time.Millisecond})
+			const writers = 4
+			var landed atomic.Uint64
+			var wg sync.WaitGroup
+			start := make(chan struct{})
+			for g := 0; g < writers; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					<-start
+					for i := 0; i < 500; i++ {
+						rec := Record{
+							Type: TypeInsert,
+							Seq:  uint64(g*500 + i + 1),
+							ID:   uint32(g),
+							Data: []byte(`{"type":"Polygon"}`),
+						}
+						if err := l.Append(rec); err != nil {
+							return // lost the race to Close: expected
+						}
+						landed.Add(1)
+					}
+				}(g)
+			}
+			close(start)
+			time.Sleep(2 * time.Millisecond)
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			wg.Wait()
+			if err := l.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+			l2, rep := openT(t, path, Options{})
+			defer l2.Close()
+			if rep.TruncatedBytes != 0 {
+				t.Fatalf("policy %v: clean close left %d torn bytes", pol, rep.TruncatedBytes)
+			}
+			if uint64(len(rep.Records)) != landed.Load() {
+				t.Fatalf("policy %v: recovered %d records, %d appends succeeded",
+					pol, len(rep.Records), landed.Load())
+			}
+		})
 	}
 }

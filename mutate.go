@@ -6,10 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"time"
 
+	"github.com/actindex/act/internal/cellid"
+	"github.com/actindex/act/internal/core"
 	"github.com/actindex/act/internal/delta"
 	"github.com/actindex/act/internal/geojson"
 	"github.com/actindex/act/internal/geom"
+	"github.com/actindex/act/internal/geostore"
 	"github.com/actindex/act/internal/grid"
 	"github.com/actindex/act/internal/supercover"
 	"github.com/actindex/act/internal/wal"
@@ -40,12 +44,9 @@ var (
 	// ErrUnknownPolygon is reported by Remove for an id that was never
 	// assigned or has already been removed.
 	ErrUnknownPolygon = errors.New("act: unknown or already-removed polygon id")
-	// ErrNoSources is reported by Compact on a mutable index that carries
-	// no source polygons to rebuild the base from — one resurrected by
-	// [Recover]. Such an index serves and absorbs mutations (they land in
-	// the delta layer and the write-ahead log), but only a process holding
-	// the original polygon set can fold the delta into a fresh base.
-	ErrNoSources = errors.New("act: index carries no source polygons; compaction needs an index built in-process")
+	// ErrNoCheckpoint is reported by Checkpoint on an index without an
+	// attached WAL and snapshot path — there is nowhere to checkpoint to.
+	ErrNoCheckpoint = errors.New("act: checkpoint needs a WAL with a snapshot path")
 )
 
 // DeltaStats describes the state of the index's mutation layer.
@@ -82,9 +83,10 @@ func (ix *Index) DeltaStats() DeltaStats {
 }
 
 // Mutable reports whether the index can absorb Insert and Remove: true for
-// indexes built in-process, false for indexes loaded with ReadIndex (which
-// carry no source polygons for compaction to rebuild from).
-func (ix *Index) Mutable() bool { return ix.mutable }
+// indexes built in-process or resurrected by Recover, false for indexes
+// loaded with ReadIndex/OpenIndex and for replication followers (whose
+// mutations arrive from the primary's log stream, not from clients).
+func (ix *Index) Mutable() bool { return ix.mutable && !ix.follower }
 
 // IsDelta reports whether the polygon id is currently served from the
 // delta layer rather than the base trie. After a compaction folds the
@@ -121,6 +123,9 @@ func (ix *Index) Insert(ctx context.Context, p *Polygon) (uint32, error) {
 	defer ix.mu.Unlock()
 	if !ix.mutable {
 		return 0, ErrImmutable
+	}
+	if ix.follower {
+		return 0, ErrFollower
 	}
 	if len(ix.alive) > supercover.MaxPolygonID {
 		return 0, fmt.Errorf("act: insert: the 2^30 polygon id space is exhausted")
@@ -182,6 +187,9 @@ func (ix *Index) Remove(ctx context.Context, id uint32) error {
 	if !ix.mutable {
 		return ErrImmutable
 	}
+	if ix.follower {
+		return ErrFollower
+	}
 	if int(id) >= len(ix.alive) || !ix.alive[id] {
 		return fmt.Errorf("%w: %d", ErrUnknownPolygon, id)
 	}
@@ -215,9 +223,7 @@ func (ix *Index) Remove(ctx context.Context, id uint32) error {
 // running is simply dropped — the running compaction's residual check will
 // re-trigger on the next mutation if needed.
 func (ix *Index) maybeCompact(ov *delta.Overlay) {
-	// Recovered indexes have no sources to rebuild from: auto-compaction
-	// would only spin a goroutine into ErrNoSources.
-	if ix.deltaThreshold < 0 || ov == nil || !ix.srcComplete {
+	if ix.deltaThreshold < 0 || ov == nil {
 		return
 	}
 	pending := ov.Pending()
@@ -237,14 +243,19 @@ func (ix *Index) maybeCompact(ov *delta.Overlay) {
 	}()
 }
 
-// Compact synchronously folds the delta layer into a fresh base: the full
-// build pipeline reruns over the surviving polygon set (original ids kept;
-// removed ids become permanent holes) and the result is swung in
-// atomically. Lookups and joins keep serving the old epoch until the swap
-// and are never blocked; mutations stay possible while the rebuild runs
-// and survive it as a residual delta. If a background compaction is
-// already running, Compact waits for it and then compacts any residual.
-// On a clean index it is a no-op.
+// Compact synchronously folds the delta layer into a fresh base and swings
+// the result in atomically. Indexes that carry their source polygons (built
+// in-process) rerun the full build pipeline over the surviving set (original
+// ids kept; removed ids become permanent holes). Indexes without sources —
+// resurrected by [Recover] or serving as replication followers — rebuild
+// from the live epoch instead: the base trie's cells are re-enumerated with
+// tombstoned references dropped, the delta coverings merged on top, and the
+// geometry store reassembled from the existing stores. Either way lookups
+// and joins keep serving the old epoch until the swap and are never blocked;
+// mutations stay possible while the rebuild runs and survive it as a
+// residual delta. If a background compaction is already running, Compact
+// waits for it and then compacts any residual. On a clean index it is a
+// no-op.
 //
 // Reports ErrImmutable on a deserialized index; on context cancellation
 // the rebuild is abandoned and the live state left untouched.
@@ -254,19 +265,85 @@ func (ix *Index) Compact(ctx context.Context) error {
 	return ix.compactLocked(ctx)
 }
 
-// compactLocked runs one compaction; the caller holds compactMu.
-func (ix *Index) compactLocked(ctx context.Context) error {
-	// Snapshot the mutation state: the overlay publication point and the
-	// sources it corresponds to. Mutations after this point are not baked
-	// into the rebuild; Rebase re-applies them on top.
+// Checkpoint forces the durability pair current: it writes a checkpoint
+// snapshot of the present state to the configured snapshot path and rotates
+// the write-ahead log down to it. With pending mutations it is exactly a
+// Compact (whose checkpoint-on-compaction does the same); on a clean index
+// it serializes the current base as-is — the path that gives a
+// never-mutated primary a snapshot for followers to bootstrap from.
+//
+// Reports ErrNoCheckpoint when the index has no WAL or no snapshot path,
+// and ErrImmutable on a deserialized index.
+func (ix *Index) Checkpoint(ctx context.Context) error {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+
 	ix.mu.Lock()
 	if !ix.mutable {
 		ix.mu.Unlock()
 		return ErrImmutable
 	}
-	if !ix.srcComplete {
+	if ix.wal == nil || ix.snapshotPath == "" {
 		ix.mu.Unlock()
-		return ErrNoSources
+		return ErrNoCheckpoint
+	}
+	ep := ix.live.Load()
+	if ep.ov != nil {
+		ix.mu.Unlock()
+		return ix.compactLocked(ctx) // compaction checkpoints as it lands
+	}
+	snapSeq := ix.seq
+	ids := aliveIDs(ix.alive)
+	idSpace := len(ix.alive)
+	ix.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// The clean epoch is immutable: serialize it outside the mutation lock.
+	var idCol []uint32
+	if len(ids) != idSpace {
+		idCol = ids
+	}
+	snapTmp, err := stageSnapshot(ix.snapshotPath, ep, ix.kind, ix.precision, idCol, int64(idSpace))
+	if err != nil {
+		return fmt.Errorf("act: checkpoint: staging snapshot: %w", err)
+	}
+	defer os.Remove(snapTmp) // no-op once renamed into place
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := commitSnapshot(snapTmp, ix.snapshotPath); err != nil {
+		return fmt.Errorf("act: checkpoint: publishing snapshot: %w", err)
+	}
+	// Mutations may have landed between the snapshot of snapSeq and here;
+	// rotation keeps every record above the floor, so they survive.
+	if err := ix.wal.Checkpoint(snapSeq); err != nil {
+		return fmt.Errorf("act: checkpoint: rotating WAL: %w", err)
+	}
+	return nil
+}
+
+// aliveIDs collects the live polygon ids, ascending.
+func aliveIDs(alive []bool) []uint32 {
+	ids := make([]uint32, 0, len(alive))
+	for id, a := range alive {
+		if a {
+			ids = append(ids, uint32(id))
+		}
+	}
+	return ids
+}
+
+// compactLocked runs one compaction; the caller holds compactMu.
+func (ix *Index) compactLocked(ctx context.Context) error {
+	// Snapshot the mutation state: the overlay publication point and the
+	// inputs it corresponds to. Mutations after this point are not baked
+	// into the rebuild; Rebase re-applies them on top.
+	ix.mu.Lock()
+	if !ix.mutable {
+		ix.mu.Unlock()
+		return ErrImmutable
 	}
 	ep := ix.live.Load()
 	if ep.ov == nil {
@@ -274,19 +351,37 @@ func (ix *Index) compactLocked(ctx context.Context) error {
 		return nil
 	}
 	snapSeq := ix.seq
-	srcs := make([]*Polygon, len(ix.sources))
-	copy(srcs, ix.sources)
+	srcComplete := ix.srcComplete
+	idSpace := len(ix.alive)
+	var srcs []*Polygon
+	var ids []uint32
+	if srcComplete {
+		srcs = make([]*Polygon, len(ix.sources))
+		copy(srcs, ix.sources)
+	} else {
+		ids = aliveIDs(ix.alive)
+	}
 	ix.mu.Unlock()
 
-	entries := make([]buildEntry, 0, len(srcs))
-	ids := make([]uint32, 0, len(srcs))
-	for id, src := range srcs {
-		if src != nil {
-			entries = append(entries, buildEntry{id: uint32(id), src: src})
-			ids = append(ids, uint32(id))
+	var trie *core.Trie
+	var store *geostore.Store
+	var stats BuildStats
+	var err error
+	if srcComplete {
+		entries := make([]buildEntry, 0, len(srcs))
+		ids = make([]uint32, 0, len(srcs))
+		for id, src := range srcs {
+			if src != nil {
+				entries = append(entries, buildEntry{id: uint32(id), src: src})
+				ids = append(ids, uint32(id))
+			}
 		}
+		trie, store, stats, err = ix.pl.run(ctx, entries, idSpace)
+	} else {
+		// No sources (recovered index or replication follower): rebuild
+		// from the epoch itself — base cells plus delta coverings.
+		trie, store, stats, err = ix.compactEpoch(ctx, ep, ids, idSpace)
 	}
-	trie, store, stats, err := ix.pl.run(ctx, entries, len(srcs))
 	if err != nil {
 		return err
 	}
@@ -298,10 +393,10 @@ func (ix *Index) compactLocked(ctx context.Context) error {
 	var snapTmp string
 	if ix.wal != nil && ix.snapshotPath != "" {
 		var idCol []uint32
-		if len(ids) != len(srcs) {
+		if len(ids) != idSpace {
 			idCol = ids // sparse: the snapshot needs the v4 id column
 		}
-		snapTmp, err = stageSnapshot(ix.snapshotPath, fresh, ix.kind, ix.precision, idCol, int64(len(srcs)))
+		snapTmp, err = stageSnapshot(ix.snapshotPath, fresh, ix.kind, ix.precision, idCol, int64(idSpace))
 		if err != nil {
 			return fmt.Errorf("act: compact: staging checkpoint snapshot: %w", err)
 		}
@@ -332,4 +427,82 @@ func (ix *Index) compactLocked(ctx context.Context) error {
 		}
 	}
 	return nil
+}
+
+// compactEpoch rebuilds a fresh base from the serving epoch itself, for
+// indexes that carry no source polygons: the base trie's covering cells are
+// re-enumerated with tombstoned references filtered out and fed straight
+// into the super-covering merge (supercover.Builder.AddCell), the delta
+// polygons' retained coverings are merged on top through the normal Add
+// path, and the geometry store is reassembled by id from the base store and
+// the delta geometry. No covering is recomputed, so the result preserves
+// each polygon's cells exactly as the process that originally covered it
+// built them. ids is the live id set the rebuild must serve.
+func (ix *Index) compactEpoch(ctx context.Context, ep *epoch, ids []uint32, idSpace int) (*core.Trie, *geostore.Store, BuildStats, error) {
+	defer ix.keepMapped() // the walk may read a file-mapped arena
+	var stats BuildStats
+	stats.NumPolygons = len(ids)
+	// The epoch's recorded precision covers the base polygons; delta
+	// coverings can only have been built at the index's own bound, so the
+	// max below stays a faithful worst case (an upper bound when the worst
+	// polygon has since been removed).
+	stats.AchievedPrecisionMeters = ep.stats.AchievedPrecisionMeters
+
+	start := time.Now()
+	var scb supercover.Builder
+	var keep []supercover.Ref
+	err := ep.trie.Cells(func(cell cellid.ID, refs []supercover.Ref) error {
+		keep = keep[:0]
+		for _, r := range refs {
+			if !ep.ov.Tombstoned(r.PolygonID) {
+				keep = append(keep, r)
+			}
+		}
+		if len(keep) == 0 {
+			return nil // every referencing polygon was removed
+		}
+		return scb.AddCell(cell, keep)
+	})
+	if err != nil {
+		return nil, nil, stats, fmt.Errorf("act: compact: enumerating base cells: %w", err)
+	}
+	for _, p := range ep.ov.Polys() {
+		if err := scb.Add(p.ID, p.Cov); err != nil {
+			return nil, nil, stats, fmt.Errorf("act: compact: merging delta polygon %d: %w", p.ID, err)
+		}
+		if p.Cov.AchievedPrecisionMeters > stats.AchievedPrecisionMeters {
+			stats.AchievedPrecisionMeters = p.Cov.AchievedPrecisionMeters
+		}
+	}
+	sc := scb.Build()
+	stats.MergeDuration = time.Since(start)
+	stats.IndexedCells = sc.NumCells()
+	if err := ctx.Err(); err != nil {
+		return nil, nil, stats, err
+	}
+
+	start = time.Now()
+	trie, err := core.Build(sc, core.Config{Fanout: ix.pl.fanout})
+	if err != nil {
+		return nil, nil, stats, err
+	}
+	stats.InsertDuration = time.Since(start)
+
+	var store *geostore.Store
+	if ix.pl.hasGeom {
+		projected := make([]*geom.Polygon, idSpace)
+		for _, id := range ids {
+			projected[id] = ep.store.Polygon(id) // nil for delta ids
+		}
+		for _, p := range ep.ov.Polys() {
+			projected[p.ID] = p.Geom
+		}
+		store = geostore.NewSparse(projected)
+	}
+
+	ts := trie.ComputeStats()
+	stats.TrieBytes = ts.TrieBytes
+	stats.TableBytes = ts.TableBytes
+	stats.TrieNodes = ts.NumNodes
+	return trie, store, stats, nil
 }

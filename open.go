@@ -178,6 +178,11 @@ func (ix *Index) Mapped() bool { return ix.mapped != nil }
 // Close; the mapping is released when the collector proves no reader can
 // touch it anymore.
 func (ix *Index) Close() error {
+	// A background compaction may still be walking the file-mapped arena
+	// and rotating the log; serialize with it so neither resource is torn
+	// away mid-use.
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
 	var err error
 	if ix.wal != nil {
 		err = ix.wal.Close()

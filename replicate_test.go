@@ -1,0 +1,155 @@
+package act_test
+
+// Index-level replication machinery tests: OpenFollower's read-only
+// surface, and ApplyReplicated's convergence and idempotency against the
+// primary's actual log records — the wire transport is exercised
+// separately in internal/replica.
+
+import (
+	"context"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/wal"
+)
+
+// readWALRecords reads every record in the log at path through the same
+// frame reader the replication stream uses.
+func readWALRecords(t *testing.T, path string) []wal.Record {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if _, err := wal.ReadHeader(f); err != nil {
+		t.Fatal(err)
+	}
+	var records []wal.Record
+	for {
+		rec, err := wal.ReadFrame(f)
+		if err != nil {
+			if !errors.Is(err, io.EOF) {
+				t.Fatalf("reading log frames: %v", err)
+			}
+			return records
+		}
+		records = append(records, rec)
+	}
+}
+
+func TestApplyReplicatedIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "primary.wal")
+	snapPath := filepath.Join(dir, "primary.snapshot")
+	ctx := context.Background()
+
+	var base []*act.Polygon
+	centers := map[uint32]act.LatLng{}
+	for i := 0; i < 4; i++ {
+		lat := 10 + 0.5*float64(i)
+		base = append(base, square(lat, lat, 0.1))
+		centers[uint32(i)] = act.LatLng{Lat: lat, Lng: lat}
+	}
+	idx, err := act.New(base,
+		act.WithPrecision(250),
+		act.WithWAL(act.WALConfig{Path: walPath, SnapshotPath: snapPath}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Close()
+	// Bootstrap snapshot of the clean base (floor 0): every mutation below
+	// stays in the log for the follower to apply.
+	if err := idx.Checkpoint(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 4; i < 9; i++ {
+		lat := 10 + 0.5*float64(i)
+		id, err := idx.Insert(ctx, square(lat, lat, 0.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		centers[id] = act.LatLng{Lat: lat, Lng: lat}
+	}
+	for _, id := range []uint32{2, 5} {
+		if err := idx.Remove(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := func(id uint32) bool { return id != 2 && id != 5 }
+
+	fol, err := act.OpenFollower(snapPath, act.WithDeltaThreshold(-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fol.Close()
+	if !fol.Follower() || fol.Mutable() {
+		t.Fatalf("follower=%v mutable=%v, want true/false", fol.Follower(), fol.Mutable())
+	}
+	if _, err := fol.Insert(ctx, base[0]); !errors.Is(err, act.ErrFollower) {
+		t.Fatalf("Insert on follower: %v, want ErrFollower", err)
+	}
+	if err := fol.Remove(ctx, 0); !errors.Is(err, act.ErrFollower) {
+		t.Fatalf("Remove on follower: %v, want ErrFollower", err)
+	}
+	if seq := fol.AppliedSeq(); seq != 0 {
+		t.Fatalf("fresh follower AppliedSeq = %d, want 0", seq)
+	}
+
+	// 7 mutations plus the rotation's checkpoint marker — followers see
+	// those markers on the wire too, and must pass them through unharmed.
+	records := readWALRecords(t, walPath)
+	if len(records) != 8 || records[0].Type != wal.TypeCheckpoint {
+		t.Fatalf("log carries %d records (first type %d), want 8 led by a checkpoint", len(records), records[0].Type)
+	}
+	check := func(when string) {
+		t.Helper()
+		if got, want := fol.AppliedSeq(), idx.WALStats().Seq; got != want {
+			t.Fatalf("%s: AppliedSeq = %d, want %d", when, got, want)
+		}
+		if got, want := fol.NumPolygons(), idx.NumPolygons(); got != want {
+			t.Fatalf("%s: follower has %d polygons, want %d", when, got, want)
+		}
+		for id, c := range centers {
+			if got := hasID(fol, c, id); got != live(id) {
+				t.Fatalf("%s: presence of polygon %d = %v, want %v", when, id, got, live(id))
+			}
+		}
+	}
+	if err := fol.ApplyReplicated(ctx, records); err != nil {
+		t.Fatal(err)
+	}
+	check("first apply")
+
+	// Idempotency: re-applying the whole batch, or any prefix of it, is a
+	// pure overlap — state identical, not even an epoch swing.
+	epoch := fol.Epoch()
+	for _, overlap := range [][]wal.Record{records, records[:3], nil} {
+		if err := fol.ApplyReplicated(ctx, overlap); err != nil {
+			t.Fatalf("overlap apply: %v", err)
+		}
+	}
+	check("after overlaps")
+	if fol.Epoch() != epoch {
+		t.Fatalf("pure overlap swung the epoch: %d -> %d", epoch, fol.Epoch())
+	}
+
+	// A hole in the stream (an insert whose id skips ahead) is corruption
+	// and must fail without publishing anything.
+	bad := wal.Record{Type: wal.TypeInsert, Seq: 99, ID: uint32(fol.NumPolygons()) + 7, Data: records[1].Data}
+	err = fol.ApplyReplicated(ctx, []wal.Record{bad})
+	if err == nil || !strings.Contains(err.Error(), "gap") {
+		t.Fatalf("gap insert: %v, want an id-gap error", err)
+	}
+	check("after rejected gap")
+
+	// ApplyReplicated is follower-only.
+	if err := idx.ApplyReplicated(ctx, records[:1]); err == nil {
+		t.Fatal("ApplyReplicated on a primary succeeded")
+	}
+}
