@@ -216,6 +216,15 @@ type Index struct {
 	// compaction folds them down — but closed to client mutations (Insert
 	// and Remove report ErrFollower).
 	follower bool
+	// promoting is set while Promote converts this follower into a
+	// primary; ApplyReplicated rejects batches for the duration so no
+	// stale stream record lands after the promotion point. Guarded by mu.
+	promoting bool
+	// fencedAt is the epoch this index was fenced at (0 = never fenced).
+	// Set once by Fence when a higher replication epoch is observed;
+	// mutations are rejected with ErrFenced from then on. Atomic so the
+	// replication handlers can check it without ix.mu.
+	fencedAt atomic.Uint64
 	// srcComplete reports that sources holds every live polygon, so
 	// compaction can rebuild the base. True for indexes built in-process;
 	// false for indexes resurrected by Recover, whose base polygons exist

@@ -67,6 +67,20 @@
 // answer 409 pointing at the primary, and /stats reports the role plus the
 // replication position and lag.
 //
+// Failover: when the primary dies, POST /promote on a follower turns it
+// into the next primary — the stream is drained as far as the old primary
+// still delivers, the follower's state becomes the new checkpoint snapshot,
+// and a fresh WAL is opened under a bumped fencing epoch. Promotion is
+// refused (409) if the follower has not applied everything the old primary
+// acknowledged. A resurrected stale primary is fenced by the new epoch the
+// moment a replication request reaches it: its /replication/* endpoints
+// answer 412 and its mutations 503. Degradation is fail-stop throughout: a
+// WAL write or fsync error makes the index reject further mutations (503,
+// cause in /stats walFailed) rather than acknowledge writes it cannot make
+// durable; reads keep serving. The replication endpoints and /promote
+// honour -reload-token; followers present -replicate-token (default: the
+// -reload-token value) to the primary.
+//
 // The index is held in an act.Swappable; handlers load it once per
 // request, so every request sees one consistent index. On SIGINT/SIGTERM
 // the server stops accepting connections and drains in-flight requests
@@ -103,15 +117,19 @@ func main() {
 	fsyncEvery := flag.Duration("fsync-interval", 100*time.Millisecond, "flush cadence for -fsync interval")
 	replicateFrom := flag.String("replicate-from", "", "primary base URL to follow (e.g. http://primary:8080): serve a read-only replica fed by its WAL stream")
 	replicaDir := flag.String("replica-dir", "", "directory for downloaded bootstrap snapshots in -replicate-from mode (default: a temp dir)")
+	replicateToken := flag.String("replicate-token", "", "bearer token presented to the primary's replication endpoints (default: the -reload-token value)")
 	flag.Parse()
 
+	if *replicateToken == "" {
+		*replicateToken = *reloadToken
+	}
 	if *replicateFrom != "" {
 		if *polyFile != "" || *indexFile != "" || *walFile != "" {
 			fmt.Fprintln(os.Stderr, "actserve: -replicate-from takes its data from the primary; -polygons, -index, and -wal do not apply")
 			flag.Usage()
 			os.Exit(2)
 		}
-		runFollower(*replicateFrom, *replicaDir, *addr, *reloadToken, *pprofFlag, *drain)
+		runFollower(*replicateFrom, *replicaDir, *addr, *reloadToken, *replicateToken, *pprofFlag, *drain)
 		return
 	}
 
@@ -237,7 +255,7 @@ func main() {
 // checkpoint snapshot, follows its log stream, and swaps re-bootstrapped
 // indexes in under live traffic. Lookups, joins, and /stats serve normally;
 // the mutating endpoints answer 409 pointing at the primary.
-func runFollower(primaryURL, dir, addr, reloadToken string, pprofOn bool, drain time.Duration) {
+func runFollower(primaryURL, dir, addr, reloadToken, replicateToken string, pprofOn bool, drain time.Duration) {
 	if dir == "" {
 		d, err := os.MkdirTemp("", "actserve-replica-*")
 		if err != nil {
@@ -250,6 +268,7 @@ func runFollower(primaryURL, dir, addr, reloadToken string, pprofOn bool, drain 
 	defer stop()
 
 	fol := replica.NewFollower(primaryURL, dir)
+	fol.Token = replicateToken
 	if err := fol.Bootstrap(ctx); err != nil {
 		log.Fatalf("actserve: bootstrapping from %s: %v", primaryURL, err)
 	}

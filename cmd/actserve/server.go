@@ -49,13 +49,21 @@ type Server struct {
 	MaxJoinBytes   int64
 	MaxReloadBytes int64
 	mux            *http.ServeMux
+	// stateMu guards the replication role state below: role, follower, and
+	// primary change when EnablePrimary/EnableFollower run and again when
+	// POST /promote flips a live follower into a primary.
+	stateMu sync.Mutex
 	// role is what /stats reports: "standalone" until EnablePrimary or
-	// EnableFollower flips it.
+	// EnableFollower flips it ("primary" after a successful /promote).
 	role string
 	// follower is set by EnableFollower: the replication client whose
 	// stream position /stats reports, and whose presence turns the
 	// mutating endpoints into write-to-the-primary redirects.
 	follower *replica.Follower
+	// primary is set by EnablePrimary (or by a promotion): the handler
+	// behind the always-registered /replication/* endpoints. Nil on
+	// non-primaries, where those endpoints answer 503.
+	primary *replica.Primary
 	// reloadMu serializes reloads: one in-flight rebuild at a time, while
 	// lookups and joins keep serving the current index.
 	reloadMu sync.Mutex
@@ -85,6 +93,13 @@ func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
 	s.mux.HandleFunc("DELETE /polygons/{id}", s.handleRemove)
 	s.mux.HandleFunc("GET /stats", s.handleStats)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	// The replication endpoints are registered unconditionally so a
+	// follower promoted at runtime can start serving them without mutating
+	// the mux; they answer 503 until a primary is enabled or promoted, and
+	// are token-gated like the other state-changing endpoints.
+	s.mux.HandleFunc("GET "+replica.SnapshotPath, s.handleReplicationSnapshot)
+	s.mux.HandleFunc("GET "+replica.StreamPath, s.handleReplicationStream)
+	s.mux.HandleFunc("POST /promote", s.handlePromote)
 	return s
 }
 
@@ -110,23 +125,101 @@ func (s *Server) EnablePprof() {
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// EnablePrimary mounts the primary-side replication endpoints (the
-// checkpoint snapshot and the resumable log record stream) and reports the
-// server as a replication primary in /stats. Call before the first request
-// is served.
+// EnablePrimary activates the primary-side replication endpoints (the
+// checkpoint snapshot and the resumable log record stream, registered by
+// NewServer) and reports the server as a replication primary in /stats.
 func (s *Server) EnablePrimary(p *replica.Primary) {
-	p.Mount(s.mux)
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	s.primary = p
 	s.role = "primary"
 }
 
 // EnableFollower marks the server as a replication follower: /stats
 // reports the stream position and lag, and the mutating endpoints — which
 // would diverge the replica — answer 409 pointing at the primary. The
-// follower's OnSwap hook keeps s serving each re-bootstrapped index. Call
-// before the first request is served.
+// follower's OnSwap hook keeps s serving each re-bootstrapped index.
+// POST /promote flips the server into a primary at runtime.
 func (s *Server) EnableFollower(f *replica.Follower) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
 	s.role = "follower"
 	s.follower = f
+}
+
+// replicationState returns the role trio under the state lock.
+func (s *Server) replicationState() (role string, f *replica.Follower, p *replica.Primary) {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.role, s.follower, s.primary
+}
+
+// handleReplicationSnapshot and handleReplicationStream delegate to the
+// active primary; on a server that is not (yet) a primary they answer 503,
+// telling the follower to back off and retry — the shape a mid-failover
+// fleet sees while the promotion is in flight.
+func (s *Server) handleReplicationSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
+	_, _, p := s.replicationState()
+	if p == nil {
+		http.Error(w, "server is not a replication primary", http.StatusServiceUnavailable)
+		return
+	}
+	p.ServeSnapshot(w, r)
+}
+
+func (s *Server) handleReplicationStream(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
+	_, _, p := s.replicationState()
+	if p == nil {
+		http.Error(w, "server is not a replication primary", http.StatusServiceUnavailable)
+		return
+	}
+	p.ServeStream(w, r)
+}
+
+// promoteResponse reports a successful POST /promote.
+type promoteResponse struct {
+	Role string `json:"role"`
+	// Epoch is the fencing epoch the promotion established; Seq the
+	// sequence number the new primary's history starts from.
+	Epoch uint64 `json:"epoch"`
+	Seq   uint64 `json:"seq"`
+}
+
+// handlePromote turns a follower server into the next primary: the
+// replication loop is stopped, the stream drained as far as the old
+// primary still delivers, and the index converted to a mutable primary
+// under a bumped, fenced epoch (see replica.Follower.Promote). On success
+// the server starts answering the /replication/* endpoints itself and the
+// mutating endpoints open up. Refused with 409 when the server is not a
+// follower, when the follower has not applied everything the old primary
+// acknowledged (promoting would lose writes), or when it was already
+// promoted.
+func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !s.authorize(w, r) {
+		return
+	}
+	role, f, _ := s.replicationState()
+	if role != "follower" || f == nil {
+		http.Error(w, "server is not a replication follower", http.StatusConflict)
+		return
+	}
+	promo, err := f.Promote(r.Context())
+	if err != nil {
+		http.Error(w, "promotion refused: "+err.Error(), http.StatusConflict)
+		return
+	}
+	p := replica.NewPrimary(promo.Index, promo.WALPath, promo.SnapshotPath)
+	s.stateMu.Lock()
+	s.primary = p
+	s.role = "primary"
+	s.stateMu.Unlock()
+	writeJSON(w, promoteResponse{Role: "primary", Epoch: promo.Epoch, Seq: promo.Seq})
 }
 
 // parseGridKind maps the wire/flag spelling of a grid to its kind. The
@@ -374,11 +467,26 @@ func tooLarge(w http.ResponseWriter, err error) bool {
 	return true
 }
 
-// authorized checks the mutating-endpoint bearer token; an empty
-// configured token admits everyone (trusted-listener mode).
-func (s *Server) authorized(r *http.Request) bool {
-	return s.ReloadToken == "" ||
-		subtle.ConstantTimeCompare([]byte(r.Header.Get("Authorization")), []byte("Bearer "+s.ReloadToken)) == 1
+// authorize checks the bearer token gating the state-changing and
+// replication endpoints, writing the failure response itself: 401 when no
+// credentials were presented at all, 403 when credentials were presented
+// but are wrong or malformed. An empty configured token admits everyone
+// (trusted-listener mode).
+func (s *Server) authorize(w http.ResponseWriter, r *http.Request) bool {
+	if s.ReloadToken == "" {
+		return true
+	}
+	got := r.Header.Get("Authorization")
+	if got == "" {
+		w.Header().Set("WWW-Authenticate", "Bearer")
+		http.Error(w, "unauthorized", http.StatusUnauthorized)
+		return false
+	}
+	if subtle.ConstantTimeCompare([]byte(got), []byte("Bearer "+s.ReloadToken)) != 1 {
+		http.Error(w, "forbidden", http.StatusForbidden)
+		return false
+	}
+	return true
 }
 
 // maxPolygonBody is the default bound on a POST /polygons GeoJSON body
@@ -408,8 +516,7 @@ type insertResponse struct {
 // On an index loaded from a serialized file (no source polygons to
 // compact from) the endpoint responds 409.
 func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
-	if !s.authorized(r) {
-		http.Error(w, "unauthorized", http.StatusUnauthorized)
+	if !s.authorize(w, r) {
 		return
 	}
 	polys, err := geojson.ReadPolygons(http.MaxBytesReader(w, r.Body, s.MaxPolygonBytes))
@@ -436,7 +543,7 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 			// Earlier polygons of the batch are already live; report how
 			// far we got so the client can reconcile.
 			msg := fmt.Sprintf("polygon %d: %v (inserted ids %v)", i, err, ids)
-			http.Error(w, msg, http.StatusUnprocessableEntity)
+			http.Error(w, msg, mutationStatus(err))
 			return
 		}
 		ids = append(ids, id)
@@ -448,6 +555,17 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 		Tombstones:    ds.Tombstones,
 		Epoch:         idx.Epoch(),
 	})
+}
+
+// mutationStatus maps a mutation error to its HTTP status: a tripped
+// (fail-stopped) WAL or a fenced primary means the server has degraded to
+// read-only — 503, retry against the new primary — while anything else is
+// a problem with the request itself (422).
+func mutationStatus(err error) int {
+	if errors.Is(err, act.ErrWALFailed) || errors.Is(err, act.ErrFenced) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusUnprocessableEntity
 }
 
 // immutableMsg explains a mutation 409: a replication follower redirects
@@ -471,8 +589,7 @@ type removeResponse struct {
 // compaction rebuilds the base without it. Unknown or already-removed ids
 // get 404; a file-loaded (immutable) index gets 409.
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
-	if !s.authorized(r) {
-		http.Error(w, "unauthorized", http.StatusUnauthorized)
+	if !s.authorize(w, r) {
 		return
 	}
 	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
@@ -490,7 +607,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusNotFound)
 			return
 		}
-		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		http.Error(w, err.Error(), mutationStatus(err))
 		return
 	}
 	writeJSON(w, removeResponse{
@@ -537,8 +654,7 @@ const maxReloadBody = 1 << 20
 // already loaded the old index finish on it. Only one reload runs at a
 // time — a concurrent attempt gets 409.
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if !s.authorized(r) {
-		http.Error(w, "unauthorized", http.StatusUnauthorized)
+	if !s.authorize(w, r) {
 		return
 	}
 	var req reloadRequest
@@ -549,7 +665,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	if s.follower != nil {
+	if _, f, _ := s.replicationState(); f != nil {
 		// A reload would swap the replicated index out from under the
 		// replication loop; the follower's state is the primary's to change.
 		http.Error(w, "server is a replication follower; reload the primary instead", http.StatusConflict)
@@ -650,8 +766,21 @@ type statsResponse struct {
 	// RecoveredRecords is the number of log records replayed when the live
 	// index came up — 0 after a clean shutdown or a fresh start.
 	RecoveredRecords int `json:"recoveredRecords"`
-	// Role is "standalone", "primary" (replication endpoints mounted), or
-	// "follower" (tracking a primary via -replicate-from).
+	// ReadOnly reports that the server is refusing mutations it would
+	// normally accept: the WAL tripped fail-stop (WALFailed carries the
+	// cause) or the index was fenced by a newer epoch (FencedEpoch).
+	ReadOnly bool `json:"readOnly"`
+	// WALFailed is the WAL's sticky fail-stop cause, "" while healthy.
+	WALFailed string `json:"walFailed,omitempty"`
+	// FencedEpoch is the epoch this index was fenced at (a newer primary
+	// was promoted); 0 means not fenced.
+	FencedEpoch uint64 `json:"fencedEpoch,omitempty"`
+	// WALEpoch is the replication fencing epoch in the WAL header: 0
+	// until a promotion ever happened in this lineage.
+	WALEpoch uint64 `json:"walEpoch"`
+	// Role is "standalone", "primary" (replication endpoints active), or
+	// "follower" (tracking a primary via -replicate-from; flips to
+	// "primary" after POST /promote).
 	Role string `json:"role"`
 	// Replication is the follower's stream position (follower role only).
 	Replication *replicationStats `json:"replication,omitempty"`
@@ -667,6 +796,9 @@ type replicationStats struct {
 	AppliedSeq uint64 `json:"appliedSeq"`
 	PrimarySeq uint64 `json:"primarySeq"`
 	Lag        uint64 `json:"lag"`
+	// Epoch is the highest replication fencing epoch the follower has
+	// learned from the primary.
+	Epoch uint64 `json:"epoch"`
 	// Reconnects counts stream reconnections, Bootstraps snapshot
 	// downloads (1 is the initial bootstrap).
 	Reconnects uint64 `json:"reconnects"`
@@ -686,19 +818,22 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	if !ws.LastSync.IsZero() {
 		lastFsync = ws.LastSync.UnixMilli()
 	}
+	role, follower, _ := s.replicationState()
 	var repl *replicationStats
-	if s.follower != nil {
-		rs := s.follower.Status()
+	if follower != nil {
+		rs := follower.Status()
 		repl = &replicationStats{
 			Connected:  rs.Connected,
 			AppliedSeq: rs.AppliedSeq,
 			PrimarySeq: rs.PrimarySeq,
 			Lag:        rs.Lag(),
+			Epoch:      rs.Epoch,
 			Reconnects: rs.Reconnects,
 			Bootstraps: rs.Bootstraps,
 			LastError:  rs.LastError,
 		}
 	}
+	fencedEpoch, _ := idx.Fenced()
 	writeJSON(w, statsResponse{
 		NumPolygons:             st.NumPolygons,
 		IndexedCells:            st.IndexedCells,
@@ -720,7 +855,11 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		WALBytes:                ws.Bytes,
 		LastFsyncMillis:         lastFsync,
 		RecoveredRecords:        ws.RecoveredRecords,
-		Role:                    s.role,
+		ReadOnly:                ws.Failed != "" || fencedEpoch != 0,
+		WALFailed:               ws.Failed,
+		FencedEpoch:             fencedEpoch,
+		WALEpoch:                ws.Epoch,
+		Role:                    role,
 		Replication:             repl,
 	})
 }

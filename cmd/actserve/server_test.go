@@ -389,15 +389,20 @@ func TestReloadToken(t *testing.T) {
 	path := writeZoneGeoJSON(t)
 	body := `{"polygons":"` + path + `"}`
 
-	for _, auth := range []string{"", "Bearer wrong", "s3cret"} {
+	// No credentials at all → 401; wrong or malformed credentials → 403.
+	for auth, want := range map[string]int{
+		"":             http.StatusUnauthorized,
+		"Bearer wrong": http.StatusForbidden,
+		"s3cret":       http.StatusForbidden,
+	} {
 		req := httptest.NewRequest(http.MethodPost, "/reload", strings.NewReader(body))
 		if auth != "" {
 			req.Header.Set("Authorization", auth)
 		}
 		rec := httptest.NewRecorder()
 		s.ServeHTTP(rec, req)
-		if rec.Code != http.StatusUnauthorized {
-			t.Errorf("auth %q: status %d, want 401", auth, rec.Code)
+		if rec.Code != want {
+			t.Errorf("auth %q: status %d, want %d", auth, rec.Code, want)
 		}
 	}
 	req := httptest.NewRequest(http.MethodPost, "/reload", strings.NewReader(body))

@@ -31,6 +31,7 @@ import (
 
 	"github.com/actindex/act/internal/cover"
 	"github.com/actindex/act/internal/delta"
+	"github.com/actindex/act/internal/fault"
 	"github.com/actindex/act/internal/geojson"
 	"github.com/actindex/act/internal/geom"
 	"github.com/actindex/act/internal/grid"
@@ -105,6 +106,9 @@ type WALConfig struct {
 	// Interval is the SyncInterval flush cadence (default 100ms); ignored
 	// by the other policies.
 	Interval time.Duration
+	// FS overrides the filesystem the log talks to — the fault-injection
+	// seam (internal/fault.FS) chaos tests drive. Nil uses the real OS.
+	FS fault.VFS
 }
 
 // WALStats is a point-in-time snapshot of the attached log's durability
@@ -117,6 +121,9 @@ type WALStats struct {
 	// are covered by the last checkpoint snapshot.
 	Seq     uint64
 	BaseSeq uint64
+	// Epoch is the replication fencing epoch recorded in the log header:
+	// 0 until a promotion ever happened in this index's lineage.
+	Epoch uint64
 	// Bytes is the current log file length.
 	Bytes int64
 	// LastSync is the wall time of the last successful fsync (zero if the
@@ -127,6 +134,10 @@ type WALStats struct {
 	// RecoveredRecords is the number of log records replayed when the
 	// index came up — 0 after a clean shutdown or a fresh start.
 	RecoveredRecords int
+	// Failed is the log's sticky fail-stop cause ("" while healthy). Once
+	// non-empty the log rejects every append and the index serves
+	// read-only (mutations report ErrWALFailed).
+	Failed string
 }
 
 // WALStats returns the attached write-ahead log's durability counters, or
@@ -140,10 +151,12 @@ func (ix *Index) WALStats() WALStats {
 		Enabled:          true,
 		Seq:              st.Seq,
 		BaseSeq:          st.BaseSeq,
+		Epoch:            st.Epoch,
 		Bytes:            st.Bytes,
 		LastSync:         st.LastSync,
 		Checkpoints:      st.Checkpoints,
 		RecoveredRecords: ix.walRecovered,
+		Failed:           st.Failed,
 	}
 }
 
@@ -198,6 +211,7 @@ func Recover(indexPath, walPath string, opts ...Option) (*Index, error) {
 	if o.WAL != nil {
 		cfg.Policy = o.WAL.Policy
 		cfg.Interval = o.WAL.Interval
+		cfg.FS = o.WAL.FS
 	}
 	if err := ix.attachWAL(cfg); err != nil {
 		ix.Close()
@@ -258,7 +272,7 @@ func (ix *Index) attachWAL(cfg WALConfig) error {
 	if err != nil {
 		return err
 	}
-	log, rep, err := wal.Open(cfg.Path, wal.Options{Policy: pol, Interval: cfg.Interval})
+	log, rep, err := wal.Open(cfg.Path, wal.Options{Policy: pol, Interval: cfg.Interval, FS: cfg.FS})
 	if err != nil {
 		return fmt.Errorf("act: opening WAL %s: %w", cfg.Path, err)
 	}

@@ -201,7 +201,10 @@ func TestRecoverCheckpointCycle(t *testing.T) {
 	}
 	delete(ls.polys, 0)
 
-	rec, err := act.Recover(snapPath, walPath)
+	// -1: rec is abandoned un-Closed below (the second simulated crash), so
+	// a background auto-compaction checkpointing into dir would race the
+	// TempDir cleanup.
+	rec, err := act.Recover(snapPath, walPath, act.WithDeltaThreshold(-1))
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
@@ -246,7 +249,7 @@ func TestRecoverCheckpointCycle(t *testing.T) {
 	delete(ls.polys, id)
 
 	// Second crash/recover cycle composes on the same snapshot + log.
-	rec2, err := act.Recover(snapPath, walPath)
+	rec2, err := act.Recover(snapPath, walPath, act.WithDeltaThreshold(-1))
 	if err != nil {
 		t.Fatalf("second Recover: %v", err)
 	}

@@ -1,0 +1,189 @@
+package fault
+
+import (
+	"io"
+	"os"
+)
+
+// File is the slice of *os.File the write-ahead log uses; FS wraps it to
+// inject faults per operation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Seeker
+	io.Closer
+	Name() string
+	Stat() (os.FileInfo, error)
+	Sync() error
+	Truncate(size int64) error
+}
+
+// VFS is the filesystem surface behind the write-ahead log. OS is the real
+// thing; FS injects faults in front of any VFS.
+type VFS interface {
+	OpenFile(name string, flag int, perm os.FileMode) (File, error)
+	Open(name string) (File, error)
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+}
+
+// OS is the passthrough VFS over the real filesystem.
+type OS struct{}
+
+func (OS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Open(name string) (File, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) CreateTemp(dir, pattern string) (File, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error             { return os.Remove(name) }
+
+// FS is a fault-injecting VFS: every operation consults the schedule
+// before reaching Base (the real OS when nil). Files it opens inject
+// faults on their Write/Sync/Read/Truncate calls through the same
+// schedule.
+type FS struct {
+	Base VFS
+	S    *Schedule
+}
+
+func (f FS) base() VFS {
+	if f.Base == nil {
+		return OS{}
+	}
+	return f.Base
+}
+
+func (f FS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	d := f.S.Next(OpOpen)
+	d.sleep()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	file, err := f.base().OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, s: f.S}, nil
+}
+
+func (f FS) Open(name string) (File, error) {
+	d := f.S.Next(OpOpen)
+	d.sleep()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	file, err := f.base().Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, s: f.S}, nil
+}
+
+func (f FS) CreateTemp(dir, pattern string) (File, error) {
+	d := f.S.Next(OpCreate)
+	d.sleep()
+	if d.Err != nil {
+		return nil, d.Err
+	}
+	file, err := f.base().CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{File: file, s: f.S}, nil
+}
+
+func (f FS) Rename(oldpath, newpath string) error {
+	d := f.S.Next(OpRename)
+	d.sleep()
+	if d.Err != nil {
+		return d.Err
+	}
+	return f.base().Rename(oldpath, newpath)
+}
+
+func (f FS) Remove(name string) error {
+	d := f.S.Next(OpRemove)
+	d.sleep()
+	if d.Err != nil {
+		return d.Err
+	}
+	return f.base().Remove(name)
+}
+
+// injectFile wraps an open file with the schedule's per-call decisions.
+type injectFile struct {
+	File
+	s *Schedule
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	d := f.s.Next(OpWrite)
+	d.sleep()
+	if d.Err != nil {
+		// Short write: the first Keep bytes land (a torn frame on disk),
+		// the rest are lost with the error.
+		keep := min(d.Keep, len(p))
+		n := 0
+		if keep > 0 {
+			n, _ = f.File.Write(p[:keep])
+		}
+		return n, d.Err
+	}
+	return f.File.Write(p)
+}
+
+func (f *injectFile) Read(p []byte) (int, error) {
+	d := f.s.Next(OpRead)
+	d.sleep()
+	n, err := f.File.Read(p)
+	if d.Flip && n > 0 {
+		i := d.Keep
+		if i >= n {
+			i = 0
+		}
+		p[i] ^= 0x80
+	}
+	if d.Err != nil {
+		return 0, d.Err
+	}
+	return n, err
+}
+
+func (f *injectFile) Sync() error {
+	d := f.s.Next(OpSync)
+	d.sleep()
+	if d.Err != nil {
+		return d.Err
+	}
+	return f.File.Sync()
+}
+
+func (f *injectFile) Truncate(size int64) error {
+	d := f.s.Next(OpTruncate)
+	d.sleep()
+	if d.Err != nil {
+		return d.Err
+	}
+	return f.File.Truncate(size)
+}

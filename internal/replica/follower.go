@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
+	"net"
 	"net/http"
 	"net/url"
 	"os"
@@ -27,6 +29,9 @@ type Status struct {
 	// (records or heartbeats). PrimarySeq - AppliedSeq is the lag.
 	AppliedSeq uint64
 	PrimarySeq uint64
+	// Epoch is the highest replication fencing epoch the follower has
+	// learned from the primary's responses.
+	Epoch uint64
 	// Reconnects counts stream (re)connections beyond the first;
 	// Bootstraps counts snapshot downloads (1 after a clean start).
 	Reconnects uint64
@@ -48,32 +53,59 @@ func (s Status) Lag() uint64 {
 // swings (and compaction triggers) keep pace with the stream.
 const maxBatchRecords = 256
 
+// defaultIdleTimeout is the stream watchdog: with heartbeats every 2s, a
+// stream that delivers nothing for this long is dead (half-open TCP, a
+// wedged primary) and gets cut so Run can reconnect.
+const defaultIdleTimeout = 30 * time.Second
+
 // Follower tracks a replication primary: it bootstraps from the primary's
 // checkpoint snapshot, applies the streamed log records, and keeps
-// retrying with backoff across stream loss, primary restarts, and log
-// rotations (a 410 from the primary re-bootstraps from the fresh
+// retrying with jittered backoff across stream loss, primary restarts, and
+// log rotations (a 410 from the primary re-bootstraps from the fresh
 // snapshot). The serving index is exposed through Index and republished
-// through OnSwap after each bootstrap.
+// through OnSwap after each bootstrap. When the primary dies for good,
+// Promote turns the follower into the next primary under a bumped,
+// fenced epoch.
 type Follower struct {
 	primaryURL string
 	dir        string
 	opts       []act.Option
-	client     *http.Client
 
+	// Client is the HTTP client used for snapshot and stream requests.
+	// The default carries dial, TLS, and response-header timeouts but no
+	// overall request timeout — the stream is long-lived by design; stream
+	// liveness is enforced by the IdleTimeout watchdog instead. Replace
+	// before Run (tests substitute fault-injecting transports).
+	Client *http.Client
 	// OnSwap, when set, is called with each newly bootstrapped index
 	// (including the first) — the hook a server uses to swing the new
 	// index into its act.Swappable. The previous index must not be closed
 	// here: in-flight readers may still hold it, and its mapping is
 	// released by the collector once they retire. Set before Run.
 	OnSwap func(*act.Index)
-	// Backoff bounds the reconnect delay (min grows to max by doubling).
+	// Backoff bounds the reconnect delay (min grows to max by doubling;
+	// each wait is jittered to half its nominal value or more, so a herd
+	// of followers losing one primary does not reconnect in lockstep).
 	// Defaults: 100ms to 5s. Set before Run.
 	BackoffMin, BackoffMax time.Duration
+	// Token, when set, is presented to the primary as a bearer token on
+	// every replication request. Set before Run.
+	Token string
+	// IdleTimeout cuts a stream that delivers no frame (data or
+	// heartbeat) for this long (default 30s; heartbeats come every 2s, so
+	// only a dead connection trips it). Set before Run.
+	IdleTimeout time.Duration
+	// PromotePolicy is the fsync policy of the write-ahead log a
+	// promotion creates (default act.SyncAlways). Set before Promote.
+	PromotePolicy act.FsyncPolicy
 
 	mu        sync.Mutex
 	idx       *act.Index
 	status    Status
 	connected bool // a stream has been opened at least once
+	promoted  bool
+	runCancel context.CancelFunc
+	runDone   chan struct{}
 }
 
 // NewFollower wires a follower of the primary at primaryURL (scheme +
@@ -84,9 +116,19 @@ func NewFollower(primaryURL, dir string, opts ...act.Option) *Follower {
 		primaryURL: primaryURL,
 		dir:        dir,
 		opts:       opts,
-		client:     &http.Client{},
-		BackoffMin: 100 * time.Millisecond,
-		BackoffMax: 5 * time.Second,
+		Client: &http.Client{
+			Transport: &http.Transport{
+				DialContext: (&net.Dialer{
+					Timeout:   5 * time.Second,
+					KeepAlive: 15 * time.Second,
+				}).DialContext,
+				TLSHandshakeTimeout:   5 * time.Second,
+				ResponseHeaderTimeout: 10 * time.Second,
+			},
+		},
+		BackoffMin:  100 * time.Millisecond,
+		BackoffMax:  5 * time.Second,
+		IdleTimeout: defaultIdleTimeout,
 	}
 }
 
@@ -104,18 +146,59 @@ func (f *Follower) Status() Status {
 	return f.status
 }
 
+// newRequest builds a replication request carrying the follower's bearer
+// token and the highest epoch it has learned (the fencing announcement: a
+// primary that sees a higher epoch than its own fences itself).
+func (f *Follower) newRequest(ctx context.Context, url string) (*http.Request, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if f.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+f.Token)
+	}
+	f.mu.Lock()
+	epoch := f.status.Epoch
+	f.mu.Unlock()
+	req.Header.Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+	return req, nil
+}
+
+// noteEpoch folds a response's epoch announcement into the follower's
+// view: higher epochs are adopted; a lower one means the responding server
+// is a stale, superseded primary whose data must not be applied.
+func (f *Follower) noteEpoch(resp *http.Response) error {
+	s := resp.Header.Get(HeaderEpoch)
+	if s == "" {
+		return nil // pre-fencing primary
+	}
+	theirs, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return fmt.Errorf("replica: bad %s header %q", HeaderEpoch, s)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if theirs < f.status.Epoch {
+		return fmt.Errorf("replica: primary announces epoch %d but epoch %d has been promoted; refusing stale primary", theirs, f.status.Epoch)
+	}
+	f.status.Epoch = theirs
+	return nil
+}
+
 // Bootstrap downloads the primary's checkpoint snapshot, opens it as a
 // follower index, and publishes it (OnSwap). The stream resumes from the
 // snapshot's announced floor; anything between the floor and the
-// snapshot's true content is absorbed by idempotent replay. Run calls this
-// as needed; calling it once before Run lets a server fail fast (and serve
-// immediately) instead of coming up empty.
+// snapshot's true content is absorbed by idempotent replay. A short or
+// torn download (the body ending before the announced Content-Length) is
+// discarded without publishing anything. Run calls this as needed; calling
+// it once before Run lets a server fail fast (and serve immediately)
+// instead of coming up empty.
 func (f *Follower) Bootstrap(ctx context.Context) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, f.primaryURL+SnapshotPath, nil)
+	req, err := f.newRequest(ctx, f.primaryURL+SnapshotPath)
 	if err != nil {
 		return err
 	}
-	resp, err := f.client.Do(req)
+	resp, err := f.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("replica: snapshot request: %w", err)
 	}
@@ -124,13 +207,17 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("replica: snapshot request: %s: %s", resp.Status, body)
 	}
+	if err := f.noteEpoch(resp); err != nil {
+		return err
+	}
 	baseSeq, err := strconv.ParseUint(resp.Header.Get(HeaderBaseSeq), 10, 64)
 	if err != nil {
 		return fmt.Errorf("replica: snapshot response lacks a valid %s header: %w", HeaderBaseSeq, err)
 	}
 
-	// Land the snapshot atomically (temp + rename): a crash mid-download
-	// never leaves a torn file where the next start expects an index.
+	// Land the snapshot atomically (temp + rename): a crash or connection
+	// cut mid-download never leaves a torn file where the next start
+	// expects an index.
 	if err := os.MkdirAll(f.dir, 0o755); err != nil {
 		return err
 	}
@@ -140,9 +227,14 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 		return err
 	}
 	defer os.Remove(tmp.Name()) // no-op once renamed
-	if _, err := io.Copy(tmp, resp.Body); err != nil {
+	n, err := io.Copy(tmp, resp.Body)
+	if err != nil {
 		tmp.Close()
 		return fmt.Errorf("replica: downloading snapshot: %w", err)
+	}
+	if resp.ContentLength >= 0 && n != resp.ContentLength {
+		tmp.Close()
+		return fmt.Errorf("replica: snapshot download truncated: got %d of %d bytes", n, resp.ContentLength)
 	}
 	if err := tmp.Close(); err != nil {
 		return err
@@ -151,6 +243,9 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 		return err
 	}
 
+	// OpenFollower validates the file end to end (magic, section bounds,
+	// checksums where the format carries them); a corrupted-in-flight body
+	// that kept its length dies here, before anything is published.
 	idx, err := act.OpenFollower(path, f.opts...)
 	if err != nil {
 		return fmt.Errorf("replica: opening snapshot: %w", err)
@@ -174,9 +269,23 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 var errBootstrap = errors.New("replica: primary checkpointed past the resume point")
 
 // Run drives the replication loop until ctx is cancelled: bootstrap when
-// needed, stream, apply, and reconnect with exponential backoff on stream
-// loss. It returns ctx.Err() on cancellation.
+// needed, stream, apply, and reconnect with jittered exponential backoff
+// on stream loss. It returns ctx.Err() on cancellation (Promote cancels it
+// the same way).
 func (f *Follower) Run(ctx context.Context) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	done := make(chan struct{})
+	defer close(done)
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return errors.New("replica: follower has been promoted")
+	}
+	f.runCancel = cancel
+	f.runDone = done
+	f.mu.Unlock()
+
 	backoff := f.BackoffMin
 	for {
 		if err := ctx.Err(); err != nil {
@@ -196,10 +305,14 @@ func (f *Follower) Run(ctx context.Context) error {
 		f.status.Connected = false
 		f.status.LastError = err.Error()
 		f.mu.Unlock()
+		// Jitter: wait between half the nominal backoff and the full value,
+		// so followers that lost the same primary spread their retries
+		// instead of stampeding it in lockstep.
+		wait := backoff/2 + rand.N(backoff/2+1)
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(wait):
 		}
 		if backoff *= 2; backoff > f.BackoffMax {
 			backoff = f.BackoffMax
@@ -210,7 +323,8 @@ func (f *Follower) Run(ctx context.Context) error {
 // syncOnce runs one connection lifetime: ensure an index exists, open the
 // stream at the current position, and apply records until the stream ends.
 // A clean end (primary closed the stream, e.g. after rotating past us)
-// returns nil; errBootstrap means download the new snapshot first.
+// returns nil; errBootstrap means download the new snapshot first. A
+// stream that goes silent past IdleTimeout is cut and counts as lost.
 func (f *Follower) syncOnce(ctx context.Context) error {
 	f.mu.Lock()
 	idx, after := f.idx, f.status.AppliedSeq
@@ -224,17 +338,33 @@ func (f *Follower) syncOnce(ctx context.Context) error {
 		f.mu.Unlock()
 	}
 
+	// The idle watchdog: each received frame pushes the deadline out; a
+	// stream that delivers nothing (not even heartbeats) for IdleTimeout
+	// is dead and gets its request context cancelled, which unblocks the
+	// pending read.
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	idle := f.IdleTimeout
+	if idle <= 0 {
+		idle = defaultIdleTimeout
+	}
+	watchdog := time.AfterFunc(idle, cancel)
+	defer watchdog.Stop()
+
 	u := f.primaryURL + StreamPath + "?after=" + url.QueryEscape(strconv.FormatUint(after, 10))
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	req, err := f.newRequest(ctx, u)
 	if err != nil {
 		return err
 	}
-	resp, err := f.client.Do(req)
+	resp, err := f.Client.Do(req)
 	if err != nil {
 		return fmt.Errorf("replica: stream request: %w", err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusGone {
+		if err := f.noteEpoch(resp); err != nil {
+			return err
+		}
 		// Our position fell below the checkpoint floor; the records we
 		// need exist only in the newer snapshot now.
 		f.mu.Lock()
@@ -245,6 +375,9 @@ func (f *Follower) syncOnce(ctx context.Context) error {
 	if resp.StatusCode != http.StatusOK {
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return fmt.Errorf("replica: stream request: %s: %s", resp.Status, body)
+	}
+	if err := f.noteEpoch(resp); err != nil {
+		return err
 	}
 	f.mu.Lock()
 	if f.connected {
@@ -273,6 +406,7 @@ func (f *Follower) syncOnce(ctx context.Context) error {
 			}
 			return fmt.Errorf("replica: stream: %w", err)
 		}
+		watchdog.Reset(idle)
 		batch = append(batch[:0], rec)
 		for len(batch) < maxBatchRecords && br.Buffered() > 0 {
 			rec, err := wal.ReadFrame(br)
@@ -307,4 +441,145 @@ func (f *Follower) apply(ctx context.Context, idx *act.Index, batch []wal.Record
 	}
 	f.mu.Unlock()
 	return nil
+}
+
+// Promotion is the result of a successful Promote: the now-mutable index
+// and the artifacts a server needs to start serving as the new primary
+// (NewPrimary(Index, WALPath, SnapshotPath)).
+type Promotion struct {
+	Index *act.Index
+	// Epoch is the fencing epoch the promotion established; Seq the
+	// sequence number the new primary's history starts from.
+	Epoch uint64
+	Seq   uint64
+	// WALPath and SnapshotPath are the new primary's durability pair.
+	WALPath      string
+	SnapshotPath string
+}
+
+// Promote turns the follower into the next primary: the replication loop
+// is stopped, the stream drained of whatever the old primary can still
+// deliver (best effort, bounded by ctx), and — provided the follower has
+// caught up to every sequence the primary announced — the index is
+// converted to a mutable primary under a bumped epoch (see
+// act.Index.Promote for the crash-safe ordering). The returned Promotion
+// carries everything needed to serve the next generation of followers.
+//
+// Promote refuses, leaving the follower intact, when the follower has not
+// applied everything the primary acknowledged to it (promoting would lose
+// those writes — "no lost acks"); a caller that wants availability over
+// durability can retry after the drain deadline with a fresh ctx. The old
+// primary, if it resurfaces, is fenced by the bumped epoch the moment any
+// replication request reaches it.
+func (f *Follower) Promote(ctx context.Context) (*Promotion, error) {
+	// Stop the replication loop and wait it out: its stream application
+	// must not race the promotion.
+	f.mu.Lock()
+	if f.promoted {
+		f.mu.Unlock()
+		return nil, errors.New("replica: follower already promoted")
+	}
+	cancel, done := f.runCancel, f.runDone
+	f.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		select {
+		case <-done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+
+	f.mu.Lock()
+	idx := f.idx
+	f.mu.Unlock()
+	if idx == nil {
+		return nil, errors.New("replica: nothing to promote: follower never bootstrapped")
+	}
+
+	// Best-effort drain: pick up whatever the old primary can still
+	// deliver, so a reachable-but-degraded primary (e.g. fail-stopped WAL,
+	// still serving reads) hands over its full history. Errors here are
+	// expected — the usual reason for promoting is a dead primary.
+	_ = f.drain(ctx)
+
+	f.mu.Lock()
+	applied, announced, epoch := f.status.AppliedSeq, f.status.PrimarySeq, f.status.Epoch
+	f.mu.Unlock()
+	if applied < announced {
+		return nil, fmt.Errorf("replica: refusing to promote: applied seq %d is behind the primary's announced %d (would lose acknowledged writes)", applied, announced)
+	}
+
+	newEpoch := epoch + 1
+	cfg := act.WALConfig{
+		Path:         filepath.Join(f.dir, "promoted.wal"),
+		SnapshotPath: filepath.Join(f.dir, "follower.snapshot"),
+		Policy:       f.PromotePolicy,
+	}
+	if err := idx.Promote(ctx, cfg, newEpoch); err != nil {
+		return nil, err
+	}
+	f.mu.Lock()
+	f.promoted = true
+	f.status.Epoch = newEpoch
+	f.mu.Unlock()
+	return &Promotion{
+		Index:        idx,
+		Epoch:        newEpoch,
+		Seq:          idx.AppliedSeq(),
+		WALPath:      cfg.Path,
+		SnapshotPath: cfg.SnapshotPath,
+	}, nil
+}
+
+// drain opens the stream one last time and applies frames until the
+// primary's announced position is reached (a heartbeat or checkpoint frame
+// at or below what we have applied), the stream ends, or ctx expires. It
+// is best effort: any error just ends the drain.
+func (f *Follower) drain(ctx context.Context) error {
+	f.mu.Lock()
+	idx, after := f.idx, f.status.AppliedSeq
+	f.mu.Unlock()
+
+	u := f.primaryURL + StreamPath + "?after=" + url.QueryEscape(strconv.FormatUint(after, 10))
+	req, err := f.newRequest(ctx, u)
+	if err != nil {
+		return err
+	}
+	resp, err := f.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("replica: drain: %s", resp.Status)
+	}
+	if err := f.noteEpoch(resp); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(resp.Body, 1<<20)
+	for {
+		rec, err := wal.ReadFrame(br)
+		if err != nil {
+			return err // EOF or torn frame: the drain got what it could
+		}
+		if rec.Type == wal.TypeCheckpoint {
+			// Heartbeat (or rotation marker) announcing the primary's
+			// position: once we have applied everything up to it, the
+			// stream is drained.
+			f.mu.Lock()
+			if rec.Seq > f.status.PrimarySeq {
+				f.status.PrimarySeq = rec.Seq
+			}
+			caughtUp := f.status.AppliedSeq >= f.status.PrimarySeq
+			f.mu.Unlock()
+			if caughtUp {
+				return nil
+			}
+			continue
+		}
+		if err := f.apply(ctx, idx, []wal.Record{rec}); err != nil {
+			return err
+		}
+	}
 }

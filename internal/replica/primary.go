@@ -20,6 +20,15 @@
 // floor passed the follower; otherwise the stream reopens the rotated file
 // and carries on. Everything the follower applies is idempotent, so any
 // overlap between snapshot and resume point is absorbed.
+//
+// Failover is fenced by an epoch number. Both sides stamp X-Act-Epoch on
+// every exchange: a follower that gets promoted bumps the epoch, and the
+// moment the old primary sees a request carrying a higher epoch it fences
+// itself — every /replication/* response from then on is 412 Precondition
+// Failed and its index rejects further mutations. A fenced epoch never
+// unfences, so at most one index lineage is ever mutable per epoch and a
+// resurrected stale primary cannot re-acquire followers or acknowledge
+// writes that the new primary's history does not contain.
 package replica
 
 import (
@@ -50,6 +59,13 @@ const (
 	// on a snapshot response, the floor the snapshot covers; on a 410, the
 	// floor the follower's resume point fell below.
 	HeaderBaseSeq = "X-Act-Base-Seq"
+	// HeaderEpoch carries the replication fencing epoch, both ways: a
+	// follower announces the highest epoch it has learned on every
+	// request, and the primary stamps its own epoch on every response. A
+	// request announcing a higher epoch fences the primary (see
+	// Primary.fenceCheck); a response announcing a lower epoch than the
+	// follower knows marks the server as a stale, superseded primary.
+	HeaderEpoch = "X-Act-Epoch"
 )
 
 // defaultHeartbeat is the idle-stream heartbeat cadence: a synthetic
@@ -76,19 +92,48 @@ func NewPrimary(idx *act.Index, walPath, snapshotPath string) *Primary {
 	return &Primary{idx: idx, walPath: walPath, snapshotPath: snapshotPath, Heartbeat: defaultHeartbeat}
 }
 
+// Index returns the index the primary serves.
+func (p *Primary) Index() *act.Index { return p.idx }
+
 // Mount registers the replication endpoints on mux.
 func (p *Primary) Mount(mux *http.ServeMux) {
-	mux.HandleFunc("GET "+SnapshotPath, p.handleSnapshot)
-	mux.HandleFunc("GET "+StreamPath, p.handleStream)
+	mux.HandleFunc("GET "+SnapshotPath, p.ServeSnapshot)
+	mux.HandleFunc("GET "+StreamPath, p.ServeStream)
 }
 
-// handleSnapshot serves the checkpoint snapshot, forcing one first when
+// fenceCheck enforces the epoch protocol on one request. It adopts any
+// higher epoch the request announces (fencing this primary: a promotion
+// happened elsewhere), then answers 412 and reports false if the primary is
+// fenced; otherwise it stamps the primary's epoch on the response and
+// reports true. The check is first in every handler so a stale primary
+// stops serving the moment the new epoch reaches it.
+func (p *Primary) fenceCheck(w http.ResponseWriter, r *http.Request) bool {
+	if s := r.Header.Get(HeaderEpoch); s != "" {
+		if theirs, err := strconv.ParseUint(s, 10, 64); err == nil {
+			if theirs > p.idx.ReplicationEpoch() {
+				p.idx.Fence(theirs)
+			}
+		}
+	}
+	if epoch, fenced := p.idx.Fenced(); fenced {
+		w.Header().Set(HeaderEpoch, strconv.FormatUint(epoch, 10))
+		http.Error(w, "primary is fenced: a newer epoch has been promoted", http.StatusPreconditionFailed)
+		return false
+	}
+	w.Header().Set(HeaderEpoch, strconv.FormatUint(p.idx.ReplicationEpoch(), 10))
+	return true
+}
+
+// ServeSnapshot serves the checkpoint snapshot, forcing one first when
 // none exists yet (a primary that has never compacted). The seq floor is
 // read from the log BEFORE the file is opened: a checkpoint racing in
 // between makes the served file newer than the advertised floor, which the
 // follower's idempotent replay absorbs — the reverse order could advertise
 // a floor the file does not reach.
-func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+func (p *Primary) ServeSnapshot(w http.ResponseWriter, r *http.Request) {
+	if !p.fenceCheck(w, r) {
+		return
+	}
 	if _, err := os.Stat(p.snapshotPath); errors.Is(err, fs.ErrNotExist) {
 		if err := p.idx.Checkpoint(r.Context()); err != nil {
 			http.Error(w, "creating bootstrap snapshot: "+err.Error(), http.StatusServiceUnavailable)
@@ -113,14 +158,17 @@ func (p *Primary) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	_, _ = io.Copy(w, f)
 }
 
-// handleStream serves the log as a long-lived record stream: every record
+// ServeStream serves the log as a long-lived record stream: every record
 // with seq > after, in log order, in the log's own frame layout, followed
 // by whatever the log appends for as long as the follower stays connected.
 // Idle periods carry heartbeat checkpoint frames with the primary's
 // current sequence. The stream ends when the client goes away, the log
-// closes, or a rotation moves the floor past the follower (who then
-// re-syncs and is told 410 → bootstrap).
-func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
+// closes, the primary is fenced by a newer epoch, or a rotation moves the
+// floor past the follower (who then re-syncs and is told 410 → bootstrap).
+func (p *Primary) ServeStream(w http.ResponseWriter, r *http.Request) {
+	if !p.fenceCheck(w, r) {
+		return
+	}
 	var after uint64
 	if s := r.URL.Query().Get("after"); s != "" {
 		v, err := strconv.ParseUint(s, 10, 64)
@@ -130,17 +178,17 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 		}
 		after = v
 	}
-	f, base, err := p.openLog()
+	f, hdr, err := p.openLog()
 	if err != nil {
 		http.Error(w, "opening log: "+err.Error(), http.StatusServiceUnavailable)
 		return
 	}
 	defer func() { f.Close() }()
-	if after < base {
+	if after < hdr.BaseSeq {
 		// The resume point predates the checkpoint floor: those records
 		// were folded into a newer snapshot. Hand the follower the
 		// snapshot, not a hole.
-		w.Header().Set(HeaderBaseSeq, strconv.FormatUint(base, 10))
+		w.Header().Set(HeaderBaseSeq, strconv.FormatUint(hdr.BaseSeq, 10))
 		http.Error(w, "resume point is below the checkpoint floor; bootstrap from the snapshot", http.StatusGone)
 		return
 	}
@@ -160,8 +208,13 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 	defer tick.Stop()
 
 	lastSent := after
-	offset := int64(wal.HeaderSize)
+	offset := hdr.Len
 	for {
+		// A promotion can fence this primary mid-stream; stop feeding the
+		// follower records the new epoch's history may not contain.
+		if _, fenced := p.idx.Fenced(); fenced {
+			return
+		}
 		// Fetch the wake channel before draining, so an append that lands
 		// during the scan re-arms the loop instead of being missed. A nil
 		// channel means the log closed — the primary is shutting down.
@@ -229,28 +282,30 @@ func (p *Primary) handleStream(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		f.Close()
-		var newBase uint64
-		if f, newBase, err = p.openLog(); err != nil {
+		if f, hdr, err = p.openLog(); err != nil {
 			return
 		}
-		if newBase > lastSent {
+		if hdr.BaseSeq > lastSent {
 			return
 		}
-		offset = int64(wal.HeaderSize) // rescan; seq ≤ lastSent frames skip
+		offset = hdr.Len // rescan; seq ≤ lastSent frames skip
 	}
 }
 
 // openLog opens an independent read handle on the log and validates its
-// header, returning the handle and the checkpoint floor.
-func (p *Primary) openLog() (*os.File, uint64, error) {
+// header, returning the handle and the decoded header (checkpoint floor,
+// epoch, and the offset where records start).
+func (p *Primary) openLog() (*os.File, wal.Header, error) {
 	f, err := os.Open(p.walPath)
 	if err != nil {
-		return nil, 0, err
+		return nil, wal.Header{}, err
 	}
-	base, err := wal.ReadHeader(f)
+	hdr, err := wal.ReadHeader(f)
 	if err != nil {
 		f.Close()
-		return nil, 0, fmt.Errorf("log header: %w", err)
+		return nil, wal.Header{}, fmt.Errorf("log header: %w", err)
 	}
-	return f, base, nil
+	// ReadHeader consumed exactly hdr.Len bytes; the handle sits at the
+	// first record.
+	return f, hdr, nil
 }

@@ -20,9 +20,16 @@
 // handled the same way (scan stops at the first bad record); bytes after it
 // are unreachable garbage by construction, never silently reinterpreted.
 //
+// Failures on the append path are fail-stop: a write or fsync error trips
+// the log into a sticky failed state (Err, ErrFailed) that rejects every
+// further Append, Sync, and Checkpoint. The alternative — carrying on past
+// a failed fsync — would acknowledge mutations that may not survive a
+// crash, which silently breaks the log's one guarantee; refusing loudly
+// lets the layer above degrade to read-only and surface the cause.
+//
 // File layout (little endian):
 //
-//	header   "ACTW" | version u32 (=1) | baseSeq u64        16 bytes
+//	header   "ACTW" | version u32 (=2) | baseSeq u64 | epoch u64   24 bytes
 //	records  repeated:
 //	  length u32      payload byte count
 //	  crc    u32      CRC-32 (IEEE) of the payload
@@ -33,9 +40,14 @@
 //	    data ...      insert: the polygon's GeoJSON; otherwise empty
 //
 // baseSeq is the checkpoint floor: every mutation with seq ≤ baseSeq is
-// already contained in the snapshot this log pairs with. Rotation writes it
-// into the new header and additionally emits a checkpoint record, so a log
-// inspected with standalone tooling is self-describing.
+// already contained in the snapshot this log pairs with. epoch is the
+// replication fencing epoch: it starts at 0 and is bumped each time a
+// follower is promoted to primary, so at most one log lineage is ever
+// mutable per epoch. Rotation writes both into the new header and
+// additionally emits a checkpoint record, so a log inspected with
+// standalone tooling is self-describing. Version-1 logs (16-byte header,
+// no epoch) are still read — they carry epoch 0 and upgrade to the v2
+// header on their next rotation.
 package wal
 
 import (
@@ -49,6 +61,8 @@ import (
 	"path/filepath"
 	"sync"
 	"time"
+
+	"github.com/actindex/act/internal/fault"
 )
 
 // Policy selects when appended records are fsynced to stable storage.
@@ -90,6 +104,16 @@ type Options struct {
 	Policy Policy
 	// Interval is the SyncInterval flush cadence (default 100ms).
 	Interval time.Duration
+	// FS overrides the filesystem the log talks to — the fault-injection
+	// seam (internal/fault.FS). Nil uses the real OS.
+	FS fault.VFS
+	// BaseSeq and Epoch seed the header of a newly created log file; both
+	// are ignored when the file already exists (its header wins). BaseSeq
+	// is the checkpoint floor the paired snapshot covers; Epoch the
+	// replication epoch. Promotion opens its fresh post-promotion log this
+	// way.
+	BaseSeq uint64
+	Epoch   uint64
 }
 
 // Type tags a record.
@@ -138,6 +162,9 @@ type Stats struct {
 	// record; BaseSeq the checkpoint floor.
 	Seq     uint64
 	BaseSeq uint64
+	// Epoch is the replication fencing epoch recorded in the log header
+	// (0 until a promotion ever happened in this lineage).
+	Epoch uint64
 	// Bytes is the current log file length.
 	Bytes int64
 	// LastSync is the wall time of the last successful fsync (zero if the
@@ -146,12 +173,16 @@ type Stats struct {
 	// Checkpoints counts log rotations performed over this handle's
 	// lifetime.
 	Checkpoints uint64
+	// Failed is the log's sticky failure ("" while healthy): once set,
+	// every Append, Sync, and Checkpoint is rejected with it.
+	Failed string
 }
 
 const (
-	logMagic   = "ACTW"
-	logVersion = 1
-	headerSize = 16
+	logMagic     = "ACTW"
+	logVersion   = 2
+	headerSizeV1 = 16
+	headerSize   = 24
 	// recordOverhead is the fixed per-record framing: length + crc
 	// prefixes and the type/seq/id payload head.
 	recordOverhead = 8 + 13
@@ -160,11 +191,6 @@ const (
 	// orders of magnitude smaller).
 	maxRecordBytes = 64 << 20
 )
-
-// HeaderSize is the length of the log file header; records start at this
-// offset. Exported for replication, which tails the log file through an
-// independent read handle.
-const HeaderSize = headerSize
 
 // FrameOverhead is the fixed framing cost of one record: the length and
 // CRC prefixes plus the type/seq/id payload head. A full frame occupies
@@ -182,23 +208,35 @@ var ErrCorrupt = errors.New("wal: corrupt log header")
 // whole record, exactly as crash recovery does.
 var ErrTornFrame = errors.New("wal: torn or corrupt record frame")
 
+// ErrFailed reports a log that has tripped into its sticky fail-stop
+// state: a write or fsync on the append path failed, so the log can no
+// longer promise that an acknowledged record is durable. Every error the
+// failed log returns wraps ErrFailed together with the original cause.
+var ErrFailed = errors.New("wal: log has failed and is fail-stopped")
+
 // Log is an open write-ahead log. Append, Sync, Checkpoint, Stats, and
 // Close are safe for concurrent use with each other; the caller serializes
 // Append against Checkpoint's snapshot semantics (the act layer holds its
 // mutation lock across both).
 type Log struct {
 	mu   sync.Mutex
-	f    *os.File
+	f    fault.File
+	fs   fault.VFS
 	path string
 	opts Options
 
 	seq         uint64
 	baseSeq     uint64
+	epoch       uint64
+	hdrLen      int64
 	bytes       int64
 	dirty       bool
 	lastSync    time.Time
 	checkpoints uint64
 	closed      bool
+	// failed is the sticky fail-stop error (nil while healthy); see
+	// ErrFailed.
+	failed error
 	// notify is closed and replaced whenever the log grows, rotates, or
 	// closes — the broadcast replication tailers block on (Updates).
 	notify chan struct{}
@@ -216,11 +254,15 @@ func Open(path string, opts Options) (*Log, *Replay, error) {
 	if opts.Interval <= 0 {
 		opts.Interval = 100 * time.Millisecond
 	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	f, err := fsys.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, nil, err
 	}
-	l := &Log{f: f, path: path, opts: opts, notify: make(chan struct{})}
+	l := &Log{f: f, fs: fsys, path: path, opts: opts, notify: make(chan struct{})}
 	rep, err := l.recover()
 	if err != nil {
 		f.Close()
@@ -243,35 +285,36 @@ func (l *Log) recover() (*Replay, error) {
 		return nil, err
 	}
 	if fi.Size() == 0 {
-		var hdr [headerSize]byte
-		copy(hdr[:], logMagic)
-		binary.LittleEndian.PutUint32(hdr[4:], logVersion)
-		// baseSeq 0: a fresh log pairs with a snapshot of the unmutated
-		// base (or with a from-scratch build).
+		hdr := encodeHeader(l.opts.BaseSeq, l.opts.Epoch)
 		if _, err := l.f.Write(hdr[:]); err != nil {
 			return nil, err
 		}
 		if err := l.syncLocked(); err != nil {
 			return nil, err
 		}
+		l.hdrLen = headerSize
 		l.bytes = headerSize
-		return &Replay{}, nil
+		l.epoch = l.opts.Epoch
+		l.seq, l.baseSeq = l.opts.BaseSeq, l.opts.BaseSeq
+		return &Replay{BaseSeq: l.opts.BaseSeq}, nil
 	}
 	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
 		return nil, err
 	}
 	br := bufio.NewReaderSize(l.f, 1<<20)
-	baseSeq, err := ReadHeader(br)
+	hdr, err := ReadHeader(br)
 	if err != nil {
 		return nil, err
 	}
+	l.hdrLen = hdr.Len
+	l.epoch = hdr.Epoch
 
-	records, good, err := scanRecords(br, headerSize)
+	records, good, err := scanRecords(br, hdr.Len)
 	if err != nil {
 		return nil, err
 	}
-	rep := &Replay{BaseSeq: baseSeq, TruncatedBytes: fi.Size() - good}
-	l.seq, l.baseSeq, l.bytes = baseSeq, baseSeq, good
+	rep := &Replay{BaseSeq: hdr.BaseSeq, TruncatedBytes: fi.Size() - good}
+	l.seq, l.baseSeq, l.bytes = hdr.BaseSeq, hdr.BaseSeq, good
 	for _, r := range records {
 		if r.Seq > l.seq {
 			l.seq = r.Seq
@@ -297,21 +340,58 @@ func (l *Log) recover() (*Replay, error) {
 	return rep, nil
 }
 
-// ReadHeader reads and validates a log file header, returning its
-// checkpoint floor (baseSeq). Replication serves the log through an
-// independent read handle; this is that reader's entry point.
-func ReadHeader(r io.Reader) (baseSeq uint64, err error) {
+// encodeHeader lays out a current-version (v2) log file header.
+func encodeHeader(baseSeq, epoch uint64) [headerSize]byte {
 	var hdr [headerSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	copy(hdr[:], logMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], logVersion)
+	binary.LittleEndian.PutUint64(hdr[8:], baseSeq)
+	binary.LittleEndian.PutUint64(hdr[16:], epoch)
+	return hdr
+}
+
+// Header is a decoded log file header.
+type Header struct {
+	// Version is the format version (1 or 2).
+	Version uint32
+	// BaseSeq is the checkpoint floor the paired snapshot covers.
+	BaseSeq uint64
+	// Epoch is the replication fencing epoch (0 for version-1 logs, which
+	// predate fencing).
+	Epoch uint64
+	// Len is the header's on-disk length; records start at this offset.
+	Len int64
+}
+
+// ReadHeader reads and validates a log file header. Replication serves the
+// log through an independent read handle; this is that reader's entry
+// point. Version-1 (16-byte, epoch-less) and version-2 (24-byte) headers
+// are both accepted; Header.Len tells the caller where records start.
+func ReadHeader(r io.Reader) (Header, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:headerSizeV1]); err != nil {
+		return Header{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 	}
 	if string(hdr[:4]) != logMagic {
-		return 0, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
+		return Header{}, fmt.Errorf("%w: bad magic %q", ErrCorrupt, hdr[:4])
 	}
-	if v := binary.LittleEndian.Uint32(hdr[4:]); v != logVersion {
-		return 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, v)
+	h := Header{
+		Version: binary.LittleEndian.Uint32(hdr[4:]),
+		BaseSeq: binary.LittleEndian.Uint64(hdr[8:]),
+		Len:     headerSizeV1,
 	}
-	return binary.LittleEndian.Uint64(hdr[8:]), nil
+	switch h.Version {
+	case 1:
+	case logVersion:
+		if _, err := io.ReadFull(r, hdr[headerSizeV1:]); err != nil {
+			return Header{}, fmt.Errorf("%w: truncated v2 header: %v", ErrCorrupt, err)
+		}
+		h.Epoch = binary.LittleEndian.Uint64(hdr[16:])
+		h.Len = headerSize
+	default:
+		return Header{}, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, h.Version)
+	}
+	return h, nil
 }
 
 // ReadFrame reads one record frame from r, verifying its CRC. It returns
@@ -390,9 +470,29 @@ func encode(rec Record) []byte {
 	return buf
 }
 
+// failLocked trips the log into its sticky fail-stop state (first failure
+// wins) and returns the error to surface. Caller holds l.mu.
+func (l *Log) failLocked(op string, cause error) error {
+	if l.failed == nil {
+		l.failed = fmt.Errorf("%w: %s: %w", ErrFailed, op, cause)
+	}
+	return l.failed
+}
+
+// Err returns the log's sticky failure, nil while healthy. Once non-nil it
+// never clears: the process must fall back to read-only serving and the
+// log be repaired (or replaced) out of band.
+func (l *Log) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.failed
+}
+
 // Append writes one record to the log, fsyncing per the configured policy.
 // On error the in-memory counters are not advanced; the file may hold a
-// partial frame, which the next Open truncates away like any torn tail.
+// partial frame, which the next Open truncates away like any torn tail. A
+// write or fsync error is fail-stop: the log trips into its sticky failed
+// state and every later Append is rejected with it.
 func (l *Log) Append(rec Record) error {
 	if len(rec.Data) > maxRecordBytes-13 {
 		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(rec.Data), maxRecordBytes)
@@ -402,9 +502,12 @@ func (l *Log) Append(rec Record) error {
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
+	if l.failed != nil {
+		return l.failed
+	}
 	buf := encode(rec)
 	if _, err := l.f.Write(buf); err != nil {
-		return fmt.Errorf("wal: append: %w", err)
+		return l.failLocked("append", err)
 	}
 	l.bytes += int64(len(buf))
 	l.seq = rec.Seq
@@ -414,7 +517,7 @@ func (l *Log) Append(rec Record) error {
 	l.dirty = true
 	if l.opts.Policy == SyncAlways {
 		if err := l.syncLocked(); err != nil {
-			return fmt.Errorf("wal: fsync: %w", err)
+			return l.failLocked("fsync", err)
 		}
 	}
 	l.bumpLocked()
@@ -442,14 +545,21 @@ func (l *Log) Updates() <-chan struct{} {
 	return l.notify
 }
 
-// Sync forces buffered records to stable storage regardless of policy.
+// Sync forces buffered records to stable storage regardless of policy. An
+// fsync error is fail-stop, like on the append path.
 func (l *Log) Sync() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return nil
 	}
-	return l.syncLocked()
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.syncLocked(); err != nil {
+		return l.failLocked("fsync", err)
+	}
+	return nil
 }
 
 func (l *Log) syncLocked() error {
@@ -462,7 +572,11 @@ func (l *Log) syncLocked() error {
 }
 
 // flusher is the SyncInterval background goroutine: it fsyncs dirty data on
-// the configured cadence until Close.
+// the configured cadence until Close. A background fsync failure trips the
+// same fail-stop state as a foreground one — acknowledged-but-unsynced
+// records are exactly what SyncInterval is allowed to lose in a crash, but
+// an fsync that *errors* means nothing further can be promised, so the log
+// stops accepting appends instead of silently dropping durability.
 func (l *Log) flusher() {
 	defer close(l.done)
 	t := time.NewTicker(l.opts.Interval)
@@ -473,8 +587,10 @@ func (l *Log) flusher() {
 			return
 		case <-t.C:
 			l.mu.Lock()
-			if l.dirty && !l.closed {
-				_ = l.syncLocked()
+			if l.dirty && !l.closed && l.failed == nil {
+				if err := l.syncLocked(); err != nil {
+					_ = l.failLocked("background fsync", err)
+				}
 			}
 			l.mu.Unlock()
 		}
@@ -488,6 +604,12 @@ func (l *Log) flusher() {
 // at any point leaves either the old log (fully covering the snapshot gap —
 // replay is idempotent) or the new one; never neither.
 //
+// A failure before the rename leaves the old log intact and appendable —
+// the rotation simply didn't happen — so those errors are returned without
+// tripping the fail-stop state. A failure on the initial fsync (the old
+// log's own durability) or after the rename (the swap is half-done) does
+// trip it.
+//
 // The caller must serialize Checkpoint against Append (the act layer holds
 // its mutation lock across snapshot + rotation).
 func (l *Log) Checkpoint(snapSeq uint64) error {
@@ -496,30 +618,36 @@ func (l *Log) Checkpoint(snapSeq uint64) error {
 	if l.closed {
 		return errors.New("wal: log is closed")
 	}
+	if l.failed != nil {
+		return l.failed
+	}
 	// Harvest the residual from the current file (records are on disk by
 	// definition of the append path; re-reading beats holding every record
 	// in memory forever).
 	if err := l.syncLocked(); err != nil {
-		return err
+		return l.failLocked("fsync", err)
 	}
-	if _, err := l.f.Seek(headerSize, io.SeekStart); err != nil {
-		return err
+	if _, err := l.f.Seek(l.hdrLen, io.SeekStart); err != nil {
+		return l.failLocked("checkpoint seek", err)
 	}
-	records, _, err := scanRecords(bufio.NewReaderSize(l.f, 1<<20), headerSize)
+	records, _, err := scanRecords(bufio.NewReaderSize(l.f, 1<<20), l.hdrLen)
+	// Restore the append position immediately: the harvest's buffered
+	// reader read ahead of what it consumed, and any failure below must
+	// leave the old log appendable at its true end.
+	if _, serr := l.f.Seek(l.bytes, io.SeekStart); serr != nil {
+		return l.failLocked("checkpoint seek", serr)
+	}
 	if err != nil {
 		return err
 	}
 
 	dir := filepath.Dir(l.path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(l.path)+".rotate-*")
+	tmp, err := l.fs.CreateTemp(dir, filepath.Base(l.path)+".rotate-*")
 	if err != nil {
 		return err
 	}
-	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	var hdr [headerSize]byte
-	copy(hdr[:], logMagic)
-	binary.LittleEndian.PutUint32(hdr[4:], logVersion)
-	binary.LittleEndian.PutUint64(hdr[8:], snapSeq)
+	defer l.fs.Remove(tmp.Name()) // no-op after a successful rename
+	hdr := encodeHeader(snapSeq, l.epoch)
 	bw := bufio.NewWriterSize(tmp, 1<<20)
 	if _, err := bw.Write(hdr[:]); err != nil {
 		tmp.Close()
@@ -555,25 +683,26 @@ func (l *Log) Checkpoint(snapSeq uint64) error {
 		tmp.Close()
 		return err
 	}
-	if err := os.Rename(tmp.Name(), l.path); err != nil {
+	if err := l.fs.Rename(tmp.Name(), l.path); err != nil {
 		tmp.Close()
 		return err
 	}
-	if err := syncDir(dir); err != nil {
+	if err := l.syncDir(dir); err != nil {
 		tmp.Close()
-		return err
+		return l.failLocked("checkpoint dir sync", err)
 	}
 	// The tmp handle now refers to the live log file (rename moved the
 	// inode, not the descriptor); swap it in positioned at the end.
 	if _, err := tmp.Seek(0, io.SeekEnd); err != nil {
 		tmp.Close()
-		return err
+		return l.failLocked("checkpoint", err)
 	}
 	old := l.f
 	l.f = tmp
 	_ = old.Close()
 	l.baseSeq = snapSeq
 	l.seq = newSeq
+	l.hdrLen = headerSize // a v1 log upgrades to the v2 header on rotation
 	l.bytes = fi.Size()
 	l.dirty = false
 	l.lastSync = time.Now()
@@ -583,8 +712,8 @@ func (l *Log) Checkpoint(snapSeq uint64) error {
 }
 
 // syncDir fsyncs a directory so a just-renamed file is durably linked.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
+func (l *Log) syncDir(dir string) error {
+	d, err := l.fs.Open(dir)
 	if err != nil {
 		return err
 	}
@@ -596,13 +725,25 @@ func syncDir(dir string) error {
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return Stats{
+	st := Stats{
 		Seq:         l.seq,
 		BaseSeq:     l.baseSeq,
+		Epoch:       l.epoch,
 		Bytes:       l.bytes,
 		LastSync:    l.lastSync,
 		Checkpoints: l.checkpoints,
 	}
+	if l.failed != nil {
+		st.Failed = l.failed.Error()
+	}
+	return st
+}
+
+// Epoch returns the log's replication fencing epoch (fixed at open).
+func (l *Log) Epoch() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.epoch
 }
 
 // Path returns the log's file path.
@@ -611,7 +752,8 @@ func (l *Log) Path() string { return l.path }
 // Close flushes outstanding records (fsyncing only when something is
 // actually pending — a SyncAlways log pays no extra flush) and closes the
 // file. Waiters on Updates are woken and observe the closed log. It is
-// idempotent.
+// idempotent. A failed log closes without flushing — its tail is already
+// suspect, and the flush would mask the original failure.
 func (l *Log) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -632,7 +774,7 @@ func (l *Log) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	var syncErr error
-	if l.dirty {
+	if l.dirty && l.failed == nil {
 		syncErr = l.f.Sync()
 	}
 	closeErr := l.f.Close()

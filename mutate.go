@@ -127,6 +127,9 @@ func (ix *Index) Insert(ctx context.Context, p *Polygon) (uint32, error) {
 	if ix.follower {
 		return 0, ErrFollower
 	}
+	if err := ix.writableLocked(); err != nil {
+		return 0, err
+	}
 	if len(ix.alive) > supercover.MaxPolygonID {
 		return 0, fmt.Errorf("act: insert: the 2^30 polygon id space is exhausted")
 	}
@@ -156,6 +159,9 @@ func (ix *Index) Insert(ctx context.Context, p *Polygon) (uint32, error) {
 		}
 		rec := wal.Record{Type: wal.TypeInsert, Seq: ix.seq + 1, ID: id, Data: buf.Bytes()}
 		if err := ix.wal.Append(rec); err != nil {
+			if ix.wal.Err() != nil {
+				err = fmt.Errorf("%w: %w", ErrWALFailed, err)
+			}
 			return 0, fmt.Errorf("act: insert: %w", err)
 		}
 	}
@@ -190,6 +196,9 @@ func (ix *Index) Remove(ctx context.Context, id uint32) error {
 	if ix.follower {
 		return ErrFollower
 	}
+	if err := ix.writableLocked(); err != nil {
+		return err
+	}
 	if int(id) >= len(ix.alive) || !ix.alive[id] {
 		return fmt.Errorf("%w: %d", ErrUnknownPolygon, id)
 	}
@@ -201,6 +210,9 @@ func (ix *Index) Remove(ctx context.Context, id uint32) error {
 	if ix.wal != nil {
 		rec := wal.Record{Type: wal.TypeRemove, Seq: ix.seq + 1, ID: id}
 		if err := ix.wal.Append(rec); err != nil {
+			if ix.wal.Err() != nil {
+				err = fmt.Errorf("%w: %w", ErrWALFailed, err)
+			}
 			return fmt.Errorf("act: remove: %w", err)
 		}
 	}

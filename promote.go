@@ -1,0 +1,210 @@
+package act
+
+// Failover: fail-stop degradation and fenced follower promotion.
+//
+// A durable index degrades rather than lies. When its write-ahead log trips
+// into the sticky fail-stop state (a failed append or fsync — see
+// internal/wal), every further Insert and Remove reports ErrWALFailed
+// without acknowledging anything: reads, joins, and the replication stream
+// keep serving the last consistent state, but no mutation is accepted that
+// the log cannot make durable.
+//
+// Promotion turns a replication follower into the next primary under an
+// epoch fence. Each promotion bumps the replication epoch (stored in the
+// WAL header and stamped on every replication exchange as X-Act-Epoch);
+// the old primary fences itself the moment it observes the higher epoch —
+// Fence is one-way — and from then on rejects mutations (ErrFenced) and
+// replication requests (412). Together the two rules give the split-brain
+// guarantee: at most one index lineage is ever mutable per epoch, and a
+// resurrected stale primary can neither acknowledge writes nor feed
+// followers history the new primary does not have.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+
+	"github.com/actindex/act/internal/fault"
+	"github.com/actindex/act/internal/wal"
+)
+
+// Failover errors.
+var (
+	// ErrWALFailed is reported by Insert and Remove once the attached
+	// write-ahead log has tripped into its fail-stop state: the mutation
+	// was NOT acknowledged and the index now serves read-only. The cause
+	// is in WALStats().Failed.
+	ErrWALFailed = errors.New("act: write-ahead log has failed; index is read-only")
+	// ErrFenced is reported by Insert and Remove on a primary that has
+	// been fenced by a newer replication epoch: a follower was promoted,
+	// and accepting writes here would fork history.
+	ErrFenced = errors.New("act: index is fenced by a newer replication epoch")
+)
+
+// writableLocked reports why the index cannot accept a mutation (nil when
+// it can): a fence always wins, then the log's sticky failure. Caller
+// holds ix.mu.
+func (ix *Index) writableLocked() error {
+	if e := ix.fencedAt.Load(); e != 0 {
+		return fmt.Errorf("%w (fenced at epoch %d)", ErrFenced, e)
+	}
+	if ix.wal != nil {
+		if err := ix.wal.Err(); err != nil {
+			return fmt.Errorf("%w: %w", ErrWALFailed, err)
+		}
+	}
+	return nil
+}
+
+// Fence marks the index as superseded by the given replication epoch:
+// every further mutation reports ErrFenced. Fencing is one-way and
+// monotone — a higher epoch overwrites a lower one, nothing ever unfences —
+// so a stale primary that learns of its successor stays read-only for the
+// rest of its life. Epoch 0 never fences (it is the pre-failover epoch).
+func (ix *Index) Fence(epoch uint64) {
+	for {
+		cur := ix.fencedAt.Load()
+		if cur >= epoch {
+			return
+		}
+		if ix.fencedAt.CompareAndSwap(cur, epoch) {
+			return
+		}
+	}
+}
+
+// Fenced returns the epoch the index was fenced at and whether it is
+// fenced at all.
+func (ix *Index) Fenced() (uint64, bool) {
+	e := ix.fencedAt.Load()
+	return e, e != 0
+}
+
+// ReplicationEpoch returns the index's replication fencing epoch: the
+// epoch recorded in its write-ahead log's header, or 0 when no log is
+// attached (followers learn the epoch from the wire, not from here).
+func (ix *Index) ReplicationEpoch() uint64 {
+	if ix.wal == nil {
+		return 0
+	}
+	return ix.wal.Epoch()
+}
+
+// Promote converts a replication follower into a primary under the given
+// (already-bumped) epoch: the overlay is compacted down, the resulting
+// clean state written as a checkpoint snapshot to cfg.SnapshotPath, and a
+// fresh write-ahead log opened at cfg.Path with the snapshot's sequence as
+// its base and the new epoch in its header. On return the index accepts
+// Insert and Remove, and a Primary wired around cfg.Path/cfg.SnapshotPath
+// can serve the next generation of followers.
+//
+// The ordering is crash-safe: the snapshot is durably committed before the
+// log is created or the follower flag drops, so a crash mid-promotion
+// leaves a valid bootstrap image and a process that still thinks it is a
+// follower — re-running the promotion (or re-bootstrapping from the new
+// primary, if another candidate won) is always safe. ApplyReplicated is
+// rejected for the duration, so no stale stream record can land after the
+// state that the snapshot captures.
+//
+// The caller is responsible for the distributed half of the contract:
+// verify the follower has drained the old primary's acknowledged history
+// before promoting (internal/replica.Follower.Promote does), or removals
+// acknowledged by the old primary may resurrect.
+func (ix *Index) Promote(ctx context.Context, cfg WALConfig, epoch uint64) error {
+	ix.compactMu.Lock()
+	defer ix.compactMu.Unlock()
+
+	ix.mu.Lock()
+	if !ix.follower {
+		ix.mu.Unlock()
+		return errors.New("act: promote: index is not a replication follower")
+	}
+	if ix.wal != nil {
+		ix.mu.Unlock()
+		return errors.New("act: promote: index already has a write-ahead log")
+	}
+	if cfg.Path == "" || cfg.SnapshotPath == "" {
+		ix.mu.Unlock()
+		return errors.New("act: promote: WAL config needs Path and SnapshotPath")
+	}
+	if epoch == 0 {
+		ix.mu.Unlock()
+		return errors.New("act: promote: epoch must be at least 1")
+	}
+	ix.promoting = true
+	ix.mu.Unlock()
+	defer func() {
+		ix.mu.Lock()
+		ix.promoting = false
+		ix.mu.Unlock()
+	}()
+
+	// Fold the overlay into a clean base: the snapshot writer serializes
+	// one epoch, not epoch + delta. No-op when the follower is already
+	// clean; nothing new can land while promoting is set.
+	if err := ix.compactLocked(ctx); err != nil {
+		return fmt.Errorf("act: promote: compacting overlay: %w", err)
+	}
+
+	ix.mu.Lock()
+	ep := ix.live.Load()
+	if ep.ov != nil && ep.ov.Pending() > 0 {
+		ix.mu.Unlock()
+		return errors.New("act: promote: overlay still dirty after compaction")
+	}
+	snapSeq := ix.seq
+	ids := aliveIDs(ix.alive)
+	idSpace := len(ix.alive)
+	ix.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	var idCol []uint32
+	if len(ids) != idSpace {
+		idCol = ids
+	}
+	snapTmp, err := stageSnapshot(cfg.SnapshotPath, ep, ix.kind, ix.precision, idCol, int64(idSpace))
+	if err != nil {
+		return fmt.Errorf("act: promote: staging snapshot: %w", err)
+	}
+	defer os.Remove(snapTmp) // no-op once renamed into place
+
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if err := commitSnapshot(snapTmp, cfg.SnapshotPath); err != nil {
+		return fmt.Errorf("act: promote: publishing snapshot: %w", err)
+	}
+	// The snapshot is durable; from here a crash leaves a valid bootstrap
+	// image. Clear any stale log at the target path (a leftover from a
+	// previous life as primary) so the fresh log starts at the snapshot.
+	fsys := cfg.FS
+	if fsys == nil {
+		fsys = fault.OS{}
+	}
+	if err := fsys.Remove(cfg.Path); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("act: promote: clearing stale log: %w", err)
+	}
+	pol, err := cfg.Policy.walPolicy()
+	if err != nil {
+		return err
+	}
+	log, rep, err := wal.Open(cfg.Path, wal.Options{
+		Policy: pol, Interval: cfg.Interval, FS: cfg.FS,
+		BaseSeq: snapSeq, Epoch: epoch,
+	})
+	if err != nil {
+		return fmt.Errorf("act: promote: opening log: %w", err)
+	}
+	if len(rep.Records) > 0 {
+		log.Close()
+		return fmt.Errorf("act: promote: fresh log at %s has %d residual records", cfg.Path, len(rep.Records))
+	}
+	ix.wal = log
+	ix.walRecovered = 0
+	ix.snapshotPath = cfg.SnapshotPath
+	ix.follower = false
+	return nil
+}

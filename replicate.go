@@ -99,6 +99,9 @@ func (ix *Index) ApplyReplicated(ctx context.Context, records []wal.Record) erro
 	if !ix.follower {
 		return errors.New("act: ApplyReplicated on a non-follower index")
 	}
+	if ix.promoting {
+		return errors.New("act: index is being promoted; stream application is closed")
+	}
 
 	// Merge the batch into a copy of the overlay's contents; the overlay
 	// itself is an immutable snapshot readers may still hold.
