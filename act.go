@@ -148,6 +148,10 @@ type Options struct {
 	// the log by a previous process are replayed onto the fresh build. See
 	// WithWAL.
 	WAL *WALConfig
+	// Observer, when non-nil, receives the index's observability events —
+	// WAL append/fsync/rotation callbacks, compaction runs, and structured
+	// log lines. See WithObserver.
+	Observer *Observer
 }
 
 // BuildStats reports the cost and shape of a built index — the quantities
@@ -267,6 +271,10 @@ type Index struct {
 	wal          *wal.Log
 	walRecovered int
 	snapshotPath string
+
+	// obs, when non-nil, receives WAL and compaction events (metrics hooks
+	// + structured logging). Set at construction, never mutated.
+	obs *Observer
 
 	// loadedIDs is the sorted live-id column of the v4 file this index
 	// was loaded from (nil for dense files and built indexes); WriteTo
@@ -479,6 +487,7 @@ func buildIndex(polygons []*Polygon, opts Options) (*Index, error) {
 		mutable:        true,
 		srcComplete:    true,
 		deltaThreshold: threshold,
+		obs:            opts.Observer,
 	}
 	// Retain the caller's polygons (pointers, not copies) as the source of
 	// truth compaction rebuilds from; the slice itself is cloned so a

@@ -17,6 +17,10 @@
 //	actbench -experiment replica          # replication: follower catch-up
 //	                                      # throughput + steady-state lag
 //	                                      # vs primary mutation rate
+//	actbench -experiment serve            # HTTP serving: per-endpoint
+//	                                      # p50/p95/p99 latency + throughput
+//	                                      # at stepped client concurrency,
+//	                                      # cross-checked against /metrics
 //	actbench -experiment ablation         # design-choice ablations
 //	actbench -experiment all              # everything
 //
@@ -51,7 +55,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "table1 | fig3 | scale (alias fig4) | exact | interleave | delta | wal | replica | ablation | all")
+	experiment := flag.String("experiment", "all", "table1 | fig3 | scale (alias fig4) | exact | interleave | delta | wal | replica | serve | ablation | all")
 	census := flag.Int("census", 4000, "census-blocks polygon count (paper: 39184)")
 	points := flag.Int("points", 2_000_000, "join points per measurement (paper: 1e9)")
 	seed := flag.Int64("seed", 42, "dataset generation seed")
@@ -168,10 +172,15 @@ func main() {
 	// throughput per backlog length, and mean sequence lag per primary
 	// mutation rate).
 	measured("replica", "8", func() ([]bench.Record, error) { return bench.RunReplica(w, cfg) })
+	// The serve experiment's records land in BENCH_10.json: the
+	// observability layer's tracked artefact (per-endpoint latency
+	// percentiles and throughput through the fully instrumented HTTP
+	// stack, with a /metrics self-consistency check over the driven load).
+	measured("serve", "10", func() ([]bench.Record, error) { return bench.RunServe(w, cfg) })
 	run("ablation", func() error { return bench.RunAblations(w, cfg) })
 
 	switch *experiment {
-	case "table1", "fig3", "scale", "exact", "interleave", "delta", "wal", "replica", "ablation", "all":
+	case "table1", "fig3", "scale", "exact", "interleave", "delta", "wal", "replica", "serve", "ablation", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "actbench: unknown experiment %q\n", *experiment)
 		os.Exit(2)

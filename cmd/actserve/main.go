@@ -92,7 +92,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -101,6 +101,7 @@ import (
 
 	"github.com/actindex/act"
 	"github.com/actindex/act/internal/replica"
+	"github.com/actindex/act/internal/server"
 )
 
 func main() {
@@ -118,7 +119,18 @@ func main() {
 	replicateFrom := flag.String("replicate-from", "", "primary base URL to follow (e.g. http://primary:8080): serve a read-only replica fed by its WAL stream")
 	replicaDir := flag.String("replica-dir", "", "directory for downloaded bootstrap snapshots in -replicate-from mode (default: a temp dir)")
 	replicateToken := flag.String("replicate-token", "", "bearer token presented to the primary's replication endpoints (default: the -reload-token value)")
+	logFormat := flag.String("log-format", "text", "structured log encoding on stderr: text | json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug | info | warn | error")
+	mutationRPS := flag.Float64("mutation-rps", 0, "token-bucket rate limit on the mutation endpoints, requests/second (0: no limit); excess requests get 429 + Retry-After")
 	flag.Parse()
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "actserve: %v\n", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if *replicateToken == "" {
 		*replicateToken = *reloadToken
@@ -129,7 +141,7 @@ func main() {
 			flag.Usage()
 			os.Exit(2)
 		}
-		runFollower(*replicateFrom, *replicaDir, *addr, *reloadToken, *replicateToken, *pprofFlag, *drain)
+		runFollower(logger, *replicateFrom, *replicaDir, *addr, *reloadToken, *replicateToken, *pprofFlag, *mutationRPS, *drain)
 		return
 	}
 
@@ -146,16 +158,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	gk, err := parseGridKind(*gridFlag)
+	gk, err := server.ParseGridKind(*gridFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "actserve: %v\n", err)
 		os.Exit(2)
 	}
-	fsync, err := parseFsyncPolicy(*fsyncFlag)
+	fsync, err := server.ParseFsyncPolicy(*fsyncFlag)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "actserve: %v\n", err)
 		os.Exit(2)
 	}
+
+	// The instrument set exists before the index so the WAL's append/fsync
+	// hooks are live from the very first replayed record; the server created
+	// below serves the same registry at GET /metrics.
+	metrics := server.NewMetrics()
+	observer := metrics.ActObserver(logger)
 
 	var (
 		idx       *act.Index
@@ -169,57 +187,78 @@ func main() {
 				// tail. The snapshot, not -polygons, is authoritative — it
 				// already folds in every checkpointed mutation.
 				idx, err = act.Recover(*indexFile, *walFile,
-					act.WithWAL(act.WALConfig{Policy: fsync, Interval: *fsyncEvery}))
+					act.WithWAL(act.WALConfig{Policy: fsync, Interval: *fsyncEvery}),
+					act.WithObserver(observer))
 				recovered = true
 				break
 			}
 		}
 		if *polyFile == "" {
-			log.Fatalf("actserve: snapshot %s does not exist and no -polygons to build from", *indexFile)
+			fatal(logger, "snapshot missing and no -polygons to build from", slog.String("snapshot", *indexFile))
 		}
-		idx, err = buildFromGeoJSON(*polyFile, *precision, gk,
+		idx, err = server.BuildFromGeoJSON(*polyFile, *precision, gk,
 			act.WithWAL(act.WALConfig{
 				Path:         *walFile,
 				SnapshotPath: *indexFile,
 				Policy:       fsync,
 				Interval:     *fsyncEvery,
-			}))
+			}),
+			act.WithObserver(observer))
 	case *indexFile != "":
-		idx, err = loadIndexFile(*indexFile)
+		idx, err = server.LoadIndexFile(*indexFile)
 	default:
-		idx, err = buildFromGeoJSON(*polyFile, *precision, gk)
+		idx, err = server.BuildFromGeoJSON(*polyFile, *precision, gk, act.WithObserver(observer))
 	}
 	if err != nil {
-		log.Fatalf("actserve: %v", err)
+		fatal(logger, "startup failed", slog.String("error", err.Error()))
 	}
 	st := idx.Stats()
-	log.Printf("actserve: %d polygons, %d cells, %.1f MB, ε=%.1fm, listening on %s",
-		st.NumPolygons, st.IndexedCells, float64(st.TotalBytes())/1e6, idx.PrecisionMeters(), *addr)
+	logger.Info("serving",
+		slog.Int("polygons", st.NumPolygons),
+		slog.Int("cells", st.IndexedCells),
+		slog.Float64("mb", float64(st.TotalBytes())/1e6),
+		slog.Float64("epsilon_meters", idx.PrecisionMeters()),
+		slog.String("addr", *addr),
+	)
 	if ws := idx.WALStats(); ws.Enabled {
-		log.Printf("actserve: wal %s (fsync=%s): seq %d, %d records replayed",
-			*walFile, fsync, ws.Seq, ws.RecoveredRecords)
+		logger.Info("wal attached",
+			slog.String("path", *walFile),
+			slog.String("fsync", fsync.String()),
+			slog.Uint64("seq", ws.Seq),
+			slog.Uint64("epoch", ws.Epoch),
+			slog.Int("replayed_records", ws.RecoveredRecords),
+		)
 	}
 
 	// Reload defaults follow what is actually being served: for -index,
 	// the loaded index's own precision and grid (the -precision/-grid
 	// flags only parameterize builds), so a plain {"polygons":...} reload
 	// cannot silently change the service's precision guarantee.
-	defaults := BuildDefaults{Precision: *precision, Grid: gk}
+	defaults := server.BuildDefaults{Precision: *precision, Grid: gk}
 	if recovered || (*walFile == "" && *indexFile != "") {
-		defaults = BuildDefaults{Precision: idx.PrecisionMeters(), Grid: idx.GridKind()}
+		defaults = server.BuildDefaults{Precision: idx.PrecisionMeters(), Grid: idx.GridKind()}
 	}
 	indexes := act.NewSwappable(idx)
-	handler := NewServer(indexes, defaults)
+	handler := server.NewServer(indexes, defaults, metrics)
+	handler.Logger = logger
 	handler.ReloadToken = *reloadToken
+	handler.EnableMutationLimit(*mutationRPS)
+	if *mutationRPS > 0 {
+		logger.Info("mutation rate limit enabled", slog.Float64("rps", *mutationRPS))
+	}
 	if *walFile != "" && *indexFile != "" {
 		// The durability pair doubles as the replication feed: followers
 		// bootstrap from the checkpoint snapshot and tail the log.
 		handler.EnablePrimary(replica.NewPrimary(idx, *walFile, *indexFile))
-		log.Printf("actserve: replication primary: followers bootstrap from %s and stream %s", *indexFile, *walFile)
+		logger.Info("replication primary enabled",
+			slog.String("role", "primary"),
+			slog.String("snapshot", *indexFile),
+			slog.String("wal", *walFile),
+		)
 	}
 	if *pprofFlag {
 		handler.EnablePprof()
-		log.Printf("actserve: pprof endpoints enabled under /debug/pprof/")
+		logger.Info("pprof enabled", slog.String("prefix", "/debug/pprof/"))
 	}
 	srv := &http.Server{Addr: *addr, Handler: handler}
 
@@ -229,37 +268,72 @@ func main() {
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		log.Fatalf("actserve: %v", err)
+		fatal(logger, "serve failed", slog.String("error", err.Error()))
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("actserve: signal received, draining in-flight requests (max %s)", *drain)
+	logger.Info("draining", slog.Duration("max", *drain))
 	shCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("actserve: shutdown: %v", err)
+		logger.Error("shutdown failed", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("actserve: %v", err)
+		logger.Error("listener error", slog.String("error", err.Error()))
 	}
 	// Close the startup index so an attached WAL flushes its tail and a
 	// reopened log sees a clean shutdown (zero records to replay).
 	if err := idx.Close(); err != nil {
-		log.Printf("actserve: closing index: %v", err)
+		logger.Error("closing index failed", slog.String("error", err.Error()))
 	}
-	log.Printf("actserve: drained, exiting")
+	logger.Info("drained, exiting")
+}
+
+// buildLogger maps the -log-format and -log-level flags to a slog logger on
+// stderr.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "", "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// fatal logs the error and exits non-zero — the slog replacement for
+// log.Fatalf.
+func fatal(logger *slog.Logger, msg string, attrs ...any) {
+	logger.Error(msg, attrs...)
+	os.Exit(1)
 }
 
 // runFollower serves a read-only replica: it bootstraps from the primary's
 // checkpoint snapshot, follows its log stream, and swaps re-bootstrapped
 // indexes in under live traffic. Lookups, joins, and /stats serve normally;
 // the mutating endpoints answer 409 pointing at the primary.
-func runFollower(primaryURL, dir, addr, reloadToken, replicateToken string, pprofOn bool, drain time.Duration) {
+func runFollower(logger *slog.Logger, primaryURL, dir, addr, reloadToken, replicateToken string, pprofOn bool, mutationRPS float64, drain time.Duration) {
+	logger = logger.With(slog.String("role", "follower"))
 	if dir == "" {
 		d, err := os.MkdirTemp("", "actserve-replica-*")
 		if err != nil {
-			log.Fatalf("actserve: %v", err)
+			fatal(logger, "creating replica dir failed", slog.String("error", err.Error()))
 		}
 		defer os.RemoveAll(d)
 		dir = d
@@ -267,15 +341,22 @@ func runFollower(primaryURL, dir, addr, reloadToken, replicateToken string, ppro
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	fol := replica.NewFollower(primaryURL, dir)
+	metrics := server.NewMetrics()
+	fol := replica.NewFollower(primaryURL, dir, act.WithObserver(metrics.ActObserver(logger)))
 	fol.Token = replicateToken
+	fol.Logger = logger
 	if err := fol.Bootstrap(ctx); err != nil {
-		log.Fatalf("actserve: bootstrapping from %s: %v", primaryURL, err)
+		fatal(logger, "bootstrap failed", slog.String("primary", primaryURL), slog.String("error", err.Error()))
 	}
 	idx := fol.Index()
 	st := idx.Stats()
-	log.Printf("actserve: follower of %s: %d polygons, %.1f MB, ε=%.1fm, listening on %s",
-		primaryURL, st.NumPolygons, float64(st.TotalBytes())/1e6, idx.PrecisionMeters(), addr)
+	logger.Info("following",
+		slog.String("primary", primaryURL),
+		slog.Int("polygons", st.NumPolygons),
+		slog.Float64("mb", float64(st.TotalBytes())/1e6),
+		slog.Float64("epsilon_meters", idx.PrecisionMeters()),
+		slog.String("addr", addr),
+	)
 
 	indexes := act.NewSwappable(idx)
 	// OnSwap is set after the initial Bootstrap, so it fires only for
@@ -285,7 +366,9 @@ func runFollower(primaryURL, dir, addr, reloadToken, replicateToken string, ppro
 	// once the last in-flight request on them retires.
 	fol.OnSwap = func(ix *act.Index) {
 		indexes.Swap(ix)
-		log.Printf("actserve: follower re-bootstrapped from %s (generation %d)", primaryURL, indexes.Generation())
+		logger.Info("re-bootstrapped",
+			slog.String("primary", primaryURL),
+			slog.Uint64("generation", indexes.Generation()))
 	}
 	runDone := make(chan struct{})
 	go func() {
@@ -293,37 +376,39 @@ func runFollower(primaryURL, dir, addr, reloadToken, replicateToken string, ppro
 		fol.Run(ctx)
 	}()
 
-	handler := NewServer(indexes, BuildDefaults{Precision: idx.PrecisionMeters(), Grid: idx.GridKind()})
+	handler := server.NewServer(indexes, server.BuildDefaults{Precision: idx.PrecisionMeters(), Grid: idx.GridKind()}, metrics)
+	handler.Logger = logger
 	handler.ReloadToken = reloadToken
+	handler.EnableMutationLimit(mutationRPS)
 	handler.EnableFollower(fol)
 	if pprofOn {
 		handler.EnablePprof()
-		log.Printf("actserve: pprof endpoints enabled under /debug/pprof/")
+		logger.Info("pprof enabled", slog.String("prefix", "/debug/pprof/"))
 	}
 	srv := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	select {
 	case err := <-errc:
-		log.Fatalf("actserve: %v", err)
+		fatal(logger, "serve failed", slog.String("error", err.Error()))
 	case <-ctx.Done():
 	}
 	stop()
-	log.Printf("actserve: signal received, draining in-flight requests (max %s)", drain)
+	logger.Info("draining", slog.Duration("max", drain))
 	shCtx, cancel := context.WithTimeout(context.Background(), drain)
 	defer cancel()
 	if err := srv.Shutdown(shCtx); err != nil {
-		log.Printf("actserve: shutdown: %v", err)
+		logger.Error("shutdown failed", slog.String("error", err.Error()))
 		os.Exit(1)
 	}
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("actserve: %v", err)
+		logger.Error("listener error", slog.String("error", err.Error()))
 	}
 	// The replication loop has quit (its context is done); now the serving
 	// index can close without racing an apply.
 	<-runDone
 	if err := fol.Index().Close(); err != nil {
-		log.Printf("actserve: closing index: %v", err)
+		logger.Error("closing index failed", slog.String("error", err.Error()))
 	}
-	log.Printf("actserve: drained, exiting")
+	logger.Info("drained, exiting")
 }

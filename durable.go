@@ -248,6 +248,9 @@ func (ix *Index) promoteMutable(o *Options) error {
 		ix.deltaThreshold = o.DeltaThreshold
 	}
 	ix.mutable = true
+	if o.Observer != nil {
+		ix.obs = o.Observer
+	}
 	ix.alive = make([]bool, ix.idSpace.Load())
 	if ix.loadedIDs != nil {
 		for _, id := range ix.loadedIDs {
@@ -272,7 +275,16 @@ func (ix *Index) attachWAL(cfg WALConfig) error {
 	if err != nil {
 		return err
 	}
-	log, rep, err := wal.Open(cfg.Path, wal.Options{Policy: pol, Interval: cfg.Interval, FS: cfg.FS})
+	wopts := wal.Options{Policy: pol, Interval: cfg.Interval, FS: cfg.FS}
+	if o := ix.obs; o != nil {
+		// The observer's callbacks become the log's hooks, so appends and
+		// fsyncs are observed from the very first replayed-open onward.
+		wopts.OnAppend = o.OnWALAppend
+		wopts.OnFsync = o.OnWALFsync
+		wopts.OnRotate = o.OnWALRotate
+		wopts.Logger = o.Logger
+	}
+	log, rep, err := wal.Open(cfg.Path, wopts)
 	if err != nil {
 		return fmt.Errorf("act: opening WAL %s: %w", cfg.Path, err)
 	}

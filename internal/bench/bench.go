@@ -189,6 +189,17 @@ type Record struct {
 	// absent field.
 	CatchUpPerSec  *float64 `json:"catchUpPerSec,omitempty"`
 	ReplicaLagSeqs *float64 `json:"replicaLagSeqs,omitempty"`
+	// HTTP serving accounting, filled only by the serve experiment: the
+	// Joiner field names the endpoint ("lookup", "join", "insert"), Threads
+	// the client concurrency of the row, Points the requests driven, and
+	// these the end-to-end request rate and latency percentiles through the
+	// full instrumented stack (mux, middleware, handler, network loopback).
+	// Pointers: a sub-measurable p50 rounds to a real zero that must
+	// survive serialization.
+	RequestsPerSec *float64 `json:"requestsPerSec,omitempty"`
+	P50Ms          *float64 `json:"p50Ms,omitempty"`
+	P95Ms          *float64 `json:"p95Ms,omitempty"`
+	P99Ms          *float64 `json:"p99Ms,omitempty"`
 }
 
 // record converts join stats into a Record.

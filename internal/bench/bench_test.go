@@ -282,6 +282,44 @@ func TestRunReplicaSmoke(t *testing.T) {
 	}
 }
 
+func TestRunServeSmoke(t *testing.T) {
+	savedConc, savedReqs, savedBatch := serveConcurrency, serveRequests, serveJoinBatch
+	serveConcurrency, serveRequests, serveJoinBatch = []int{2}, 20, 8
+	defer func() {
+		serveConcurrency, serveRequests, serveJoinBatch = savedConc, savedReqs, savedBatch
+	}()
+	var sb strings.Builder
+	recs, err := RunServe(&sb, tinyConfig())
+	if err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	if !strings.Contains(sb.String(), "self-consistency") {
+		t.Error("serve output incomplete (no /metrics cross-check report)")
+	}
+	endpoints := map[string]bool{}
+	if want := 3 * len(serveConcurrency); len(recs) != want {
+		t.Fatalf("serve produced %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		endpoints[r.Joiner] = true
+		if r.Experiment != "serve" || r.Points != serveRequests {
+			t.Errorf("bad serve record %+v", r)
+		}
+		if r.RequestsPerSec == nil || *r.RequestsPerSec <= 0 {
+			t.Errorf("serve row missing throughput: %+v", r)
+		}
+		if r.P50Ms == nil || r.P95Ms == nil || r.P99Ms == nil ||
+			*r.P50Ms < 0 || *r.P95Ms < *r.P50Ms || *r.P99Ms < *r.P95Ms {
+			t.Errorf("serve row has inconsistent percentiles: %+v", r)
+		}
+	}
+	for _, ep := range []string{"lookup", "join", "insert"} {
+		if !endpoints[ep] {
+			t.Errorf("no records for endpoint %q", ep)
+		}
+	}
+}
+
 func TestMeasureIndexJoin(t *testing.T) {
 	set, err := data.GeneratePolygons(data.PolygonConfig{
 		Name: "m", NumRegions: 6, Lattice: 48, Seed: 9,

@@ -1,0 +1,286 @@
+package bench
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/actindex/act"
+	"github.com/actindex/act/internal/data"
+	"github.com/actindex/act/internal/geo"
+	"github.com/actindex/act/internal/server"
+)
+
+// serveConcurrency is the client-concurrency ladder of the serve
+// experiment; serveRequests the requests driven per endpoint per rung; and
+// serveJoinBatch the points per /join request. Vars — like the wal knobs —
+// so the harness smoke test can shrink the experiment.
+var (
+	serveConcurrency = []int{1, 4, 16}
+	serveRequests    = 400
+	serveJoinBatch   = 64
+)
+
+// RunServe prices the serving stack end to end: it boots the instrumented
+// HTTP server in-process over a census-scale index (WAL attached, metrics
+// and observer wired exactly as actserve wires them), drives concurrent
+// /lookup, /join, and mutation traffic at stepped client concurrency, and
+// reports per-endpoint p50/p95/p99 latency and request throughput. After
+// the load, /metrics is scraped and cross-checked against the number of
+// requests actually driven — the benchmark doubles as an end-to-end proof
+// that the observability layer counts what happened. One Record per
+// (endpoint, concurrency) rung lands in BENCH_10.json.
+func RunServe(w io.Writer, cfg Config) ([]Record, error) {
+	cfg = cfg.withDefaults()
+	section(w, "HTTP serving: latency percentiles and throughput per endpoint")
+
+	set, err := data.CensusBlocks(cfg.Seed, cfg.CensusRegions)
+	if err != nil {
+		return nil, err
+	}
+	pts, err := data.GeneratePoints(data.PointConfig{
+		N: serveRequests * serveJoinBatch, Seed: cfg.Seed + 1,
+		Distribution: cfg.Distribution, Polygons: set,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	dir, err := os.MkdirTemp("", "actbench-serve")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	metrics := server.NewMetrics()
+	idx, err := act.New(set.Polygons,
+		act.WithPrecision(60),
+		act.WithObserver(metrics.ActObserver(nil)),
+		act.WithWAL(act.WALConfig{
+			Path:         filepath.Join(dir, "serve.wal"),
+			SnapshotPath: filepath.Join(dir, "serve.snapshot"),
+			Policy:       act.SyncOff,
+		}))
+	if err != nil {
+		return nil, err
+	}
+	defer idx.Close()
+	h := server.NewServer(act.NewSwappable(idx), server.BuildDefaults{Precision: 60}, metrics)
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        4 * maxInts(serveConcurrency),
+		MaxIdleConnsPerHost: 4 * maxInts(serveConcurrency),
+	}}
+
+	// insertSeq keeps mutation bodies unique across the whole run (ids are
+	// assigned by the server; distinct geometry keeps the delta honest).
+	var insertSeq atomic.Int64
+	endpoints := []struct {
+		name string
+		do   func(i int) (*http.Request, error)
+	}{
+		{"lookup", func(i int) (*http.Request, error) {
+			p := pts[i%len(pts)]
+			u := fmt.Sprintf("%s/lookup?lat=%.6f&lng=%.6f", ts.URL, p.Lat, p.Lng)
+			return http.NewRequest(http.MethodGet, u, nil)
+		}},
+		{"join", func(i int) (*http.Request, error) {
+			base := (i * serveJoinBatch) % (len(pts) - serveJoinBatch + 1)
+			body := joinBody(pts[base : base+serveJoinBatch])
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/join", strings.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		}},
+		{"insert", func(i int) (*http.Request, error) {
+			req, err := http.NewRequest(http.MethodPost, ts.URL+"/polygons",
+				strings.NewReader(serveZone(int(insertSeq.Add(1)))))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		}},
+	}
+
+	var records []Record
+	driven := map[string]int{} // requests per endpoint, for the /metrics cross-check
+	fmt.Fprintf(w, "%-10s %8s %10s %10s %10s %10s %12s\n",
+		"endpoint", "clients", "requests", "p50", "p95", "p99", "requests/s")
+	for _, ep := range endpoints {
+		for _, clients := range serveConcurrency {
+			lat, elapsed, err := driveEndpoint(client, ep.do, serveRequests, clients)
+			if err != nil {
+				return nil, fmt.Errorf("serve: %s at %d clients: %w", ep.name, clients, err)
+			}
+			driven[ep.name] += serveRequests
+			rps := float64(serveRequests) / elapsed.Seconds()
+			p50, p95, p99 := percentileMs(lat, 0.50), percentileMs(lat, 0.95), percentileMs(lat, 0.99)
+			records = append(records, Record{
+				Experiment: "serve", Dataset: "census", Joiner: ep.name,
+				PrecisionM: 60, Threads: clients, Points: serveRequests,
+				RequestsPerSec: &rps, P50Ms: &p50, P95Ms: &p95, P99Ms: &p99,
+			})
+			fmt.Fprintf(w, "%-10s %8d %10d %9.2fms %9.2fms %9.2fms %12.0f\n",
+				ep.name, clients, serveRequests, p50, p95, p99, rps)
+		}
+	}
+
+	if err := checkServeMetrics(client, ts.URL, driven); err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(w, "\n/metrics agrees with the driven request counts (self-consistency")
+	fmt.Fprintln(w, "check passed): every request above is accounted for by route and code.")
+	return records, nil
+}
+
+// driveEndpoint fires n requests from `clients` goroutines pulling off a
+// shared counter, returning every request's wall latency and the total
+// elapsed time. Any non-2xx response fails the run — a benchmark of error
+// handlers measures nothing.
+func driveEndpoint(client *http.Client, build func(i int) (*http.Request, error), n, clients int) ([]time.Duration, time.Duration, error) {
+	var next atomic.Int64
+	lat := make([]time.Duration, n)
+	errs := make(chan error, clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				req, err := build(i)
+				if err != nil {
+					errs <- err
+					return
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat[i] = time.Since(t0)
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("request %d: status %s", i, resp.Status)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errs:
+		return nil, 0, err
+	default:
+	}
+	return lat, elapsed, nil
+}
+
+// checkServeMetrics scrapes /metrics and verifies the per-route request
+// counters cover every request the harness drove (>= rather than ==: the
+// scrape itself and its route are live too).
+func checkServeMetrics(client *http.Client, baseURL string, driven map[string]int) error {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("serve: /metrics status %s", resp.Status)
+	}
+	counted := map[string]float64{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, `act_http_requests_total{route="`) {
+			continue
+		}
+		rest := line[len(`act_http_requests_total{route="`):]
+		route := rest[:strings.IndexByte(rest, '"')]
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			return fmt.Errorf("serve: parsing metric sample %q: %w", line, err)
+		}
+		counted[route] += v
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for route, want := range driven {
+		if got := counted[route]; got < float64(want) {
+			return fmt.Errorf("serve: /metrics counts %.0f %s requests, harness drove %d", got, route, want)
+		}
+	}
+	return nil
+}
+
+// joinBody renders one /join request over the given points.
+func joinBody(pts []geo.LatLng) string {
+	var b strings.Builder
+	b.WriteString(`{"points":[`)
+	for i, p := range pts {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `{"lat":%.6f,"lng":%.6f}`, p.Lat, p.Lng)
+	}
+	b.WriteString(`]}`)
+	return b.String()
+}
+
+// serveZone is the serve experiment's unit of mutation traffic: a small
+// square as GeoJSON, jittered by i so successive inserts are distinct.
+func serveZone(i int) string {
+	lat := 40.0 + float64(i%1000)*0.002
+	lng := -74.3 + float64(i/1000)*0.002
+	return fmt.Sprintf(`{"type":"Polygon","coordinates":[[[%.4f,%.4f],[%.4f,%.4f],[%.4f,%.4f],[%.4f,%.4f]]]}`,
+		lng, lat, lng+0.001, lat, lng+0.001, lat+0.001, lng, lat+0.001)
+}
+
+func maxInts(xs []int) int {
+	m := 1
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// percentileMs returns the q-quantile of lat in milliseconds (nearest-rank
+// on a sorted copy).
+func percentileMs(lat []time.Duration, q float64) float64 {
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	k := int(q*float64(len(s))+0.5) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(s) {
+		k = len(s) - 1
+	}
+	return float64(s[k]) / float64(time.Millisecond)
+}

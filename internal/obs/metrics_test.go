@@ -1,0 +1,259 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentIncrements hammers one counter, one gauge, and one
+// histogram from many goroutines; run under -race this is the registry's
+// data-race proof, and the final values prove no increment was lost.
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "counter under contention")
+	g := r.Gauge("g", "gauge under contention")
+	h := r.Histogram("h_seconds", "histogram under contention", []float64{0.5})
+	vec := r.CounterVec("v_total", "labeled counter under contention", "route")
+	pre := vec.With("join") // pre-resolved handle, shared across goroutines
+
+	const workers = 8
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i % 2)) // alternates below/above the 0.5 bound
+				pre.Inc()
+				vec.With("lookup").Inc() // racing map resolution path
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	const want = workers * perWorker
+	if got := c.Value(); got != want {
+		t.Errorf("counter lost increments: got %d, want %d", got, want)
+	}
+	if got := g.Value(); got != float64(want) {
+		t.Errorf("gauge lost adds: got %v, want %d", got, want)
+	}
+	if got := h.Count(); got != want {
+		t.Errorf("histogram lost observations: got %d, want %d", got, want)
+	}
+	if got := h.Sum(); got != float64(want/2) {
+		t.Errorf("histogram sum: got %v, want %d", got, want/2)
+	}
+	if got := pre.Value(); got != want {
+		t.Errorf("vec series (pre-resolved): got %d, want %d", got, want)
+	}
+	if got := vec.With("lookup").Value(); got != want {
+		t.Errorf("vec series (resolved per call): got %d, want %d", got, want)
+	}
+}
+
+// TestHistogramBucketBoundaries pins the "le" semantics: a value equal to a
+// bound lands in that bound's bucket (inclusive upper bounds), values above
+// the last bound land in +Inf.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want int // bucket index within counts
+	}{
+		{0, 0},
+		{0.001, 0},
+		{0.01, 0}, // exactly the first bound: inclusive
+		{0.0101, 1},
+		{0.1, 1}, // exactly the second bound
+		{0.5, 2},
+		{1, 2},      // exactly the last bound
+		{1.0001, 3}, // overflow bucket
+		{math.Inf(1), 3},
+	}
+	for _, tc := range cases {
+		r := NewRegistry()
+		h := r.Histogram("h", "boundary test", []float64{0.01, 0.1, 1})
+		h.Observe(tc.v)
+		for i := range h.counts {
+			got := h.counts[i].Load()
+			want := uint64(0)
+			if i == tc.want {
+				want = 1
+			}
+			if got != want {
+				t.Errorf("Observe(%v): bucket[%d] = %d, want %d", tc.v, i, got, want)
+			}
+		}
+	}
+}
+
+// TestExpBuckets checks the generated exponential ladder.
+func TestExpBuckets(t *testing.T) {
+	got := ExpBuckets(0.001, 2, 4)
+	want := []float64{0.001, 0.002, 0.004, 0.008}
+	if len(got) != len(want) {
+		t.Fatalf("ExpBuckets: got %v, want %v", got, want)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("ExpBuckets[%d]: got %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 2, 4) },
+		func() { ExpBuckets(1, 1, 4) },
+		func() { ExpBuckets(1, 2, 0) },
+		func() { checkBounds(nil) },
+		func() { checkBounds([]float64{2, 1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic for invalid bucket spec")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+// TestExpositionGolden pins the exact rendered output — one of each
+// instrument kind, labeled and unlabeled, with label escaping — against the
+// Prometheus text exposition format.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+
+	c := r.Counter("act_requests_total", "Total requests.")
+	c.Add(3)
+
+	v := r.CounterVec("act_errors_total", "Errors by route.", "route", "code")
+	v.With("join", "500").Add(2)
+	v.With("lookup", "400").Inc()
+
+	g := r.Gauge("act_in_flight", "In-flight requests.")
+	g.Set(1.5)
+
+	r.GaugeFunc("act_seq", "Current sequence.", func() float64 { return 42 })
+	r.CounterFunc("act_rotations_total", "Rotations.", func() float64 { return 7 })
+
+	h := r.Histogram("act_latency_seconds", "Latency.", []float64{0.01, 0.1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5)
+
+	esc := r.CounterVec("act_weird_total", "Label escaping.", "name")
+	esc.With("a\"b\\c\nd").Inc()
+
+	r.Histogram("act_empty_seconds", "Histogram with no observations.", []float64{1})
+
+	var b strings.Builder
+	if err := r.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP act_requests_total Total requests.
+# TYPE act_requests_total counter
+act_requests_total 3
+# HELP act_errors_total Errors by route.
+# TYPE act_errors_total counter
+act_errors_total{route="join",code="500"} 2
+act_errors_total{route="lookup",code="400"} 1
+# HELP act_in_flight In-flight requests.
+# TYPE act_in_flight gauge
+act_in_flight 1.5
+# HELP act_seq Current sequence.
+# TYPE act_seq gauge
+act_seq 42
+# HELP act_rotations_total Rotations.
+# TYPE act_rotations_total counter
+act_rotations_total 7
+# HELP act_latency_seconds Latency.
+# TYPE act_latency_seconds histogram
+act_latency_seconds_bucket{le="0.01"} 1
+act_latency_seconds_bucket{le="0.1"} 3
+act_latency_seconds_bucket{le="+Inf"} 4
+act_latency_seconds_sum 5.105
+act_latency_seconds_count 4
+# HELP act_weird_total Label escaping.
+# TYPE act_weird_total counter
+act_weird_total{name="a\"b\\c\nd"} 1
+# HELP act_empty_seconds Histogram with no observations.
+# TYPE act_empty_seconds histogram
+act_empty_seconds_bucket{le="1"} 0
+act_empty_seconds_bucket{le="+Inf"} 0
+act_empty_seconds_sum 0
+act_empty_seconds_count 0
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// TestDuplicateRegistrationPanics: two subsystems claiming one metric name
+// is a programming error and must fail loudly.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "first")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate metric name")
+		}
+	}()
+	r.Counter("x_total", "second")
+}
+
+// TestLabelArityPanics: resolving a vec with the wrong number of label
+// values must fail loudly.
+func TestLabelArityPanics(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("y_total", "labeled", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on label arity mismatch")
+		}
+	}()
+	v.With("only-one")
+}
+
+// TestHotPathAllocFree pins the "allocation-free on the hot increment path"
+// contract for pre-resolved handles.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_c_total", "alloc test")
+	g := r.Gauge("alloc_g", "alloc test")
+	h := r.Histogram("alloc_h_seconds", "alloc test", ExpBuckets(0.0005, 2, 16))
+	pre := r.CounterVec("alloc_v_total", "alloc test", "route").With("join")
+
+	for name, fn := range map[string]func(){
+		"Counter.Inc":       c.Inc,
+		"Gauge.Add":         func() { g.Add(1) },
+		"Histogram.Observe": func() { h.Observe(0.003) },
+		"Vec handle Inc":    pre.Inc,
+	} {
+		if allocs := testing.AllocsPerRun(100, fn); allocs != 0 {
+			t.Errorf("%s allocates (%v allocs/op); hot path must be allocation-free", name, allocs)
+		}
+	}
+}
+
+// TestRequestID covers propagation through a context and uniqueness of
+// generated ids.
+func TestRequestID(t *testing.T) {
+	ctx := WithRequestID(context.Background(), "abc-123")
+	if got := RequestID(ctx); got != "abc-123" {
+		t.Errorf("RequestID = %q, want abc-123", got)
+	}
+	if got := RequestID(context.Background()); got != "" {
+		t.Errorf("RequestID on bare context = %q, want empty", got)
+	}
+	a, b := NewRequestID(), NewRequestID()
+	if a == b || a == "" {
+		t.Errorf("NewRequestID not unique: %q vs %q", a, b)
+	}
+}

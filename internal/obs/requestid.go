@@ -1,0 +1,40 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+)
+
+// HeaderRequestID is the header actserve reads and echoes for request
+// correlation.
+const HeaderRequestID = "X-Request-ID"
+
+type ctxKey struct{}
+
+// WithRequestID returns a context carrying the request id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ctxKey{}, id)
+}
+
+// RequestID returns the request id stored in ctx, or "" if none.
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(ctxKey{}).(string)
+	return id
+}
+
+// procID is a per-process random prefix so ids from different actserve
+// instances never collide; the suffix is a cheap atomic counter, keeping id
+// generation off the crypto path per request.
+var (
+	procID = func() string { var b [4]byte; _, _ = rand.Read(b[:]); return hex.EncodeToString(b[:]) }()
+	reqCtr atomic.Uint64
+)
+
+// NewRequestID generates a process-unique request id of the form
+// "9f3ac81b-000042".
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06x", procID, reqCtr.Add(1))
+}

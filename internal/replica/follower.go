@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net"
 	"net/http"
@@ -98,6 +99,10 @@ type Follower struct {
 	// PromotePolicy is the fsync policy of the write-ahead log a
 	// promotion creates (default act.SyncAlways). Set before Promote.
 	PromotePolicy act.FsyncPolicy
+	// Logger, when set, receives the follower's structured replication
+	// events (bootstraps, stream loss and backoff, re-bootstrap triggers,
+	// promotion). Nil disables logging. Set before Run.
+	Logger *slog.Logger
 
 	mu        sync.Mutex
 	idx       *act.Index
@@ -129,6 +134,13 @@ func NewFollower(primaryURL, dir string, opts ...act.Option) *Follower {
 		BackoffMin:  100 * time.Millisecond,
 		BackoffMax:  5 * time.Second,
 		IdleTimeout: defaultIdleTimeout,
+	}
+}
+
+// logf logs one replication event when a Logger is attached.
+func (f *Follower) logf(level slog.Level, msg string, attrs ...any) {
+	if f.Logger != nil {
+		f.Logger.Log(context.Background(), level, msg, attrs...)
 	}
 }
 
@@ -257,7 +269,13 @@ func (f *Follower) Bootstrap(ctx context.Context) error {
 	if f.status.PrimarySeq < baseSeq {
 		f.status.PrimarySeq = baseSeq
 	}
+	bootstraps, epoch := f.status.Bootstraps, f.status.Epoch
 	f.mu.Unlock()
+	f.logf(slog.LevelInfo, "replication bootstrap",
+		slog.Int64("bytes", n),
+		slog.Uint64("base_seq", baseSeq),
+		slog.Uint64("bootstraps", bootstraps),
+		slog.Uint64("epoch", epoch))
 	if f.OnSwap != nil {
 		f.OnSwap(idx)
 	}
@@ -305,6 +323,9 @@ func (f *Follower) Run(ctx context.Context) error {
 		f.status.Connected = false
 		f.status.LastError = err.Error()
 		f.mu.Unlock()
+		f.logf(slog.LevelWarn, "replication stream lost",
+			slog.String("error", err.Error()),
+			slog.Duration("backoff", backoff))
 		// Jitter: wait between half the nominal backoff and the full value,
 		// so followers that lost the same primary spread their retries
 		// instead of stampeding it in lockstep.
@@ -369,7 +390,11 @@ func (f *Follower) syncOnce(ctx context.Context) error {
 		// need exist only in the newer snapshot now.
 		f.mu.Lock()
 		f.idx = nil
+		applied := f.status.AppliedSeq
 		f.mu.Unlock()
+		f.logf(slog.LevelInfo, "replication re-bootstrap",
+			slog.Uint64("applied_seq", applied),
+			slog.String("reason", "primary checkpointed past resume point"))
 		return errBootstrap
 	}
 	if resp.StatusCode != http.StatusOK {
@@ -523,6 +548,9 @@ func (f *Follower) Promote(ctx context.Context) (*Promotion, error) {
 	f.promoted = true
 	f.status.Epoch = newEpoch
 	f.mu.Unlock()
+	f.logf(slog.LevelInfo, "follower promoted",
+		slog.Uint64("epoch", newEpoch),
+		slog.Uint64("seq", idx.AppliedSeq()))
 	return &Promotion{
 		Index:        idx,
 		Epoch:        newEpoch,

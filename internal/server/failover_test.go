@@ -1,4 +1,4 @@
-package main
+package server
 
 // Failover behavior of the serving layer: graceful degradation to
 // read-only when the WAL trips fail-stop, the runtime POST /promote flow,

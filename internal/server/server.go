@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bufio"
@@ -7,15 +7,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/actindex/act"
 	"github.com/actindex/act/internal/geojson"
+	"github.com/actindex/act/internal/obs"
 	"github.com/actindex/act/internal/replica"
 )
 
@@ -29,10 +34,13 @@ type BuildDefaults struct {
 // Server is the HTTP API over a hot-swappable index: every handler loads
 // the current index from the Swappable once per request, and POST /reload
 // builds or deserializes a replacement and swaps it in under live traffic.
-// It is exported (within this main package) for httptest-based testing.
 type Server struct {
 	indexes  *act.Swappable
 	defaults BuildDefaults
+	// Logger receives one structured line per request (request id, route,
+	// status, latency) plus server lifecycle events. Defaults to a discard
+	// logger; actserve installs the process logger.
+	Logger *slog.Logger
 	// ReloadToken, when non-empty, gates the mutating endpoints — POST
 	// /reload, POST /polygons, DELETE /polygons/{id} — behind an
 	// "Authorization: Bearer <token>" header. They read server-local files
@@ -70,13 +78,27 @@ type Server struct {
 	// results are pooled: lookups are allocation-free, so the handler's
 	// only steady-state allocations are the JSON encoder's.
 	pool sync.Pool
+	// metrics is the instrument set behind GET /metrics; otherDur and
+	// otherBytes are the pre-resolved handles for requests that matched no
+	// registered route (404s, bad methods).
+	metrics    *Metrics
+	otherDur   *obs.Histogram
+	otherBytes *obs.Counter
+	// limiter, when set by EnableMutationLimit, token-buckets the mutation
+	// endpoints (POST /polygons, DELETE /polygons/{id}).
+	limiter *tokenBucket
 }
 
-// NewServer wires the routes around the swappable index holder.
-func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
+// NewServer wires the routes around the swappable index holder. The
+// optional metrics argument reuses an instrument set the caller created
+// earlier (actserve makes one before building the index so WAL hooks can
+// feed it); omitted, the server registers a fresh one. Either way the
+// registry is served at GET /metrics.
+func NewServer(indexes *act.Swappable, defaults BuildDefaults, metrics ...*Metrics) *Server {
 	s := &Server{
 		indexes:         indexes,
 		defaults:        defaults,
+		Logger:          slog.New(slog.NewTextHandler(io.Discard, nil)),
 		MaxPolygonBytes: maxPolygonBody,
 		MaxJoinBytes:    maxJoinBody,
 		MaxReloadBytes:  maxReloadBody,
@@ -86,26 +108,109 @@ func NewServer(indexes *act.Swappable, defaults BuildDefaults) *Server {
 			New: func() any { return &act.Result{} },
 		},
 	}
-	s.mux.HandleFunc("GET /lookup", s.handleLookup)
-	s.mux.HandleFunc("POST /join", s.handleJoin)
-	s.mux.HandleFunc("POST /reload", s.handleReload)
-	s.mux.HandleFunc("POST /polygons", s.handleInsert)
-	s.mux.HandleFunc("DELETE /polygons/{id}", s.handleRemove)
-	s.mux.HandleFunc("GET /stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	if len(metrics) > 0 && metrics[0] != nil {
+		s.metrics = metrics[0]
+	} else {
+		s.metrics = NewMetrics()
+	}
+	s.metrics.registerIndexGauges(indexes)
+	s.otherDur = s.metrics.reqDuration.With("other")
+	s.otherBytes = s.metrics.respBytes.With("other")
+	s.route("GET /lookup", "lookup", s.handleLookup)
+	s.route("POST /join", "join", s.handleJoin)
+	s.route("POST /reload", "reload", s.handleReload)
+	s.route("POST /polygons", "insert", s.handleInsert)
+	s.route("DELETE /polygons/{id}", "remove", s.handleRemove)
+	s.route("GET /stats", "stats", s.handleStats)
+	s.route("GET /healthz", "healthz", s.handleHealth)
+	s.route("GET /metrics", "metrics", s.metrics.Registry.ServeHTTP)
 	// The replication endpoints are registered unconditionally so a
 	// follower promoted at runtime can start serving them without mutating
 	// the mux; they answer 503 until a primary is enabled or promoted, and
 	// are token-gated like the other state-changing endpoints.
-	s.mux.HandleFunc("GET "+replica.SnapshotPath, s.handleReplicationSnapshot)
-	s.mux.HandleFunc("GET "+replica.StreamPath, s.handleReplicationStream)
-	s.mux.HandleFunc("POST /promote", s.handlePromote)
+	s.route("GET "+replica.SnapshotPath, "replication_snapshot", s.handleReplicationSnapshot)
+	s.route("GET "+replica.StreamPath, "replication_stream", s.handleReplicationStream)
+	s.route("POST /promote", "promote", s.handlePromote)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// route registers a handler under its metrics name. The wrapper only tags
+// the request's statusRecorder with the route and its instrument handles
+// (resolved once, here); the actual observation happens at the single exit
+// point in ServeHTTP.
+func (s *Server) route(pattern, name string, h http.HandlerFunc) {
+	dur := s.metrics.reqDuration.With(name)
+	bytes := s.metrics.respBytes.With(name)
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		if rec, ok := w.(*statusRecorder); ok {
+			rec.route = name
+			rec.dur = dur
+			rec.respBytes = bytes
+		}
+		h(w, r)
+	})
+}
+
+// Metrics returns the server's instrument set (for tests and the bench
+// harness; the scrape endpoint is GET /metrics).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// EnableMutationLimit token-buckets the mutation endpoints at rps requests
+// per second (burst max(rps, 1)); excess requests answer 429 with a
+// Retry-After. Call before serving; rps <= 0 leaves the limit off.
+func (s *Server) EnableMutationLimit(rps float64) {
+	if rps > 0 {
+		s.limiter = newTokenBucket(rps)
+	}
+}
+
+// ServeHTTP implements http.Handler: the request-id + metrics + logging
+// middleware around the mux. Every request gets an X-Request-ID (inbound
+// ones are honored), an entry in the per-route counters/latency histograms,
+// and one structured log line on completion.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	id := r.Header.Get(obs.HeaderRequestID)
+	if id == "" {
+		id = obs.NewRequestID()
+	}
+	w.Header().Set(obs.HeaderRequestID, id)
+	r = r.WithContext(obs.WithRequestID(r.Context(), id))
+
+	rec := &statusRecorder{ResponseWriter: w}
+	s.metrics.inFlight.Add(1)
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	elapsed := time.Since(start)
+	s.metrics.inFlight.Add(-1)
+
+	route, dur, respBytes := rec.route, rec.dur, rec.respBytes
+	if route == "" {
+		route, dur, respBytes = "other", s.otherDur, s.otherBytes
+	}
+	code := rec.status()
+	s.metrics.requestCounter(route, r.Method, code).Inc()
+	dur.Observe(elapsed.Seconds())
+	respBytes.Add(uint64(rec.bytes))
+
+	lvl := slog.LevelInfo
+	switch {
+	case code >= 500:
+		lvl = slog.LevelError
+	case code >= 400:
+		lvl = slog.LevelWarn
+	case route == "healthz" || route == "metrics":
+		// Probe traffic: visible with -log-format at debug, silent otherwise.
+		lvl = slog.LevelDebug
+	}
+	s.Logger.LogAttrs(r.Context(), lvl, "http request",
+		slog.String("request_id", id),
+		slog.String("route", route),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", code),
+		slog.Int64("bytes", rec.bytes),
+		slog.Duration("latency", elapsed),
+	)
 }
 
 // EnablePprof mounts net/http/pprof's handlers under /debug/pprof/ so the
@@ -142,9 +247,10 @@ func (s *Server) EnablePrimary(p *replica.Primary) {
 // POST /promote flips the server into a primary at runtime.
 func (s *Server) EnableFollower(f *replica.Follower) {
 	s.stateMu.Lock()
-	defer s.stateMu.Unlock()
 	s.role = "follower"
 	s.follower = f
+	s.stateMu.Unlock()
+	s.metrics.registerFollowerGauges(f)
 }
 
 // replicationState returns the role trio under the state lock.
@@ -211,6 +317,9 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	}
 	promo, err := f.Promote(r.Context())
 	if err != nil {
+		s.Logger.LogAttrs(r.Context(), slog.LevelWarn, "promotion refused",
+			slog.String("request_id", obs.RequestID(r.Context())),
+			slog.String("error", err.Error()))
 		http.Error(w, "promotion refused: "+err.Error(), http.StatusConflict)
 		return
 	}
@@ -219,12 +328,17 @@ func (s *Server) handlePromote(w http.ResponseWriter, r *http.Request) {
 	s.primary = p
 	s.role = "primary"
 	s.stateMu.Unlock()
+	s.Logger.LogAttrs(r.Context(), slog.LevelInfo, "promoted to primary",
+		slog.String("request_id", obs.RequestID(r.Context())),
+		slog.String("role", "primary"),
+		slog.Uint64("epoch", promo.Epoch),
+		slog.Uint64("seq", promo.Seq))
 	writeJSON(w, promoteResponse{Role: "primary", Epoch: promo.Epoch, Seq: promo.Seq})
 }
 
-// parseGridKind maps the wire/flag spelling of a grid to its kind. The
+// ParseGridKind maps the wire/flag spelling of a grid to its kind. The
 // empty string selects the default planar grid.
-func parseGridKind(name string) (act.GridKind, error) {
+func ParseGridKind(name string) (act.GridKind, error) {
 	switch name {
 	case "", "planar":
 		return act.PlanarGrid, nil
@@ -235,8 +349,8 @@ func parseGridKind(name string) (act.GridKind, error) {
 	}
 }
 
-// parseFsyncPolicy maps the -fsync flag spelling to the WAL policy.
-func parseFsyncPolicy(name string) (act.FsyncPolicy, error) {
+// ParseFsyncPolicy maps the -fsync flag spelling to the WAL policy.
+func ParseFsyncPolicy(name string) (act.FsyncPolicy, error) {
 	switch name {
 	case "", "always":
 		return act.SyncAlways, nil
@@ -249,9 +363,9 @@ func parseFsyncPolicy(name string) (act.FsyncPolicy, error) {
 	}
 }
 
-// buildFromGeoJSON reads a polygon file and builds a fresh index; extra
+// BuildFromGeoJSON reads a polygon file and builds a fresh index; extra
 // options (e.g. a WAL attachment) are applied on top of the build shape.
-func buildFromGeoJSON(path string, precision float64, gk act.GridKind, extra ...act.Option) (*act.Index, error) {
+func BuildFromGeoJSON(path string, precision float64, gk act.GridKind, extra ...act.Option) (*act.Index, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -265,13 +379,13 @@ func buildFromGeoJSON(path string, precision float64, gk act.GridKind, extra ...
 	return act.New(polys, opts...)
 }
 
-// loadIndexFile opens an index written with Index.WriteTo for serving.
+// LoadIndexFile opens an index written with Index.WriteTo for serving.
 // Current-format files are memory-mapped and served zero-copy — startup and
 // /reload cost a header read plus validation, not an arena-sized copy — and
 // legacy or unmappable files fall back to the copying deserializer inside
 // OpenIndex. Swapped-out mapped indexes are unmapped by the runtime once
 // the last in-flight request on them retires; nothing here needs to Close.
-func loadIndexFile(path string) (*act.Index, error) {
+func LoadIndexFile(path string) (*act.Index, error) {
 	return act.OpenIndex(path)
 }
 
@@ -442,6 +556,9 @@ func (s *Server) handleJoin(w http.ResponseWriter, r *http.Request) {
 	if err != nil || writeErr != nil {
 		return
 	}
+	s.metrics.joinPoints.Add(uint64(stats.Points))
+	s.metrics.joinPairs.Add(uint64(stats.Pairs()))
+	s.metrics.joinThreads.Observe(float64(stats.Threads))
 	var trailer joinTrailer
 	trailer.Stats.Points = stats.Points
 	trailer.Stats.Pairs = stats.Pairs()
@@ -519,6 +636,9 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	if !s.authorize(w, r) {
 		return
 	}
+	if !s.allowMutation(w, "insert") {
+		return
+	}
 	polys, err := geojson.ReadPolygons(http.MaxBytesReader(w, r.Body, s.MaxPolygonBytes))
 	if err != nil {
 		if tooLarge(w, err) {
@@ -557,6 +677,25 @@ func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// allowMutation applies the optional mutation rate limit: with a limiter
+// enabled and no token available the request is answered 429 with a
+// Retry-After estimating when one accrues, and the rejection is counted in
+// act_http_rate_limited_total. Runs after authorize, so unauthenticated
+// traffic cannot drain the bucket.
+func (s *Server) allowMutation(w http.ResponseWriter, route string) bool {
+	if s.limiter == nil {
+		return true
+	}
+	ok, wait := s.limiter.take(time.Now())
+	if ok {
+		return true
+	}
+	s.metrics.rateLimited.With(route).Inc()
+	w.Header().Set("Retry-After", strconv.Itoa(int(math.Ceil(wait.Seconds()))))
+	http.Error(w, "mutation rate limit exceeded", http.StatusTooManyRequests)
+	return false
+}
+
 // mutationStatus maps a mutation error to its HTTP status: a tripped
 // (fail-stopped) WAL or a fenced primary means the server has degraded to
 // read-only — 503, retry against the new primary — while anything else is
@@ -590,6 +729,9 @@ type removeResponse struct {
 // get 404; a file-loaded (immutable) index gets 409.
 func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if !s.authorize(w, r) {
+		return
+	}
+	if !s.allowMutation(w, "remove") {
 		return
 	}
 	id64, err := strconv.ParseUint(r.PathValue("id"), 10, 32)
@@ -678,7 +820,7 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	gk := s.defaults.Grid
 	if req.Grid != "" {
 		var err error
-		if gk, err = parseGridKind(req.Grid); err != nil {
+		if gk, err = ParseGridKind(req.Grid); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
@@ -703,9 +845,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		err error
 	)
 	if req.Index != "" {
-		idx, err = loadIndexFile(req.Index)
+		idx, err = LoadIndexFile(req.Index)
 	} else {
-		idx, err = buildFromGeoJSON(req.Polygons, precision, gk)
+		idx, err = BuildFromGeoJSON(req.Polygons, precision, gk)
 	}
 	if err != nil {
 		http.Error(w, "reload failed: "+err.Error(), http.StatusUnprocessableEntity)

@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"context"
@@ -573,7 +573,7 @@ func TestMutationRejectedOnImmutableIndex(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	loaded, err := loadIndexFile(path)
+	loaded, err := LoadIndexFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}

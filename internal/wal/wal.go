@@ -57,6 +57,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -114,6 +115,18 @@ type Options struct {
 	// way.
 	BaseSeq uint64
 	Epoch   uint64
+	// OnAppend, OnFsync, and OnRotate are observability hooks: OnAppend
+	// fires once per Append call with its result, OnFsync once per fsync
+	// attempt with its duration, OnRotate once per Checkpoint call. They
+	// run under the log's lock on the mutation path, so they must be fast
+	// and must not call back into the log (incrementing an atomic metric is
+	// the intended use). All optional.
+	OnAppend func(err error)
+	OnFsync  func(d time.Duration, err error)
+	OnRotate func(err error)
+	// Logger, when non-nil, receives the log's structured lifecycle events:
+	// recovery, checkpoint rotations, and the fail-stop trip.
+	Logger *slog.Logger
 }
 
 // Type tags a record.
@@ -267,6 +280,15 @@ func Open(path string, opts Options) (*Log, *Replay, error) {
 	if err != nil {
 		f.Close()
 		return nil, nil, err
+	}
+	if opts.Logger != nil {
+		opts.Logger.Info("wal opened",
+			slog.String("path", path),
+			slog.Uint64("base_seq", rep.BaseSeq),
+			slog.Uint64("seq", l.seq),
+			slog.Uint64("epoch", l.epoch),
+			slog.Int("replay_records", len(rep.Records)),
+			slog.Int64("truncated_bytes", rep.TruncatedBytes))
 	}
 	if opts.Policy == SyncInterval {
 		l.stop = make(chan struct{})
@@ -475,6 +497,13 @@ func encode(rec Record) []byte {
 func (l *Log) failLocked(op string, cause error) error {
 	if l.failed == nil {
 		l.failed = fmt.Errorf("%w: %s: %w", ErrFailed, op, cause)
+		if l.opts.Logger != nil {
+			l.opts.Logger.Error("wal failed",
+				slog.String("op", op),
+				slog.String("error", cause.Error()),
+				slog.Uint64("seq", l.seq),
+				slog.Uint64("epoch", l.epoch))
+		}
 	}
 	return l.failed
 }
@@ -493,7 +522,10 @@ func (l *Log) Err() error {
 // partial frame, which the next Open truncates away like any torn tail. A
 // write or fsync error is fail-stop: the log trips into its sticky failed
 // state and every later Append is rejected with it.
-func (l *Log) Append(rec Record) error {
+func (l *Log) Append(rec Record) (err error) {
+	if l.opts.OnAppend != nil {
+		defer func() { l.opts.OnAppend(err) }()
+	}
 	if len(rec.Data) > maxRecordBytes-13 {
 		return fmt.Errorf("wal: record of %d bytes exceeds the %d-byte bound", len(rec.Data), maxRecordBytes)
 	}
@@ -563,7 +595,12 @@ func (l *Log) Sync() error {
 }
 
 func (l *Log) syncLocked() error {
-	if err := l.f.Sync(); err != nil {
+	start := time.Now()
+	err := l.f.Sync()
+	if l.opts.OnFsync != nil {
+		l.opts.OnFsync(time.Since(start), err)
+	}
+	if err != nil {
 		return err
 	}
 	l.dirty = false
@@ -612,7 +649,10 @@ func (l *Log) flusher() {
 //
 // The caller must serialize Checkpoint against Append (the act layer holds
 // its mutation lock across snapshot + rotation).
-func (l *Log) Checkpoint(snapSeq uint64) error {
+func (l *Log) Checkpoint(snapSeq uint64) (err error) {
+	if l.opts.OnRotate != nil {
+		defer func() { l.opts.OnRotate(err) }()
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
@@ -708,6 +748,14 @@ func (l *Log) Checkpoint(snapSeq uint64) error {
 	l.lastSync = time.Now()
 	l.checkpoints++
 	l.bumpLocked() // rotation moved the floor; tailers must re-handshake
+	if l.opts.Logger != nil {
+		l.opts.Logger.Info("wal rotated",
+			slog.Uint64("base_seq", l.baseSeq),
+			slog.Uint64("seq", l.seq),
+			slog.Uint64("epoch", l.epoch),
+			slog.Int64("bytes", l.bytes),
+			slog.Uint64("checkpoints", l.checkpoints))
+	}
 	return nil
 }
 

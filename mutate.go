@@ -348,7 +348,7 @@ func aliveIDs(alive []bool) []uint32 {
 }
 
 // compactLocked runs one compaction; the caller holds compactMu.
-func (ix *Index) compactLocked(ctx context.Context) error {
+func (ix *Index) compactLocked(ctx context.Context) (err error) {
 	// Snapshot the mutation state: the overlay publication point and the
 	// inputs it corresponds to. Mutations after this point are not baked
 	// into the rebuild; Rebase re-applies them on top.
@@ -375,10 +375,14 @@ func (ix *Index) compactLocked(ctx context.Context) error {
 	}
 	ix.mu.Unlock()
 
+	// Past the no-op checks: this run will rebuild the base, so it counts
+	// for the observer (duration covers rebuild + swap + checkpoint).
+	compactStart := time.Now()
+	defer func() { ix.observeCompaction(time.Since(compactStart), err) }()
+
 	var trie *core.Trie
 	var store *geostore.Store
 	var stats BuildStats
-	var err error
 	if srcComplete {
 		entries := make([]buildEntry, 0, len(srcs))
 		ids = make([]uint32, 0, len(srcs))
